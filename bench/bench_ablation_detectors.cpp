@@ -1,0 +1,130 @@
+// Ablation benches for the design choices DESIGN.md calls out:
+//  1. waveform: the paper's I/Q arc-distance vs amplitude-only vs
+//     phase-only baselines (Section IV's core argument);
+//  2. bin selection: arc-variance (paper) vs naive max-power;
+//  3. circle fit: Pratt (paper) vs Kasa vs Taubin on synthetic arcs.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "dsp/circle_fit.hpp"
+
+using namespace blinkradar;
+
+int main() {
+    const auto drivers = benchutil::participants(5);
+
+    auto run_with = [&](core::PipelineConfig pc) {
+        double recall = 0.0, precision = 0.0;
+        for (std::size_t i = 0; i < drivers.size(); ++i) {
+            sim::ScenarioConfig sc =
+                benchutil::reference_scenario(drivers[i], 2100 + 3 * i);
+            const eval::SessionScore s = eval::run_blink_session(sc, pc);
+            recall += s.accuracy;
+            precision += s.match.precision();
+        }
+        return std::pair<double, double>{recall / drivers.size(),
+                                         precision / drivers.size()};
+    };
+
+    eval::banner(std::cout, "Ablation 1: waveform fed to LEVD");
+    {
+        eval::AsciiTable table({"waveform", "recall (%)", "precision (%)"});
+        const struct {
+            core::WaveformMode mode;
+            const char* name;
+        } rows[] = {
+            {core::WaveformMode::kArcDistance, "I/Q arc distance (paper)"},
+            {core::WaveformMode::kAmplitude, "amplitude only"},
+            {core::WaveformMode::kPhase, "phase only"},
+        };
+        for (const auto& row : rows) {
+            core::PipelineConfig pc;
+            pc.waveform_mode = row.mode;
+            const auto [r, p] = run_with(pc);
+            table.add_row({row.name, eval::fmt(100 * r, 1), eval::fmt(100 * p, 1)});
+        }
+        table.print(std::cout);
+        std::printf("expected: the I/Q arc method wins — amplitude alone "
+                    "misses the phase content, phase alone is swamped by "
+                    "head-motion rotation.\n");
+    }
+
+    eval::banner(std::cout, "Ablation 2: range-bin selection");
+    {
+        eval::AsciiTable table({"selector", "recall (%)", "precision (%)"});
+        for (const auto mode : {core::BinSelectionMode::kArcVariance,
+                                core::BinSelectionMode::kMaxPower}) {
+            core::PipelineConfig pc;
+            pc.selection_mode = mode;
+            const auto [r, p] = run_with(pc);
+            table.add_row({mode == core::BinSelectionMode::kArcVariance
+                               ? "arc variance (paper)"
+                               : "naive max power",
+                           eval::fmt(100 * r, 1), eval::fmt(100 * p, 1)});
+        }
+        table.print(std::cout);
+        std::printf("expected: max power locks onto the strongest moving "
+                    "return (chest/limbs), not the eye region.\n");
+    }
+
+    eval::banner(std::cout, "Ablation 3: drowsiness feature");
+    {
+        // The paper's model classifies on the raw blink rate. With
+        // detection noise, false positives are masked by real blinks
+        // (refractory), making the FP rate anti-correlate with the true
+        // rate and compressing the class gap; counting only *long* blinks
+        // (the paper's own >400 ms drowsy-closure physiology) is far more
+        // robust. This ablation quantifies that design choice.
+        eval::AsciiTable table({"feature", "mean drowsy accuracy (%)"});
+        for (const double cut : {0.0, 0.75}) {
+            double acc = 0.0;
+            for (std::size_t i = 0; i < drivers.size(); ++i) {
+                sim::ScenarioConfig sc =
+                    benchutil::reference_scenario(drivers[i], 2500 + 7 * i);
+                eval::DrowsyExperimentOptions options;
+                options.long_blink_min_s = cut;
+                options.train_minutes_per_class = 4.0;
+                options.test_minutes_per_class = 6.0;
+                acc += eval::run_drowsy_experiment(sc, options).accuracy;
+            }
+            table.add_row({cut == 0.0 ? "raw blink rate (paper's model)"
+                                      : "long-blink rate (>= 0.75 s)",
+                           eval::fmt(100.0 * acc / drivers.size(), 1)});
+        }
+        table.print(std::cout);
+    }
+
+    eval::banner(std::cout, "Ablation 4: circle-fit method (synthetic arcs)");
+    {
+        // Noisy 60-degree arcs — the regime BlinkRadar fits in. Kasa is
+        // known to shrink the radius on partial arcs; Pratt/Taubin stay
+        // nearly unbiased.
+        Rng rng(77);
+        double kasa_err = 0.0, pratt_err = 0.0, taubin_err = 0.0;
+        constexpr int kTrials = 200;
+        for (int t = 0; t < kTrials; ++t) {
+            const double radius = rng.uniform(0.5, 2.0);
+            const double cx = rng.uniform(-1.0, 1.0);
+            const double cy = rng.uniform(-1.0, 1.0);
+            const double start = rng.uniform(0.0, constants::kTwoPi);
+            dsp::ComplexSignal pts;
+            for (int k = 0; k < 100; ++k) {
+                const double a = start + deg_to_rad(60.0) * k / 99.0;
+                pts.emplace_back(cx + radius * std::cos(a) + rng.normal(0, 0.01),
+                                 cy + radius * std::sin(a) + rng.normal(0, 0.01));
+            }
+            kasa_err += std::abs(dsp::fit_circle_kasa(pts).radius - radius);
+            pratt_err += std::abs(dsp::fit_circle_pratt(pts).radius - radius);
+            taubin_err += std::abs(dsp::fit_circle_taubin(pts).radius - radius);
+        }
+        eval::AsciiTable table({"method", "mean |radius error|"});
+        table.add_row({"Kasa", eval::fmt(kasa_err / kTrials, 4)});
+        table.add_row({"Pratt (paper)", eval::fmt(pratt_err / kTrials, 4)});
+        table.add_row({"Taubin", eval::fmt(taubin_err / kTrials, 4)});
+        table.print(std::cout);
+        std::printf("expected: Pratt/Taubin beat Kasa on partial arcs.\n");
+    }
+    return 0;
+}

@@ -1,0 +1,69 @@
+// Fig. 11 reproduction: a ~20 s stretch of the real-time relative-distance
+// waveform with the detected blinks marked, mirroring the paper's
+// illustrative trace of three annotated blinks.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "eval/metrics.hpp"
+#include "eval/report.hpp"
+#include "physio/driver_profile.hpp"
+#include "sim/scenario.hpp"
+
+using namespace blinkradar;
+
+int main() {
+    eval::banner(std::cout, "Fig. 11: real-time eye-blink detection trace");
+
+    sim::ScenarioConfig sc;
+    Rng rng(41);
+    sc.driver = physio::sample_participants(1, rng).front();
+    sc.duration_s = 24.0;  // 2 s cold start + ~20 s usable trace
+    sc.seed = 29;
+    const sim::SimulatedSession session = sim::simulate_session(sc);
+
+    core::BlinkRadarPipeline pipeline(session.radar);
+    std::vector<double> wave;
+    std::vector<char> mark(session.frames.size(), ' ');
+    for (std::size_t i = 0; i < session.frames.size(); ++i) {
+        const core::FrameResult r = pipeline.process(session.frames[i]);
+        wave.push_back(r.waveform_value);
+        if (r.blink) mark[i] = 'B';
+    }
+
+    // ASCII rendering of the waveform, 1 column per 0.2 s.
+    double lo = 1e9, hi = -1e9;
+    for (std::size_t i = 60; i < wave.size(); ++i) {
+        lo = std::min(lo, wave[i]);
+        hi = std::max(hi, wave[i]);
+    }
+    constexpr int kRows = 10;
+    std::vector<std::string> canvas(kRows, std::string(wave.size() / 5, ' '));
+    std::string events(wave.size() / 5, ' ');
+    for (std::size_t i = 60; i < wave.size(); ++i) {
+        const std::size_t col = i / 5;
+        if (col >= events.size()) break;
+        const int row = static_cast<int>((wave[i] - lo) / (hi - lo + 1e-12) *
+                                         (kRows - 1));
+        canvas[static_cast<std::size_t>(kRows - 1 - row)][col] = '*';
+        if (mark[i] != ' ') events[col] = 'B';
+    }
+    std::printf("relative distance d(t), %.0f s (1 col = 0.2 s), B = detection:\n\n",
+                sc.duration_s);
+    for (const std::string& row : canvas) std::printf("|%s\n", row.c_str());
+    std::printf("+%s\n %s\n", std::string(events.size(), '-').c_str(),
+                events.c_str());
+
+    const eval::MatchResult match =
+        eval::match_blinks(session.truth.blinks, pipeline.blinks());
+    std::printf("\ntruth blinks: %zu, detected: %zu, matched: %zu "
+                "(accuracy %.0f%%)\n",
+                match.true_blinks, match.detected, match.matched,
+                100.0 * match.accuracy());
+    std::printf("%s\n", match.matched >= match.true_blinks / 2
+                            ? "MATCH: blink bumps are visible and detected in "
+                              "real time (Fig. 11)."
+                            : "MISMATCH!");
+    return match.matched >= match.true_blinks / 2 ? 0 : 1;
+}

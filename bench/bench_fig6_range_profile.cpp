@@ -1,0 +1,91 @@
+// Fig. 6(b) reproduction: the range profile of the sensing signal shows
+// three peaks — the direct (antenna leakage) path, the eyes, and the
+// surrounding environment.
+//
+// This bench exercises the *waveform-level* chain (pulse -> multipath
+// channel -> I/Q receiver -> matched filter), not the analytic frame
+// simulator, so it independently validates the Eq. 1-6 implementation.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "dsp/peaks.hpp"
+#include "eval/report.hpp"
+#include "radar/channel.hpp"
+#include "radar/config.hpp"
+#include "radar/pulse.hpp"
+#include "radar/receiver.hpp"
+
+using namespace blinkradar;
+
+int main() {
+    eval::banner(std::cout, "Fig. 6b: FFT/range profile of the sensing signal");
+
+    radar::RadarConfig cfg;
+    cfg.max_range_m = 1.2;
+
+    // Three paths as in the paper's figure: direct antenna coupling, the
+    // eye at the mounting distance, and a surrounding reflector (seat).
+    const radar::MultipathChannel channel({
+        radar::Path{"direct", 0.9, 0.05, 0.0},
+        radar::Path{"eyes", 0.25, 0.40, 0.0},
+        radar::Path{"surrounding", 0.55, 0.85, 0.0},
+    });
+
+    const double fs = 32e9;
+    const radar::GaussianPulse pulse(cfg.tx_amplitude, cfg.bandwidth_hz,
+                                     cfg.carrier_hz);
+    const dsp::RealSignal tx = pulse.sample_transmitted(fs);
+    const dsp::RealSignal rx = channel.propagate(
+        tx, fs, /*frame_index=*/0, cfg.frame_period_s,
+        /*observation_window_s=*/2.0 * cfg.max_range_m /
+                constants::kSpeedOfLight +
+            pulse.duration_s());
+
+    const radar::Receiver receiver(cfg, fs);
+    const dsp::ComplexSignal profile = receiver.range_profile(rx);
+
+    dsp::RealSignal power(profile.size());
+    for (std::size_t i = 0; i < profile.size(); ++i)
+        power[i] = std::norm(profile[i]);
+
+    // Peaks separated by at least half the range resolution.
+    const std::size_t min_sep = static_cast<std::size_t>(
+        cfg.range_resolution_m() / cfg.bin_spacing_m / 2);
+    const auto peaks = dsp::find_local_maxima(power, min_sep);
+
+    // Keep the three strongest.
+    std::vector<std::size_t> top(peaks.begin(), peaks.end());
+    std::sort(top.begin(), top.end(),
+              [&](std::size_t a, std::size_t b) { return power[a] > power[b]; });
+    if (top.size() > 3) top.resize(3);
+    std::sort(top.begin(), top.end());
+
+    eval::AsciiTable table({"peak", "range (m)", "power", "expected path"});
+    const char* names[] = {"direct path", "eyes", "surrounding"};
+    for (std::size_t i = 0; i < top.size(); ++i) {
+        table.add_row({std::to_string(i + 1),
+                       eval::fmt(static_cast<double>(top[i]) * cfg.bin_spacing_m, 2),
+                       eval::fmt(power[top[i]], 5),
+                       i < 3 ? names[i] : "?"});
+    }
+    table.print(std::cout);
+
+    const bool three = top.size() == 3;
+    bool placed = three;
+    if (three) {
+        const double r0 = static_cast<double>(top[0]) * cfg.bin_spacing_m;
+        const double r1 = static_cast<double>(top[1]) * cfg.bin_spacing_m;
+        const double r2 = static_cast<double>(top[2]) * cfg.bin_spacing_m;
+        placed = std::abs(r0 - 0.05) < 0.08 && std::abs(r1 - 0.40) < 0.08 &&
+                 std::abs(r2 - 0.85) < 0.08;
+    }
+    std::printf("\n%s\n",
+                placed ? "MATCH: three peaks at direct/eye/surrounding ranges "
+                         "(paper Fig. 6b)."
+                       : "MISMATCH: peak placement differs from the scene!");
+    return placed ? 0 : 1;
+}

@@ -1,0 +1,78 @@
+// Fig. 7 reproduction: SNR before and after the cascading noise-reduction
+// filter (order-26 Hamming FIR + smoothing filter).
+//
+// The paper shows the raw fast-time signal buried in noise (Fig. 7a) and
+// the same signal after the cascade (Fig. 7b). We quantify the same
+// effect: SNR of the eye-region return against the empty-range noise
+// floor, before and after preprocessing.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "core/preprocess.hpp"
+#include "dsp/stats.hpp"
+#include "eval/report.hpp"
+#include "physio/driver_profile.hpp"
+#include "sim/scenario.hpp"
+
+using namespace blinkradar;
+
+namespace {
+
+/// SNR in dB: eye-bin peak power over the mean power of far empty bins.
+double profile_snr_db(const radar::RadarFrame& frame,
+                      const radar::RadarConfig& cfg) {
+    const std::size_t eye_bin =
+        static_cast<std::size_t>(0.40 / cfg.bin_spacing_m);
+    double signal = 0.0;
+    for (std::size_t b = eye_bin - 3; b <= eye_bin + 3; ++b)
+        signal = std::max(signal, std::norm(frame.bins[b]));
+    // Noise floor from the empty far range (>1.2 m), away from all paths.
+    double noise = 0.0;
+    std::size_t n = 0;
+    for (std::size_t b = static_cast<std::size_t>(1.2 / cfg.bin_spacing_m);
+         b < frame.bins.size() - 15; ++b) {
+        noise += std::norm(frame.bins[b]);
+        ++n;
+    }
+    noise /= static_cast<double>(n);
+    return 10.0 * std::log10(signal / noise);
+}
+
+}  // namespace
+
+int main() {
+    eval::banner(std::cout, "Fig. 7: SNR enhancement by the cascading filter");
+
+    sim::ScenarioConfig sc;
+    Rng rng(11);
+    sc.driver = physio::sample_participants(1, rng).front();
+    sc.duration_s = 4.0;
+    sc.seed = 3;
+    // Exaggerate thermal noise so the raw profile is visibly polluted, as
+    // in the paper's Fig. 7a.
+    sc.radar.noise_sigma = 0.02;
+
+    const sim::SimulatedSession session = sim::simulate_session(sc);
+    const core::PipelineConfig pipeline_cfg;
+    const core::Preprocessor pre(pipeline_cfg);
+
+    double before = 0.0, after = 0.0;
+    for (const radar::RadarFrame& f : session.frames) {
+        before += profile_snr_db(f, session.radar);
+        after += profile_snr_db(pre.apply(f), session.radar);
+    }
+    before /= static_cast<double>(session.frames.size());
+    after /= static_cast<double>(session.frames.size());
+
+    eval::AsciiTable table({"stage", "eye-return SNR (dB)"});
+    table.add_row({"raw (Fig. 7a)", eval::fmt(before, 1)});
+    table.add_row({"after FIR(26, Hamming) + smoothing (Fig. 7b)",
+                   eval::fmt(after, 1)});
+    table.print(std::cout);
+    std::printf("\nSNR gain: %.1f dB — %s\n", after - before,
+                after > before + 3.0
+                    ? "MATCH: the cascade clearly suppresses noise."
+                    : "MISMATCH: expected >3 dB improvement!");
+    return after > before + 3.0 ? 0 : 1;
+}

@@ -1,0 +1,77 @@
+// Fig. 8 reproduction: the range-time power map before and after
+// background subtraction — static reflectors (seat, steering wheel,
+// antenna leakage) appear as constant-power streaks and are removed,
+// while the moving driver's returns survive.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "dsp/background.hpp"
+#include "eval/report.hpp"
+#include "physio/driver_profile.hpp"
+#include "sim/scenario.hpp"
+
+using namespace blinkradar;
+
+int main() {
+    eval::banner(std::cout, "Fig. 8: background subtraction");
+
+    sim::ScenarioConfig sc;
+    Rng rng(8);
+    sc.driver = physio::sample_participants(1, rng).front();
+    sc.duration_s = 30.0;
+    sc.seed = 5;
+    const sim::SimulatedSession session = sim::simulate_session(sc);
+    const radar::RadarConfig& cfg = session.radar;
+
+    dsp::LoopbackFilter background(cfg.n_bins(), 0.0005);
+
+    auto bin_of = [&](double r) {
+        return static_cast<std::size_t>(r / cfg.bin_spacing_m);
+    };
+    const std::size_t steering = bin_of(0.55 * 0.4);
+    const std::size_t seat = bin_of(0.4 + 0.45);
+    const std::size_t face = bin_of(0.4 + 0.04);
+
+    double steering_before = 0, steering_after = 0;
+    double seat_before = 0, seat_after = 0;
+    double face_before = 0, face_after = 0;
+    // Dynamic content is measured against the slow-time mean (the static
+    // part of the face return is itself background).
+    for (const radar::RadarFrame& f : session.frames) {
+        const dsp::ComplexSignal sub = background.process(f.bins);
+        steering_before += std::norm(f.bins[steering]);
+        seat_before += std::norm(f.bins[seat]);
+        face_before += std::norm(f.bins[face]);
+        steering_after += std::norm(sub[steering]);
+        seat_after += std::norm(sub[seat]);
+        face_after += std::norm(sub[face]);
+    }
+    const double n = static_cast<double>(session.frames.size());
+    auto db = [](double x) { return 10.0 * std::log10(x); };
+
+    eval::AsciiTable table(
+        {"reflector", "power before (dB)", "power after (dB)", "change (dB)"});
+    table.add_row({"steering wheel (static)", eval::fmt(db(steering_before / n), 1),
+                   eval::fmt(db(steering_after / n), 1),
+                   eval::fmt(db(steering_after / steering_before), 1)});
+    table.add_row({"seat/headrest (static)", eval::fmt(db(seat_before / n), 1),
+                   eval::fmt(db(seat_after / n), 1),
+                   eval::fmt(db(seat_after / seat_before), 1)});
+    table.add_row({"driver face (moving)", eval::fmt(db(face_before / n), 1),
+                   eval::fmt(db(face_after / n), 1),
+                   eval::fmt(db(face_after / face_before), 1)});
+    table.print(std::cout);
+
+    const double clutter_suppression =
+        db(steering_after / steering_before);
+    const double face_change = db(face_after / face_before);
+    const bool ok = clutter_suppression < -25.0 &&
+                    face_change > clutter_suppression + 15.0;
+    std::printf("\n%s\n", ok
+                              ? "MATCH: static clutter strongly suppressed, the "
+                                "moving driver's dynamic signal retained "
+                                "(paper Fig. 8b)."
+                              : "MISMATCH: check the loopback filter!");
+    return ok ? 0 : 1;
+}

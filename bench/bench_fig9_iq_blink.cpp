@@ -1,0 +1,85 @@
+// Fig. 9 reproduction: the I/Q-space signature of a blink. Closing the
+// eyes raises the amplitude of the eye-region return (lid skin reflects
+// more than the wet cornea) and shifts its phase (the lid surface sits in
+// front of the eyeball); opening reverses both.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "dsp/stats.hpp"
+#include "eval/report.hpp"
+#include "physio/blink.hpp"
+#include "physio/driver_profile.hpp"
+#include "sim/scenario.hpp"
+
+using namespace blinkradar;
+
+int main() {
+    eval::banner(std::cout, "Fig. 9: I/Q signature of eye closing / opening");
+
+    sim::ScenarioConfig sc;
+    Rng rng(21);
+    sc.driver = physio::sample_participants(1, rng).front();
+    sc.environment = sim::Environment::kLaboratory;
+    sc.include_body_events = false;
+    sc.head_motion.shift_rate_per_min = 0.0;
+    sc.head_motion.drift_sigma_m = 0.0;
+    // Freeze the embedded interference so the blink's own signature is
+    // isolated, as in the paper's controlled experiment (radar 40 cm in
+    // front of the eyes).
+    sc.driver.respiration.head_amplitude_m = 0.0;
+    sc.driver.heartbeat.head_amplitude_m = 0.0;
+    sc.alertness = physio::Alertness::kDrowsy;  // long, clear closures
+    sc.duration_s = 30.0;
+    sc.seed = 17;
+    sc.radar.noise_sigma = 0.0005;
+
+    const sim::SimulatedSession session = sim::simulate_session(sc);
+    const std::size_t eye_bin =
+        static_cast<std::size_t>(0.40 / session.radar.bin_spacing_m);
+
+    // Split eye-bin samples into "eyes open" and "eyes closed" using the
+    // ground-truth closure.
+    dsp::ComplexSignal open_samples, closed_samples;
+    for (const radar::RadarFrame& f : session.frames) {
+        const double closure =
+            physio::eyelid_closure_at(session.truth.blinks, f.timestamp_s);
+        if (closure > 0.9)
+            closed_samples.push_back(f.bins[eye_bin]);
+        else if (closure < 0.05)
+            open_samples.push_back(f.bins[eye_bin]);
+    }
+    if (open_samples.empty() || closed_samples.empty()) {
+        std::printf("not enough samples in one of the states\n");
+        return 1;
+    }
+
+    const dsp::Complex mean_open = dsp::complex_mean(open_samples);
+    const dsp::Complex mean_closed = dsp::complex_mean(closed_samples);
+    const double amp_open = std::abs(mean_open);
+    const double amp_closed = std::abs(mean_closed);
+    const double phase_shift_deg =
+        rad_to_deg(std::arg(mean_closed * std::conj(mean_open)));
+
+    eval::AsciiTable table({"state", "|IQ| at eye bin", "arg(IQ) (deg)"});
+    table.add_row({"eyes open", eval::fmt(amp_open, 4),
+                   eval::fmt(rad_to_deg(std::arg(mean_open)), 1)});
+    table.add_row({"eyes closed", eval::fmt(amp_closed, 4),
+                   eval::fmt(rad_to_deg(std::arg(mean_closed)), 1)});
+    table.print(std::cout);
+    std::printf("\namplitude ratio closed/open: %.3f (paper: closed > open)\n",
+                amp_closed / amp_open);
+    std::printf("phase shift on closing     : %.1f deg (paper: clear shift,\n"
+                "  opposite sign on opening; Eq. 9 with ~0.8 mm lid offset"
+                " predicts ~%.1f deg at the composite level)\n",
+                phase_shift_deg,
+                rad_to_deg(2.0 * constants::kTwoPi * 7.3e9 * 0.0008 / 3e8));
+
+    const bool ok = amp_closed > amp_open * 1.02 &&
+                    std::abs(phase_shift_deg) > 0.5;
+    std::printf("\n%s\n", ok ? "MATCH: closing raises amplitude and shifts "
+                               "phase; opening reverses it (Fig. 9)."
+                             : "MISMATCH: blink I/Q signature absent!");
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,100 @@
+// Performance microbenches (google-benchmark) for the real-time claim:
+// the paper outputs a detection every 40 ms frame after a one-time 2 s
+// cold start, so the whole per-frame pipeline must run in well under
+// 40 ms. Also benches the individual hot stages.
+#include <benchmark/benchmark.h>
+
+#include "core/bin_selection.hpp"
+#include "core/pipeline.hpp"
+#include "core/preprocess.hpp"
+#include "dsp/circle_fit.hpp"
+#include "dsp/fft.hpp"
+#include "physio/driver_profile.hpp"
+#include "sim/scenario.hpp"
+
+using namespace blinkradar;
+
+namespace {
+
+sim::SimulatedSession& session() {
+    static sim::SimulatedSession s = [] {
+        sim::ScenarioConfig sc;
+        Rng rng(1);
+        sc.driver = physio::sample_participants(1, rng).front();
+        sc.duration_s = 60.0;
+        sc.seed = 2;
+        return sim::simulate_session(sc);
+    }();
+    return s;
+}
+
+void BM_PipelinePerFrame(benchmark::State& state) {
+    const auto& s = session();
+    core::BlinkRadarPipeline pipeline(s.radar);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(pipeline.process(s.frames[i]));
+        i = (i + 1) % s.frames.size();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PipelinePerFrame);
+
+void BM_PreprocessFrame(benchmark::State& state) {
+    const auto& s = session();
+    const core::Preprocessor pre{core::PipelineConfig{}};
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(pre.apply(s.frames[i]));
+        i = (i + 1) % s.frames.size();
+    }
+}
+BENCHMARK(BM_PreprocessFrame);
+
+void BM_BinSelection(benchmark::State& state) {
+    const auto& s = session();
+    const core::BinSelector selector(s.radar, core::PipelineConfig{});
+    std::vector<dsp::ComplexSignal> window;
+    for (std::size_t i = 100; i < 350; ++i) window.push_back(s.frames[i].bins);
+    for (auto _ : state) benchmark::DoNotOptimize(selector.select(window));
+}
+BENCHMARK(BM_BinSelection);
+
+void BM_PrattFit(benchmark::State& state) {
+    Rng rng(3);
+    dsp::ComplexSignal pts;
+    for (int k = 0; k < 250; ++k) {
+        const double a = 0.01 * k;
+        pts.emplace_back(std::cos(a) + rng.normal(0, 0.01),
+                         std::sin(a) + rng.normal(0, 0.01));
+    }
+    for (auto _ : state) benchmark::DoNotOptimize(dsp::fit_circle_pratt(pts));
+}
+BENCHMARK(BM_PrattFit);
+
+void BM_Fft1024(benchmark::State& state) {
+    Rng rng(4);
+    dsp::ComplexSignal sig(1024);
+    for (auto& z : sig) z = dsp::Complex(rng.normal(0, 1), rng.normal(0, 1));
+    for (auto _ : state) {
+        dsp::ComplexSignal copy = sig;
+        dsp::fft_inplace(copy);
+        benchmark::DoNotOptimize(copy);
+    }
+}
+BENCHMARK(BM_Fft1024);
+
+void BM_SimulatorFrame(benchmark::State& state) {
+    sim::ScenarioConfig sc;
+    Rng rng(5);
+    sc.driver = physio::sample_participants(1, rng).front();
+    sc.duration_s = 3600.0;
+    sc.seed = 6;
+    sim::StreamingSession stream = sim::make_streaming_session(sc);
+    for (auto _ : state) benchmark::DoNotOptimize(stream.simulator->next());
+}
+BENCHMARK(BM_SimulatorFrame);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// Table I reproduction: blink counts per minute for the feasibility-study
+// participants at 10:00 am (alert) vs 10:00 pm (drowsy).
+//
+// Paper (Section II-C, Table I):
+//   10:00 am: 20 21 19 20 18 22 21
+//   10:00 pm: 25 26 30 25 26 24 26
+#include <cstdio>
+#include <iostream>
+
+#include "common/random.hpp"
+#include "eval/report.hpp"
+#include "physio/blink.hpp"
+#include "physio/driver_profile.hpp"
+
+using namespace blinkradar;
+
+namespace {
+
+/// Count blinks in a simulated 1-minute observation of a participant.
+std::size_t one_minute_count(const physio::DriverProfile& p,
+                             physio::Alertness state, std::uint64_t seed) {
+    const double rate = state == physio::Alertness::kAwake
+                            ? p.awake_blink_rate_per_min
+                            : p.drowsy_blink_rate_per_min;
+    physio::BlinkProcess process(physio::BlinkStatistics::for_state(state, rate),
+                                 Rng(seed));
+    return process.generate(60.0).size();
+}
+
+}  // namespace
+
+int main() {
+    eval::banner(std::cout, "Table I: blink frequency at different times");
+
+    const auto participants = physio::table1_participants();
+    eval::AsciiTable table({"participant", "10:00am (sim)", "paper",
+                            "10:00pm (sim)", "paper"});
+    const double paper_am[] = {20, 21, 19, 20, 18, 22, 21};
+    const double paper_pm[] = {25, 26, 30, 25, 26, 24, 26};
+
+    for (std::size_t i = 0; i < participants.size(); ++i) {
+        const auto& p = participants[i];
+        // Average over a few simulated minutes to show the central value;
+        // the paper reports a single observed minute.
+        double am = 0.0, pm = 0.0;
+        constexpr int kReps = 5;
+        for (int r = 0; r < kReps; ++r) {
+            am += static_cast<double>(one_minute_count(
+                p, physio::Alertness::kAwake, 100 * i + r));
+            pm += static_cast<double>(one_minute_count(
+                p, physio::Alertness::kDrowsy, 900 * i + r));
+        }
+        table.add_row({p.id, eval::fmt(am / kReps, 1), eval::fmt(paper_am[i], 0),
+                       eval::fmt(pm / kReps, 1), eval::fmt(paper_pm[i], 0)});
+    }
+    table.print(std::cout);
+    std::printf(
+        "\nExpected shape: every participant blinks more when drowsy than"
+        " when alert; alert counts cluster ~18-22/min, drowsy ~24-30/min.\n");
+    return 0;
+}

@@ -1,0 +1,60 @@
+// Road trip: robustness tour. Runs the same driver through all nine road
+// and maneuver types of the paper's Section VI-H and three mounting
+// geometries, printing blink-detection accuracy for each — a compact view
+// of how conditions affect BlinkRadar.
+#include <cstdio>
+
+#include "eval/experiment.hpp"
+#include "physio/driver_profile.hpp"
+#include "sim/scenario.hpp"
+#include "vehicle/road.hpp"
+
+using namespace blinkradar;
+
+int main() {
+    Rng rng(99);
+    const physio::DriverProfile driver =
+        physio::sample_participants(1, rng).front();
+
+    std::printf("=== Road types (radar at 0.4 m, boresight) ===\n");
+    std::uint64_t seed = 7;
+    for (const vehicle::RoadType road : vehicle::all_road_types()) {
+        sim::ScenarioConfig sc;
+        sc.driver = driver;
+        sc.road = road;
+        sc.duration_s = 120.0;
+        sc.seed = seed++;
+        const eval::SessionScore score = eval::run_blink_session(sc);
+        std::printf("  %-16s (class %-8s): accuracy %5.1f %%  "
+                    "(%zu/%zu blinks, %zu restarts)\n",
+                    vehicle::to_string(road).c_str(),
+                    vehicle::to_string(vehicle::road_class(road)).c_str(),
+                    100.0 * score.accuracy, score.match.matched,
+                    score.match.true_blinks, score.restarts);
+    }
+
+    std::printf("\n=== Mounting geometries (smooth highway) ===\n");
+    const struct {
+        const char* name;
+        sim::MountingGeometry geometry;
+    } mounts[] = {
+        {"windshield, head-on, 0.4 m", {0.4, 0.0, 0.0}},
+        {"dashboard, 15 deg below eye line", {0.45, 15.0, 0.0}},
+        {"A-pillar, 25 deg off to the side", {0.55, 5.0, 25.0}},
+    };
+    for (const auto& mount : mounts) {
+        sim::ScenarioConfig sc;
+        sc.driver = driver;
+        sc.geometry = mount.geometry;
+        sc.duration_s = 120.0;
+        sc.seed = 1234;
+        const eval::SessionScore score = eval::run_blink_session(sc);
+        std::printf("  %-34s: accuracy %5.1f %%\n", mount.name,
+                    100.0 * score.accuracy);
+    }
+
+    std::printf("\nTakeaway (matches the paper): smooth roads and head-on "
+                "mounting work best; bumps, heavy maneuvers and large "
+                "azimuth offsets cost accuracy.\n");
+    return 0;
+}

@@ -1,0 +1,14 @@
+#include "common/contracts.hpp"
+
+#include <sstream>
+
+namespace blinkradar::detail {
+
+void contract_failed(const char* kind, const char* expr, const char* file,
+                     int line) {
+    std::ostringstream os;
+    os << kind << " violated: (" << expr << ") at " << file << ':' << line;
+    throw ContractViolation(os.str());
+}
+
+}  // namespace blinkradar::detail

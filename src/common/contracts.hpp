@@ -1,0 +1,51 @@
+// Lightweight contract checking in the spirit of the C++ Core Guidelines'
+// Expects/Ensures (GSL). Violations indicate programmer error and throw
+// ContractViolation so tests can assert on misuse without aborting the
+// whole process.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace blinkradar {
+
+/// Thrown when a precondition, postcondition, or invariant is violated.
+/// A ContractViolation always indicates a bug in the caller (for
+/// preconditions) or in the library (for postconditions/invariants),
+/// never a recoverable runtime condition.
+class ContractViolation : public std::logic_error {
+public:
+    explicit ContractViolation(const std::string& what_arg)
+        : std::logic_error(what_arg) {}
+};
+
+namespace detail {
+[[noreturn]] void contract_failed(const char* kind, const char* expr,
+                                  const char* file, int line);
+}  // namespace detail
+
+}  // namespace blinkradar
+
+/// Precondition check: argument/state requirements at function entry.
+#define BR_EXPECTS(expr)                                                     \
+    do {                                                                     \
+        if (!(expr))                                                         \
+            ::blinkradar::detail::contract_failed("Precondition", #expr,    \
+                                                  __FILE__, __LINE__);      \
+    } while (false)
+
+/// Postcondition check: guarantees at function exit.
+#define BR_ENSURES(expr)                                                     \
+    do {                                                                     \
+        if (!(expr))                                                         \
+            ::blinkradar::detail::contract_failed("Postcondition", #expr,   \
+                                                  __FILE__, __LINE__);      \
+    } while (false)
+
+/// Invariant check inside algorithms.
+#define BR_ASSERT(expr)                                                      \
+    do {                                                                     \
+        if (!(expr))                                                         \
+            ::blinkradar::detail::contract_failed("Invariant", #expr,       \
+                                                  __FILE__, __LINE__);      \
+    } while (false)

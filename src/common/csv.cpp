@@ -1,0 +1,41 @@
+#include "common/csv.hpp"
+
+#include <stdexcept>
+
+#include "common/contracts.hpp"
+
+namespace blinkradar {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& columns)
+    : out_(path), n_columns_(columns.size()) {
+    if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+    BR_EXPECTS(!columns.empty());
+    for (std::size_t i = 0; i < columns.size(); ++i) {
+        if (i != 0) out_ << ',';
+        out_ << columns[i];
+    }
+    out_ << '\n';
+}
+
+void CsvWriter::row(const std::vector<double>& values) {
+    BR_EXPECTS(values.size() == n_columns_);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (i != 0) out_ << ',';
+        out_ << values[i];
+    }
+    out_ << '\n';
+    ++rows_;
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+    BR_EXPECTS(cells.size() == n_columns_);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i != 0) out_ << ',';
+        out_ << cells[i];
+    }
+    out_ << '\n';
+    ++rows_;
+}
+
+}  // namespace blinkradar

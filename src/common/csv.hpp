@@ -1,0 +1,35 @@
+// Minimal CSV writer used by the examples and benches to dump traces for
+// external plotting. Not a general-purpose CSV library: values are numbers
+// or simple unquoted strings.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace blinkradar {
+
+/// Streaming CSV writer. Opens the file on construction, writes a header
+/// row, then one row per `row()` call. Flushes and closes on destruction.
+class CsvWriter {
+public:
+    /// Create `path` (truncating) and write `columns` as the header row.
+    /// Throws std::runtime_error if the file cannot be opened.
+    CsvWriter(const std::string& path, const std::vector<std::string>& columns);
+
+    /// Write one row; the number of values must equal the number of columns.
+    void row(const std::vector<double>& values);
+
+    /// Write one row of preformatted cells (for mixed text/number rows).
+    void row(const std::vector<std::string>& cells);
+
+    /// Number of data rows written so far.
+    std::size_t rows_written() const noexcept { return rows_; }
+
+private:
+    std::ofstream out_;
+    std::size_t n_columns_;
+    std::size_t rows_ = 0;
+};
+
+}  // namespace blinkradar

@@ -1,0 +1,59 @@
+#include "common/random.hpp"
+
+#include "common/contracts.hpp"
+
+namespace blinkradar {
+
+double Rng::uniform(double lo, double hi) {
+    BR_EXPECTS(lo <= hi);
+    std::uniform_real_distribution<double> dist(lo, hi);
+    return dist(engine_);
+}
+
+int Rng::uniform_int(int lo, int hi) {
+    BR_EXPECTS(lo <= hi);
+    std::uniform_int_distribution<int> dist(lo, hi);
+    return dist(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+    BR_EXPECTS(stddev >= 0.0);
+    if (stddev == 0.0) return mean;
+    std::normal_distribution<double> dist(mean, stddev);
+    return dist(engine_);
+}
+
+double Rng::exponential(double mean) {
+    BR_EXPECTS(mean > 0.0);
+    std::exponential_distribution<double> dist(1.0 / mean);
+    return dist(engine_);
+}
+
+double Rng::gamma(double shape, double scale) {
+    BR_EXPECTS(shape > 0.0 && scale > 0.0);
+    std::gamma_distribution<double> dist(shape, scale);
+    return dist(engine_);
+}
+
+double Rng::lognormal(double mu, double sigma) {
+    BR_EXPECTS(sigma >= 0.0);
+    std::lognormal_distribution<double> dist(mu, sigma);
+    return dist(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+    BR_EXPECTS(p >= 0.0 && p <= 1.0);
+    std::bernoulli_distribution dist(p);
+    return dist(engine_);
+}
+
+Rng Rng::fork() {
+    // Draw two words from the parent stream to seed the child; this keeps
+    // parent and child streams statistically independent while remaining
+    // fully deterministic.
+    const std::uint64_t a = engine_();
+    const std::uint64_t b = engine_();
+    return Rng(a ^ (b << 1) ^ 0x9E3779B97F4A7C15ULL);
+}
+
+}  // namespace blinkradar

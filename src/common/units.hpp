@@ -1,0 +1,40 @@
+// Physical unit aliases and constants shared across the library.
+//
+// We deliberately use documented aliases rather than heavyweight strong
+// types: every public API spells the unit in the parameter name as well
+// (e.g. `double range_m`), and the aliases exist to make signatures
+// self-describing.
+#pragma once
+
+namespace blinkradar {
+
+using Seconds = double;   ///< time in seconds
+using Hertz = double;     ///< frequency in Hz
+using Meters = double;    ///< distance in metres
+using Radians = double;   ///< angle in radians
+using Degrees = double;   ///< angle in degrees
+
+namespace constants {
+
+/// Speed of light in vacuum [m/s]; the paper uses c = 3.0e8.
+inline constexpr double kSpeedOfLight = 3.0e8;
+
+/// pi to double precision.
+inline constexpr double kPi = 3.14159265358979323846;
+
+/// 2*pi.
+inline constexpr double kTwoPi = 2.0 * kPi;
+
+}  // namespace constants
+
+/// Convert degrees to radians.
+constexpr Radians deg_to_rad(Degrees deg) noexcept {
+    return deg * constants::kPi / 180.0;
+}
+
+/// Convert radians to degrees.
+constexpr Degrees rad_to_deg(Radians rad) noexcept {
+    return rad * 180.0 / constants::kPi;
+}
+
+}  // namespace blinkradar

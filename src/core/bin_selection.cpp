@@ -1,0 +1,169 @@
+#include "core/bin_selection.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "common/units.hpp"
+#include "dsp/stats.hpp"
+
+namespace blinkradar::core {
+
+BinSelector::BinSelector(const radar::RadarConfig& radar,
+                         const PipelineConfig& config)
+    : config_(config) {
+    radar.validate();
+    BR_EXPECTS(config.selection_min_range_m < config.selection_max_range_m);
+    const std::size_t n_bins = radar.n_bins();
+    min_bin_ = static_cast<std::size_t>(config.selection_min_range_m /
+                                        radar.bin_spacing_m);
+    max_bin_ = std::min(n_bins - 1,
+                        static_cast<std::size_t>(config.selection_max_range_m /
+                                                 radar.bin_spacing_m));
+    BR_ENSURES(min_bin_ < max_bin_);
+}
+
+std::vector<double> BinSelector::bin_variances(
+    const std::vector<dsp::ComplexSignal>& window) const {
+    BR_EXPECTS(!window.empty());
+    const std::size_t n_bins = window.front().size();
+    for (const auto& f : window) BR_EXPECTS(f.size() == n_bins);
+
+    std::vector<double> variances(n_bins, 0.0);
+    dsp::ComplexSignal column(window.size());
+    for (std::size_t b = 0; b < n_bins; ++b) {
+        for (std::size_t t = 0; t < window.size(); ++t) column[t] = window[t][b];
+        variances[b] = dsp::scatter_variance(column);
+    }
+    return variances;
+}
+
+std::optional<BinSelection> BinSelector::select(
+    const std::vector<dsp::ComplexSignal>& window) const {
+    BR_EXPECTS(window.size() >= 8);
+    switch (config_.selection_mode) {
+        case BinSelectionMode::kArcVariance:
+            return select_arc_variance(window);
+        case BinSelectionMode::kMaxPower:
+            return select_max_power(window);
+    }
+    return std::nullopt;
+}
+
+namespace {
+
+// Angular extent of the trajectory around the fitted centre: max - min of
+// the unwrapped angle. The eye/face bins sweep well under a half-turn —
+// their micro-motion is far below lambda/4 — while the chest sweeps
+// through multiple full turns every breath. This is the "arc, not
+// rotation" signature the paper's Fig. 10 illustrates. Extent (rather
+// than total travel) is used so sample noise does not accumulate.
+double angular_extent(const dsp::ComplexSignal& column,
+                      const dsp::CircleFit& fit) {
+    double cumulative = 0.0;
+    double lo = 0.0;
+    double hi = 0.0;
+    bool have_prev = false;
+    dsp::Complex prev;
+    const dsp::Complex centre(fit.center_x, fit.center_y);
+    for (const dsp::Complex& z : column) {
+        const dsp::Complex v = z - centre;
+        if (std::abs(v) < 1e-12) continue;
+        if (have_prev) {
+            const dsp::Complex rot = v * std::conj(prev);
+            if (std::abs(rot) > 0.0) cumulative += std::arg(rot);
+            lo = std::min(lo, cumulative);
+            hi = std::max(hi, cumulative);
+        }
+        prev = v;
+        have_prev = true;
+    }
+    return hi - lo;
+}
+
+}  // namespace
+
+std::optional<BinSelection> BinSelector::select_arc_variance(
+    const std::vector<dsp::ComplexSignal>& window) const {
+    const std::vector<double> variances = bin_variances(window);
+
+    // Significance gate: candidate bins must stand clearly above the
+    // median bin variance (which is dominated by thermal noise).
+    std::vector<double> in_range(variances.begin() + static_cast<std::ptrdiff_t>(min_bin_),
+                                 variances.begin() + static_cast<std::ptrdiff_t>(max_bin_ + 1));
+    const double floor = dsp::median(in_range);
+    const double significance = floor * config_.min_variance_factor;
+
+    std::vector<std::size_t> candidates;
+    for (std::size_t b = min_bin_; b <= max_bin_; ++b)
+        if (variances[b] > significance) candidates.push_back(b);
+    if (candidates.empty()) return std::nullopt;
+
+    // Arc-fit every significant bin (fits are cheap: ~50 points each).
+    // Two-pass scoring:
+    //  - gate on "true arc": total angular travel around the centre under
+    //    a full turn (eye/face micro-motion) rather than the chest's
+    //    multi-turn rotation, and
+    //  - among gated bins, maximise the arc-explained variance ratio
+    //    variance / residual^2 (scale-invariant thinness), tie-broken by
+    //    variance through the product below.
+    std::optional<BinSelection> best_gated;
+    for (const std::size_t b : candidates) {
+        const std::optional<BinSelection> sel = score_bin(window, b);
+        if (!sel) continue;
+        if (!best_gated || sel->score > best_gated->score) best_gated = sel;
+    }
+    // No fallback: if nothing in view traces a clean partial arc (e.g. the
+    // cabin is empty, or the driver is mid-posture-shift), report no
+    // selection and let the caller stay in / return to cold start.
+    return best_gated;
+}
+
+std::optional<BinSelection> BinSelector::score_bin(
+    const std::vector<dsp::ComplexSignal>& window, std::size_t bin) const {
+    BR_EXPECTS(!window.empty());
+    BR_EXPECTS(bin < window.front().size());
+    dsp::ComplexSignal column(window.size());
+    for (std::size_t t = 0; t < window.size(); ++t) column[t] = window[t][bin];
+
+    const dsp::CircleFit fit = dsp::fit_circle_pratt(column);
+    if (!fit.ok || fit.radius <= 0.0) return std::nullopt;
+    const double extent = angular_extent(column, fit);
+    if (extent >= constants::kPi || extent <= 1e-3) return std::nullopt;
+    const double var = dsp::scatter_variance(column);
+    // Radius plausibility: a short noisy arc lets the algebraic fit run
+    // away to an enormous circle; such a fit explains nothing about the
+    // dynamic vector and must not be allowed to win on any score.
+    const double spread = std::sqrt(var);
+    if (fit.radius > 8.0 * spread || fit.radius < 0.5 * spread)
+        return std::nullopt;
+    const double score =
+        var / (fit.rms_residual * fit.rms_residual + 1e-9 * var);
+    return BinSelection{bin, var, score, fit};
+}
+
+std::optional<BinSelection> BinSelector::select_max_power(
+    const std::vector<dsp::ComplexSignal>& window) const {
+    const std::size_t n_bins = window.front().size();
+    std::size_t best_bin = min_bin_;
+    double best_power = -1.0;
+    for (std::size_t b = min_bin_; b <= max_bin_ && b < n_bins; ++b) {
+        double acc = 0.0;
+        for (const auto& f : window) acc += std::norm(f[b]);
+        if (acc > best_power) {
+            best_power = acc;
+            best_bin = b;
+        }
+    }
+    dsp::ComplexSignal column(window.size());
+    for (std::size_t t = 0; t < window.size(); ++t)
+        column[t] = window[t][best_bin];
+    BinSelection sel;
+    sel.bin = best_bin;
+    sel.variance = dsp::scatter_variance(column);
+    sel.fit = dsp::fit_circle_pratt(column);
+    sel.score = best_power;
+    return sel;
+}
+
+}  // namespace blinkradar::core

@@ -1,0 +1,73 @@
+// Range-bin selection (paper Section IV-D, "Fine-grained blink features").
+//
+// Without prior knowledge of the eye's distance, BlinkRadar cannot pick
+// the eye's range bin by peak amplitude — the eye's reflection is weaker
+// than seats and steering wheels. Instead it exploits the "harmful"
+// embedded interference: respiration- and heartbeat-coupled head motion
+// keeps the eye-region bin's I/Q trajectory moving (tracing thin arcs)
+// even when no blink occurs. The selector therefore:
+//   1. computes the 2-D I/Q scatter variance per bin over a slow-time
+//      window, keeps bins that are significantly above the noise floor,
+//   2. arc-fits the top candidates and scores them by arc quality
+//      (radius^2 / rms-residual: big clean arcs win; full fast rotations
+//      with amplitude wobble — the chest — and pure noise both lose).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "core/pipeline_config.hpp"
+#include "dsp/circle_fit.hpp"
+#include "dsp/dsp_types.hpp"
+#include "radar/config.hpp"
+
+namespace blinkradar::core {
+
+/// Outcome of a selection pass.
+struct BinSelection {
+    std::size_t bin = 0;            ///< chosen range bin index
+    double variance = 0.0;          ///< its 2-D scatter variance
+    double score = 0.0;             ///< arc-quality score
+    dsp::CircleFit fit;             ///< the candidate's arc fit
+};
+
+/// Selects the blink-carrying bin from a slow-time window of
+/// (background-subtracted) frames.
+class BinSelector {
+public:
+    BinSelector(const radar::RadarConfig& radar, const PipelineConfig& config);
+
+    /// Evaluate a window of frames (outer index = slow time, inner =
+    /// bins; all frames must share the bin count). Returns std::nullopt
+    /// when no bin shows significant dynamic content (e.g. an empty
+    /// seat).
+    std::optional<BinSelection> select(
+        const std::vector<dsp::ComplexSignal>& window) const;
+
+    /// Per-bin 2-D scatter variance over the window (exposed for the
+    /// Fig. 10b bench and tests).
+    std::vector<double> bin_variances(
+        const std::vector<dsp::ComplexSignal>& window) const;
+
+    /// Score one bin under the arc criterion (variance, arc fit and
+    /// thinness score). Returns std::nullopt when the bin's trajectory is
+    /// not a clean partial arc. Used for switch hysteresis.
+    std::optional<BinSelection> score_bin(
+        const std::vector<dsp::ComplexSignal>& window, std::size_t bin) const;
+
+    std::size_t min_bin() const noexcept { return min_bin_; }
+    std::size_t max_bin() const noexcept { return max_bin_; }
+
+private:
+    std::optional<BinSelection> select_arc_variance(
+        const std::vector<dsp::ComplexSignal>& window) const;
+    std::optional<BinSelection> select_max_power(
+        const std::vector<dsp::ComplexSignal>& window) const;
+
+    PipelineConfig config_;
+    std::size_t min_bin_;
+    std::size_t max_bin_;
+};
+
+}  // namespace blinkradar::core

@@ -1,0 +1,186 @@
+#include "core/levd.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace blinkradar::core {
+
+Levd::Levd(const PipelineConfig& config, double frame_rate_hz)
+    : config_(config), frame_rate_hz_(frame_rate_hz) {
+    BR_EXPECTS(frame_rate_hz > 0.0);
+    BR_EXPECTS(config.threshold_sigma > 0.0);
+    BR_EXPECTS(config.noise_window_s > 0.0);
+    noise_window_frames_ = static_cast<std::size_t>(
+        config.noise_window_s * frame_rate_hz);
+    BR_ENSURES(noise_window_frames_ >= 8);
+}
+
+void Levd::reset() {
+    buffer_.clear();
+    recent_.clear();
+    smooth_taps_.clear();
+    sigma_ = 0.0;
+    threshold_ = 0.0;
+    frames_since_sigma_ = 0;
+    sigma_updates_ = 0;
+    last_min_.reset();
+    pending_max_.reset();
+    rise_start_.reset();
+    // last_emit_s_ is kept: the refractory must survive restarts.
+}
+
+void Levd::warm_up(Seconds t, double value) {
+    buffer_.push_back(Sample{t, value});
+    if (buffer_.size() > noise_window_frames_) buffer_.pop_front();
+    update_noise_estimate();
+}
+
+void Levd::update_noise_estimate() {
+    if (buffer_.size() < noise_window_frames_ / 4) return;
+    // Robust sigma of the no-blink waveform *at blink timescale*: 1.4826 *
+    // MAD of differences taken at a lag matching a blink's closing phase
+    // (~0.15 s). The lag makes the estimate sensitive to exactly the
+    // variations a blink must out-climb — local noise plus the baseline
+    // slope at that timescale — while the median stays robust to the
+    // sparse, steep blink bumps themselves, so blinks never inflate their
+    // own threshold.
+    const std::size_t lag = std::max<std::size_t>(
+        1, static_cast<std::size_t>(0.15 * frame_rate_hz_));
+    if (buffer_.size() <= lag + 1) return;
+    std::vector<double> diffs;
+    diffs.reserve(buffer_.size() - lag);
+    for (std::size_t i = lag; i < buffer_.size(); ++i)
+        diffs.push_back(std::abs(buffer_[i].v - buffer_[i - lag].v));
+    BR_ASSERT(!diffs.empty());
+    // 25th percentile rather than the median: drowsy blinks are long and
+    // frequent enough to cover ~half of all samples, which would inflate
+    // a median-based estimate (and with it the threshold) exactly when
+    // sensitivity matters. The 25th percentile of |lag-diff| stays inside
+    // the clean half of the data; for half-normal |diffs| the matching
+    // scale factor is 1 / (sqrt(2) erfinv(0.25)) = 1/0.3186, and the
+    // final 1/sqrt(2) converts a difference sigma to a sample sigma.
+    const std::size_t q25 = diffs.size() / 4;
+    std::nth_element(diffs.begin(),
+                     diffs.begin() + static_cast<std::ptrdiff_t>(q25),
+                     diffs.end());
+    const double quantile = diffs[q25];
+    const double fresh = quantile / 0.3186 / std::sqrt(2.0);
+    // Exponentially smooth the estimate: the windowed quantile has enough
+    // sampling variance that its transient dips would momentarily drop
+    // the threshold into the noise. The very first estimate is doubled —
+    // a deliberately conservative start that converges downward, so the
+    // cold detector never opens with an under-estimated threshold.
+    sigma_ = sigma_ == 0.0 ? 2.0 * fresh : 0.85 * sigma_ + 0.15 * fresh;
+    ++sigma_updates_;
+    threshold_ = config_.threshold_sigma * sigma_;
+}
+
+std::optional<DetectedBlink> Levd::push(Seconds t, double value) {
+    // 3-point smoothing kills single-sample noise extrema without
+    // displacing blink bumps (5+ frames wide).
+    smooth_taps_.push_back(value);
+    if (smooth_taps_.size() > 3) smooth_taps_.pop_front();
+    double smoothed = 0.0;
+    for (const double v : smooth_taps_) smoothed += v;
+    smoothed /= static_cast<double>(smooth_taps_.size());
+
+    const Sample s{t, smoothed};
+    buffer_.push_back(s);
+    if (buffer_.size() > noise_window_frames_) buffer_.pop_front();
+    if (++frames_since_sigma_ >= 5) {
+        frames_since_sigma_ = 0;
+        update_noise_estimate();
+    }
+
+    recent_.push_back(s);
+    if (recent_.size() > 3) recent_.erase(recent_.begin());
+    // Hold detection until the noise estimate has matured (several EMA
+    // updates): an immature threshold wanders low and passes noise.
+    if (recent_.size() < 3 || threshold_ <= 0.0 || sigma_updates_ < 8)
+        return std::nullopt;
+
+    const Sample& a = recent_[0];
+    const Sample& b = recent_[1];
+    const Sample& c = recent_[2];
+    if (b.v > a.v && b.v >= c.v) return on_local_max(b);
+    if (b.v < a.v && b.v <= c.v) return on_local_min(b);
+    return std::nullopt;
+}
+
+std::optional<DetectedBlink> Levd::on_local_max(const Sample& s) {
+    // "Nearby extrema" semantics: the rise is measured against the lowest
+    // sample within the preceding max_rise_s window. Using a windowed
+    // minimum (rather than the last strict local minimum) keeps blinks
+    // detectable when they ride on a slowly rising baseline, where a
+    // monotonic climb leaves no recent local minimum at all.
+    const Sample* window_min = nullptr;
+    const Sample* steep_ref = nullptr;  // newest sample ~0.25 s back
+    for (auto it = buffer_.rbegin(); it != buffer_.rend(); ++it) {
+        if (s.t - it->t > config_.max_rise_s) break;
+        if (it->t >= s.t) continue;
+        if (!window_min || it->v < window_min->v) window_min = &*it;
+        if (s.t - it->t >= 0.25 && !steep_ref) steep_ref = &*it;
+    }
+    // Steepness: the eyelid closes within ~100-400 ms, so a genuine blink
+    // climbs a large share of the threshold within the last quarter
+    // second; a broad swell (respiration, posture drift) does not.
+    const bool steep =
+        steep_ref == nullptr || s.v - steep_ref->v >= 0.5 * threshold_;
+    if (window_min && steep && s.v - window_min->v >= threshold_) {
+        // A qualifying rise replaces any pending one — the newest bump is
+        // the live candidate.
+        if (!pending_max_ || s.v > pending_max_->v ||
+            s.t - pending_max_->t > config_.max_blink_s) {
+            pending_max_ = s;
+            rise_start_ = *window_min;
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<DetectedBlink> Levd::on_local_min(const Sample& s) {
+    std::optional<DetectedBlink> result;
+    if (pending_max_ && rise_start_) {
+        const double fall = pending_max_->v - s.v;
+        const double rise = pending_max_->v - rise_start_->v;
+        // Confirm only when most of the *bump's own height* has been
+        // given back (the waveform may settle on a slightly different
+        // baseline after head drift, hence not 100 %). Comparing against
+        // the bump height rather than the detection threshold stops noise
+        // dips on the flank of a slow, tall swell from confirming it
+        // early — the swell instead runs into the max-duration gate.
+        if (fall >= 0.6 * rise) {
+            const Seconds duration = s.t - rise_start_->t;
+            const bool plausible = duration >= config_.min_blink_s &&
+                                   duration <= config_.max_blink_s;
+            const bool clear_of_refractory =
+                pending_max_->t - last_emit_s_ >= config_.refractory_s;
+            if (plausible && clear_of_refractory) {
+                DetectedBlink blink;
+                blink.peak_s = pending_max_->t;
+                blink.duration_s = duration;
+                blink.magnitude = pending_max_->v - rise_start_->v;
+                blink.strength =
+                    threshold_ > 0.0 ? blink.magnitude / threshold_ : 0.0;
+                last_emit_s_ = pending_max_->t;
+                result = blink;
+            }
+            pending_max_.reset();
+            rise_start_.reset();
+        } else if (s.t - pending_max_->t > config_.max_blink_s) {
+            // The bump never fell back: it was a baseline step (posture
+            // drift), not a blink. Expire it so it cannot claim a later,
+            // unrelated fall.
+            pending_max_.reset();
+            rise_start_.reset();
+        }
+    }
+    // Always track the most recent local minimum: LEVD compares *nearby*
+    // extrema, so an old deep minimum must not inflate later rises.
+    last_min_ = s;
+    return result;
+}
+
+}  // namespace blinkradar::core

@@ -1,0 +1,64 @@
+#include "core/movement_detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace blinkradar::core {
+
+MovementDetector::MovementDetector(const PipelineConfig& config,
+                                   double frame_rate_hz)
+    : config_(config) {
+    BR_EXPECTS(frame_rate_hz > 0.0);
+    BR_EXPECTS(config.movement_threshold_factor > 1.0);
+    window_frames_ = static_cast<std::size_t>(
+        config.movement_median_window_s * frame_rate_hz);
+    BR_ENSURES(window_frames_ >= 8);
+}
+
+void MovementDetector::reset() {
+    previous_.clear();
+    diffs_.clear();
+    last_diff_ = 0.0;
+}
+
+double MovementDetector::median_difference() const {
+    std::vector<double> v(diffs_.begin(), diffs_.end());
+    const std::size_t mid = v.size() / 2;
+    std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid),
+                     v.end());
+    return v[mid];
+}
+
+bool MovementDetector::push(const dsp::ComplexSignal& frame) {
+    BR_EXPECTS(!frame.empty());
+    if (previous_.size() != frame.size()) {
+        previous_ = frame;
+        return false;
+    }
+    double diff = 0.0;
+    for (std::size_t b = 0; b < frame.size(); ++b)
+        diff += std::norm(frame[b] - previous_[b]);
+    previous_ = frame;
+    last_diff_ = diff;
+
+    bool triggered = false;
+    // Only judge once the median window is at least half full, so the
+    // first seconds establish a baseline instead of firing spuriously.
+    if (diffs_.size() >= window_frames_ / 2) {
+        const double med = median_difference();
+        triggered = med > 0.0 &&
+                    diff > config_.movement_threshold_factor * med;
+    }
+    // A triggered frame's difference is *not* pushed into the history —
+    // one posture shift spans many frames and would poison the median.
+    if (!triggered) {
+        diffs_.push_back(diff);
+        if (diffs_.size() > window_frames_) diffs_.pop_front();
+    }
+    return triggered;
+}
+
+}  // namespace blinkradar::core

@@ -1,0 +1,44 @@
+// Large body-movement detection.
+//
+// When the driver shifts posture (or a heavy road transient hits), the
+// whole range profile changes far faster than breathing or blinking ever
+// moves it, the fitted viewing position becomes stale, and the paper's
+// answer is to restart the entire detection process. This detector
+// watches the frame-to-frame difference energy and flags frames whose
+// difference exceeds a large multiple of the rolling median.
+#pragma once
+
+#include <deque>
+
+#include "core/pipeline_config.hpp"
+#include "dsp/dsp_types.hpp"
+
+namespace blinkradar::core {
+
+/// Streaming detector of large movements over raw (pre-background-
+/// subtraction) frames.
+class MovementDetector {
+public:
+    MovementDetector(const PipelineConfig& config, double frame_rate_hz);
+
+    /// Feed one frame; true when a large movement is detected.
+    bool push(const dsp::ComplexSignal& frame);
+
+    /// Forget all history (used after the pipeline restarts so the
+    /// movement that caused the restart is not re-detected).
+    void reset();
+
+    /// Most recent frame-difference energy (diagnostics).
+    double last_difference() const noexcept { return last_diff_; }
+
+private:
+    double median_difference() const;
+
+    PipelineConfig config_;
+    std::size_t window_frames_;
+    dsp::ComplexSignal previous_;
+    std::deque<double> diffs_;
+    double last_diff_ = 0.0;
+};
+
+}  // namespace blinkradar::core

@@ -1,0 +1,343 @@
+#include "core/pipeline.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace blinkradar::core {
+
+BlinkRadarPipeline::BlinkRadarPipeline(const radar::RadarConfig& radar,
+                                       PipelineConfig config)
+    : radar_(radar),
+      config_(config),
+      preprocessor_(config),
+      background_(radar.n_bins(), config.background_alpha),
+      movement_(config, radar.frame_rate_hz()),
+      selector_(radar, config),
+      levd_(config, radar.frame_rate_hz()) {
+    radar_.validate();
+    BR_EXPECTS(config.cold_start_frames >= 8);
+    BR_EXPECTS(config.fit_window_frames >= 8);
+    BR_EXPECTS(config.update_interval_frames >= 1);
+    BR_EXPECTS(config.reselect_interval_frames >= 1);
+}
+
+void BlinkRadarPipeline::restart() {
+    background_.reset();
+    movement_.reset();
+    levd_.reset();
+    window_.clear();
+    window_times_.clear();
+    selected_bin_.reset();
+    viewing_.reset();
+    frames_since_start_ = 0;
+    frames_since_fit_ = 0;
+    frames_since_reselect_ = 0;
+    cumulative_phase_ = 0.0;
+    amp_mean_ = 0.0;
+    prev_sample_ = dsp::Complex(0.0, 0.0);
+    wave_history_.clear();
+    theta_unwrapped_ = 0.0;
+    have_theta_ = false;
+    prev_theta_raw_ = 0.0;
+    ++restarts_;
+}
+
+void BlinkRadarPipeline::refit_viewing() {
+    BR_ASSERT(selected_bin_.has_value());
+    dsp::ComplexSignal column;
+    column.reserve(window_.size());
+    for (const auto& f : window_) column.push_back(f[*selected_bin_]);
+    const ViewingPosition fit =
+        ViewingPosition::fit_trimmed(column, config_.fit_method);
+    // Keep the previous viewing position if the new fit degenerated
+    // (e.g. the driver held perfectly still for the whole window).
+    if (!fit.valid()) return;
+    if (!viewing_ || !viewing_->valid()) {
+        viewing_ = fit;
+        return;
+    }
+    // Blend instead of replacing: a hard swap steps the relative-distance
+    // waveform, and LEVD would read the step as an extremum. The blend
+    // weight is scaled by fit quality — a refit whose residual is a large
+    // fraction of its radius carries a poorly constrained centre (short
+    // or noisy arc) and must barely move the running estimate.
+    const double q =
+        fit.raw_fit().rms_residual / std::max(fit.radius(), 1e-12);
+    const double quality = 1.0 / (1.0 + (q / 0.03) * (q / 0.03));
+    const double beta = config_.viewing_blend * quality;
+    const dsp::Complex centre =
+        (1.0 - beta) * viewing_->center() + beta * fit.center();
+    const double radius =
+        (1.0 - beta) * viewing_->radius() + beta * fit.radius();
+    viewing_ = ViewingPosition::from_circle(centre, radius);
+}
+
+bool BlinkRadarPipeline::reselect_bin() {
+    // Select over the most recent frames only: after a restart the head of
+    // the window still contains the turbulent tail of the movement that
+    // caused it, and waiting for that to age out of a long window would
+    // stretch the recovery (and the consecutive-miss runs) several-fold.
+    const std::size_t take =
+        std::min(window_.size(), config_.selection_window_frames);
+    const std::vector<dsp::ComplexSignal> snapshot(window_.end() - static_cast<std::ptrdiff_t>(take),
+                                                   window_.end());
+    const std::optional<BinSelection> sel = selector_.select(snapshot);
+    if (!sel) return false;  // nothing arc-like in view: keep what we have
+    if (selected_bin_ && *selected_bin_ == sel->bin) return false;
+    if (selected_bin_) {
+        // Hysteresis: only hop if the challenger clearly beats the
+        // currently tracked bin under the same window.
+        const std::optional<BinSelection> current =
+            selector_.score_bin(snapshot, *selected_bin_);
+        if (current &&
+            sel->score < config_.reselect_hysteresis * current->score)
+            return false;
+    }
+    selected_bin_ = sel->bin;
+    return true;
+}
+
+double BlinkRadarPipeline::waveform_value(const dsp::Complex& sample) {
+    switch (config_.waveform_mode) {
+        case WaveformMode::kArcDistance:
+            BR_ASSERT(viewing_ && viewing_->valid());
+            return viewing_->relative_distance(sample);
+        case WaveformMode::kAmplitude:
+            return std::abs(sample);
+        case WaveformMode::kPhase: {
+            // Unwrapped phase progression, scaled by the running mean
+            // amplitude so the LEVD threshold lives in the same units as
+            // the other modes.
+            const double amp = std::abs(sample);
+            amp_mean_ = amp_mean_ == 0.0 ? amp
+                                         : 0.98 * amp_mean_ + 0.02 * amp;
+            if (std::abs(prev_sample_) > 0.0) {
+                const dsp::Complex rot = sample * std::conj(prev_sample_);
+                if (std::abs(rot) > 0.0)
+                    cumulative_phase_ += std::arg(rot);
+            }
+            prev_sample_ = sample;
+            return cumulative_phase_ * amp_mean_;
+        }
+    }
+    return 0.0;
+}
+
+FrameResult BlinkRadarPipeline::process(const radar::RadarFrame& frame) {
+    BR_EXPECTS(frame.bins.size() == radar_.n_bins());
+    FrameResult result;
+
+    // 1. Noise reduction.
+    const radar::RadarFrame pre = preprocessor_.apply(frame);
+
+    // 2. Significant body movement => restart the whole detection process.
+    if (movement_.push(pre.bins)) {
+        restart();
+        result.restarted = true;
+        result.cold_start = true;
+        return result;
+    }
+
+    // 3. Background (static clutter) subtraction.
+    const dsp::ComplexSignal sub = background_.process(pre.bins);
+    window_.push_back(sub);
+    window_times_.push_back(frame.timestamp_s);
+    const std::size_t max_window =
+        std::max(config_.fit_window_frames, config_.cold_start_frames);
+    while (window_.size() > max_window) {
+        window_.pop_front();
+        window_times_.pop_front();
+    }
+    ++frames_since_start_;
+
+    // 4. Cold start: accumulate, then select the bin and fit the arc.
+    if (!selected_bin_) {
+        if (frames_since_start_ < config_.cold_start_frames) {
+            result.cold_start = true;
+            return result;
+        }
+        if (!reselect_bin()) {
+            // Nothing significant in view yet; stay in cold start.
+            result.cold_start = true;
+            return result;
+        }
+        refit_viewing();
+        if (!viewing_ || !viewing_->valid()) {
+            selected_bin_.reset();
+            result.cold_start = true;
+            return result;
+        }
+        frames_since_fit_ = 0;
+        frames_since_reselect_ = 0;
+        // Pre-fill the LEVD noise estimate from the cold-start window so
+        // detection is live immediately — the 2 s cold start is the only
+        // dead time, exactly as the paper describes.
+        if (config_.waveform_mode == WaveformMode::kArcDistance) {
+            for (std::size_t i = 0; i + 1 < window_.size(); ++i) {
+                levd_.warm_up(window_times_[i],
+                              compensated_distance(
+                                  window_times_[i],
+                                  window_[i][*selected_bin_]));
+            }
+        }
+    }
+
+    // 5. Adaptive update: periodic refit and bin re-selection.
+    if (++frames_since_fit_ >= config_.update_interval_frames) {
+        frames_since_fit_ = 0;
+        refit_viewing();
+    }
+    if (++frames_since_reselect_ >= config_.reselect_interval_frames) {
+        frames_since_reselect_ = 0;
+        if (reselect_bin()) {
+            // The blink carrier moved to a different bin: refit there.
+            // LEVD state is kept — its robust (MAD) noise estimate absorbs
+            // the one-off baseline step within a couple of seconds, which
+            // costs far less than rebuilding the threshold from scratch.
+            refit_viewing();
+            cumulative_phase_ = 0.0;
+            prev_sample_ = dsp::Complex(0.0, 0.0);
+        }
+    }
+
+    if (config_.waveform_mode == WaveformMode::kArcDistance &&
+        (!viewing_ || !viewing_->valid())) {
+        result.cold_start = true;
+        return result;
+    }
+
+    // 6. Relative-distance waveform and LEVD. (compensated_distance also
+    // maintains the d/theta history the motion-artifact veto inspects;
+    // with motion_compensation off it returns the raw distance.)
+    const dsp::Complex sample = window_.back()[*selected_bin_];
+    const double d = config_.waveform_mode == WaveformMode::kArcDistance
+                         ? compensated_distance(frame.timestamp_s, sample)
+                         : waveform_value(sample);
+    result.waveform_value = d;
+
+    std::optional<DetectedBlink> blink = levd_.push(frame.timestamp_s, d);
+    if (blink && config_.waveform_mode == WaveformMode::kArcDistance &&
+        motion_artifact_veto(*blink)) {
+        blink.reset();
+    }
+    result.blink = blink;
+    if (result.blink) blinks_.push_back(*result.blink);
+    return result;
+}
+
+double BlinkRadarPipeline::compensated_distance(Seconds t,
+                                                dsp::Complex sample) {
+    BR_ASSERT(viewing_ && viewing_->valid());
+    const double d = viewing_->relative_distance(sample);
+
+    // Unwrapped angle around the viewing position.
+    const dsp::Complex v = sample - viewing_->center();
+    const double theta_raw = std::atan2(v.imag(), v.real());
+    if (have_theta_) {
+        double step = theta_raw - prev_theta_raw_;
+        while (step > constants::kPi) step -= constants::kTwoPi;
+        while (step < -constants::kPi) step += constants::kTwoPi;
+        theta_unwrapped_ += step;
+    } else {
+        have_theta_ = true;
+    }
+    prev_theta_raw_ = theta_raw;
+
+    wave_history_.push_back(WaveSample{t, d, theta_unwrapped_});
+    const std::size_t keep =
+        static_cast<std::size_t>(4.0 * radar_.frame_rate_hz());
+    while (wave_history_.size() > keep) wave_history_.pop_front();
+    if (!config_.motion_compensation) return d;
+    if (wave_history_.size() < 16) return d;
+
+    // Motion compensation. A residual viewing-position error e leaks the
+    // head-motion rotation theta(t) into the distance waveform as
+    //   d(theta) ~ R + e_t * theta + (e_r / 2) * theta^2,
+    // which is exactly the quasi-periodic interference that mimics blink
+    // bumps (BCG beats are the worst: ~1 s period, blink-like rise
+    // times). Regressing d on (theta, theta^2) over the recent window and
+    // removing the fitted component cancels the leak, while a blink — a
+    // radial amplitude change uncorrelated with theta — passes through.
+    double s0 = 0, s1 = 0, s2 = 0, s3 = 0, s4 = 0;
+    double sd = 0, sd1 = 0, sd2 = 0;
+    const double theta_mean = [this] {
+        double acc = 0.0;
+        for (const WaveSample& w : wave_history_) acc += w.theta;
+        return acc / static_cast<double>(wave_history_.size());
+    }();
+    for (const WaveSample& w : wave_history_) {
+        const double x = w.theta - theta_mean;
+        const double x2 = x * x;
+        s0 += 1.0;
+        s1 += x;
+        s2 += x2;
+        s3 += x2 * x;
+        s4 += x2 * x2;
+        sd += w.d;
+        sd1 += w.d * x;
+        sd2 += w.d * x2;
+    }
+    // Solve the 3x3 normal equations for d ~ a + b x + c x^2 by Cramer.
+    const double m00 = s0, m01 = s1, m02 = s2;
+    const double m11 = s2, m12 = s3, m22 = s4;
+    const double det = m00 * (m11 * m22 - m12 * m12) -
+                       m01 * (m01 * m22 - m12 * m02) +
+                       m02 * (m01 * m12 - m11 * m02);
+    if (std::abs(det) < 1e-12) return d;
+    const double det_b = m00 * (sd1 * m22 - m12 * sd2) -
+                         sd * (m01 * m22 - m12 * m02) +
+                         m02 * (m01 * sd2 - sd1 * m02);
+    const double det_c = m00 * (m11 * sd2 - sd1 * m12) -
+                         m01 * (m01 * sd2 - sd1 * m02) +
+                         sd * (m01 * m12 - m11 * m02);
+    const double b = det_b / det;
+    const double c = det_c / det;
+
+    const double x_now = wave_history_.back().theta - theta_mean;
+    return d - b * x_now - c * x_now * x_now;
+}
+
+bool BlinkRadarPipeline::motion_artifact_veto(
+    const DetectedBlink& blink) const {
+    // Range migration couples head motion into d(t): as the head moves,
+    // the reflector slides along the pulse's range point-spread slope and
+    // the bin amplitude follows the displacement. The same displacement
+    // simultaneously rotates the I/Q sample around the viewing position,
+    // so a migration bump in d(t) is (anti)correlated with theta(t) over
+    // its extent. A blink changes the reflection amplitude without moving
+    // the head — near-zero correlation. Veto bumps whose d-theta
+    // correlation is almost perfect.
+    if (config_.motion_veto_correlation >= 1.0) return false;
+    const Seconds lo = blink.peak_s - blink.duration_s;
+    const Seconds hi = blink.peak_s + blink.duration_s;
+    double sd = 0.0, st = 0.0, sdd = 0.0, stt = 0.0, sdt = 0.0;
+    std::size_t n = 0;
+    for (const WaveSample& w : wave_history_) {
+        if (w.t < lo || w.t > hi) continue;
+        sd += w.d;
+        st += w.theta;
+        sdd += w.d * w.d;
+        stt += w.theta * w.theta;
+        sdt += w.d * w.theta;
+        ++n;
+    }
+    if (n < 6) return false;
+    const double dn = static_cast<double>(n);
+    const double cov = sdt / dn - (sd / dn) * (st / dn);
+    const double var_d = sdd / dn - (sd / dn) * (sd / dn);
+    const double var_t = stt / dn - (st / dn) * (st / dn);
+    if (var_d <= 0.0 || var_t <= 0.0) return false;
+    const double corr = cov / std::sqrt(var_d * var_t);
+    return std::abs(corr) > config_.motion_veto_correlation;
+}
+
+BatchResult detect_blinks(const radar::FrameSeries& series,
+                          const radar::RadarConfig& radar,
+                          const PipelineConfig& config) {
+    BlinkRadarPipeline pipeline(radar, config);
+    for (const radar::RadarFrame& f : series) pipeline.process(f);
+    return BatchResult{pipeline.blinks(), pipeline.restarts()};
+}
+
+}  // namespace blinkradar::core

@@ -1,0 +1,133 @@
+// The BlinkRadar detection pipeline (paper Section III/IV, Fig. 3).
+//
+// Streaming facade over the full chain:
+//   frame -> noise reduction -> movement check -> background subtraction
+//         -> (cold start: bin selection + viewing-position fit)
+//         -> relative-distance waveform -> LEVD -> blink events
+// with the paper's adaptive behaviour: a 50-chirp (2 s) one-time cold
+// start, periodic viewing-position refits, periodic bin re-selection, and
+// a full restart whenever a significant body movement is detected.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "core/bin_selection.hpp"
+#include "core/levd.hpp"
+#include "core/movement_detector.hpp"
+#include "core/pipeline_config.hpp"
+#include "core/preprocess.hpp"
+#include "core/viewing_position.hpp"
+#include "dsp/background.hpp"
+#include "radar/config.hpp"
+#include "radar/frame.hpp"
+
+namespace blinkradar::core {
+
+/// Per-frame output of the streaming pipeline.
+struct FrameResult {
+    std::optional<DetectedBlink> blink; ///< set when a blink completes
+    bool restarted = false;             ///< a large movement reset the pipe
+    bool cold_start = false;            ///< still initialising, no output
+    double waveform_value = 0.0;        ///< current d(t) (diagnostics)
+};
+
+/// Streaming BlinkRadar pipeline. Feed frames in order; blinks come out.
+class BlinkRadarPipeline {
+public:
+    BlinkRadarPipeline(const radar::RadarConfig& radar,
+                       PipelineConfig config = {});
+
+    /// Process the next frame.
+    FrameResult process(const radar::RadarFrame& frame);
+
+    /// All blinks detected so far.
+    const std::vector<DetectedBlink>& blinks() const noexcept {
+        return blinks_;
+    }
+
+    /// Number of large-movement restarts so far.
+    std::size_t restarts() const noexcept { return restarts_; }
+
+    /// Currently selected range bin (empty during cold start).
+    std::optional<std::size_t> selected_bin() const noexcept {
+        return selected_bin_;
+    }
+
+    /// Current viewing position (empty during cold start).
+    const std::optional<ViewingPosition>& viewing_position() const noexcept {
+        return viewing_;
+    }
+
+    /// Current LEVD threshold (diagnostics).
+    double levd_threshold() const noexcept { return levd_.threshold(); }
+
+    const PipelineConfig& config() const noexcept { return config_; }
+    const radar::RadarConfig& radar_config() const noexcept { return radar_; }
+
+private:
+    void restart();
+    double waveform_value(const dsp::Complex& sample);
+    void refit_viewing();
+    bool reselect_bin();
+
+    radar::RadarConfig radar_;
+    PipelineConfig config_;
+
+    Preprocessor preprocessor_;
+    dsp::LoopbackFilter background_;
+    MovementDetector movement_;
+    BinSelector selector_;
+    Levd levd_;
+
+    /// Veto blinks whose distance bump is explained by concurrent head
+    /// rotation (see motion_artifact_veto in pipeline.cpp).
+    bool motion_artifact_veto(const DetectedBlink& blink) const;
+
+    /// Compute the motion-compensated relative distance for a new sample:
+    /// tracks the unwrapped angle theta around the viewing position,
+    /// regresses d on (theta, theta^2) over the recent window and removes
+    /// that component (see pipeline.cpp for the physics).
+    double compensated_distance(Seconds t, dsp::Complex sample);
+
+    std::deque<dsp::ComplexSignal> window_;  ///< recent subtracted frames
+    std::deque<Seconds> window_times_;       ///< their timestamps
+
+    /// Recent (t, d, theta) triples for the motion-artifact veto.
+    struct WaveSample {
+        Seconds t = 0.0;
+        double d = 0.0;      ///< relative distance
+        double theta = 0.0;  ///< unwrapped angle around the viewing centre
+    };
+    std::deque<WaveSample> wave_history_;
+    double theta_unwrapped_ = 0.0;
+    bool have_theta_ = false;
+    double prev_theta_raw_ = 0.0;
+    std::optional<std::size_t> selected_bin_;
+    std::optional<ViewingPosition> viewing_;
+    std::vector<DetectedBlink> blinks_;
+
+    std::size_t frames_since_start_ = 0;   ///< since last (re)start
+    std::size_t frames_since_fit_ = 0;
+    std::size_t frames_since_reselect_ = 0;
+    std::size_t restarts_ = 0;
+
+    // Phase-baseline state (WaveformMode::kPhase).
+    dsp::Complex prev_sample_{0.0, 0.0};
+    double cumulative_phase_ = 0.0;
+    double amp_mean_ = 0.0;
+};
+
+/// Batch result of running the pipeline over a recorded series.
+struct BatchResult {
+    std::vector<DetectedBlink> blinks;
+    std::size_t restarts = 0;
+};
+
+/// Convenience: run the streaming pipeline over a whole frame series.
+BatchResult detect_blinks(const radar::FrameSeries& series,
+                          const radar::RadarConfig& radar,
+                          const PipelineConfig& config = {});
+
+}  // namespace blinkradar::core

@@ -1,0 +1,42 @@
+#include "core/preprocess.hpp"
+
+#include "common/contracts.hpp"
+#include "dsp/smoothing.hpp"
+
+namespace blinkradar::core {
+
+Preprocessor::Preprocessor(const PipelineConfig& config)
+    : fir_(dsp::FirFilter::low_pass(config.fir_order,
+                                    /*cutoff_hz=*/config.fir_cutoff_norm,
+                                    /*sample_rate_hz=*/1.0,
+                                    config.fir_window)),
+      smooth_window_(config.smooth_window_bins) {
+    BR_EXPECTS(config.fir_cutoff_norm > 0.0 && config.fir_cutoff_norm < 0.5);
+    BR_EXPECTS(config.smooth_window_bins >= 1);
+}
+
+radar::RadarFrame Preprocessor::apply(const radar::RadarFrame& frame) const {
+    BR_EXPECTS(!frame.bins.empty());
+    radar::RadarFrame out;
+    out.timestamp_s = frame.timestamp_s;
+
+    // FIR low-pass along fast time with group-delay compensation.
+    const dsp::ComplexSignal filtered = fir_.filter(frame.bins);
+    const std::size_t gd = static_cast<std::size_t>(fir_.group_delay_samples());
+    dsp::ComplexSignal aligned(frame.bins.size(), dsp::Complex(0.0, 0.0));
+    for (std::size_t b = 0; b + gd < filtered.size(); ++b)
+        aligned[b] = filtered[b + gd];
+
+    // Smoothing (moving-average) stage of the cascade.
+    out.bins = dsp::moving_average(aligned, smooth_window_);
+    return out;
+}
+
+radar::FrameSeries Preprocessor::apply(const radar::FrameSeries& series) const {
+    radar::FrameSeries out;
+    out.reserve(series.size());
+    for (const radar::RadarFrame& f : series) out.push_back(apply(f));
+    return out;
+}
+
+}  // namespace blinkradar::core

@@ -1,0 +1,37 @@
+// RF signal preprocessing (paper Section IV-B1).
+//
+// A cascading filter — low-pass FIR (order 26, Hamming window) followed by
+// a smoothing (moving-average) filter — applied along the fast-time axis
+// of each frame to raise SNR before any feature extraction. The Gaussian
+// range point-spread function of the pulse spans several bins, so
+// low-passing fast time suppresses per-bin thermal noise without eroding
+// the range structure.
+#pragma once
+
+#include "core/pipeline_config.hpp"
+#include "dsp/fir.hpp"
+#include "radar/frame.hpp"
+
+namespace blinkradar::core {
+
+/// Stateless per-frame noise-reduction stage.
+class Preprocessor {
+public:
+    explicit Preprocessor(const PipelineConfig& config);
+
+    /// Apply the cascading filter to one frame (returns a new frame; the
+    /// FIR group delay is compensated so range bins stay calibrated).
+    radar::RadarFrame apply(const radar::RadarFrame& frame) const;
+
+    /// Apply to a whole series (convenience for batch analysis).
+    radar::FrameSeries apply(const radar::FrameSeries& series) const;
+
+    const dsp::FirFilter& fir() const noexcept { return fir_; }
+    std::size_t smooth_window() const noexcept { return smooth_window_; }
+
+private:
+    dsp::FirFilter fir_;
+    std::size_t smooth_window_;
+};
+
+}  // namespace blinkradar::core

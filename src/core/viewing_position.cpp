@@ -1,0 +1,76 @@
+#include "core/viewing_position.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace blinkradar::core {
+
+ViewingPosition ViewingPosition::fit(std::span<const dsp::Complex> samples,
+                                     CircleFitMethod method) {
+    dsp::CircleFit f;
+    switch (method) {
+        case CircleFitMethod::kPratt:
+            f = dsp::fit_circle_pratt(samples);
+            break;
+        case CircleFitMethod::kKasa:
+            f = dsp::fit_circle_kasa(samples);
+            break;
+        case CircleFitMethod::kTaubin:
+            f = dsp::fit_circle_taubin(samples);
+            break;
+    }
+    return ViewingPosition(f);
+}
+
+ViewingPosition ViewingPosition::fit_trimmed(
+    std::span<const dsp::Complex> samples, CircleFitMethod method,
+    double trim_fraction) {
+    BR_EXPECTS(trim_fraction >= 0.0 && trim_fraction < 0.5);
+    const ViewingPosition first = fit(samples, method);
+    if (!first.valid() || samples.size() < 16) return first;
+
+    // Rank samples by |distance-to-centre - radius| and keep the best.
+    std::vector<std::pair<double, dsp::Complex>> ranked;
+    ranked.reserve(samples.size());
+    for (const dsp::Complex& z : samples) {
+        const double r = std::abs(z - first.center());
+        ranked.emplace_back(std::abs(r - first.radius()), z);
+    }
+    const std::size_t keep = samples.size() -
+                             static_cast<std::size_t>(trim_fraction *
+                                                      static_cast<double>(samples.size()));
+    std::nth_element(ranked.begin(),
+                     ranked.begin() + static_cast<std::ptrdiff_t>(keep),
+                     ranked.end(),
+                     [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::vector<dsp::Complex> inliers;
+    inliers.reserve(keep);
+    for (std::size_t i = 0; i < keep; ++i) inliers.push_back(ranked[i].second);
+
+    const ViewingPosition second = fit(inliers, method);
+    return second.valid() ? second : first;
+}
+
+ViewingPosition ViewingPosition::from_circle(dsp::Complex center,
+                                             double radius) {
+    BR_EXPECTS(radius > 0.0);
+    dsp::CircleFit f;
+    f.center_x = center.real();
+    f.center_y = center.imag();
+    f.radius = radius;
+    f.ok = true;
+    return ViewingPosition(f);
+}
+
+double ViewingPosition::relative_distance(dsp::Complex sample) const {
+    BR_EXPECTS(fit_.ok);
+    const double dx = sample.real() - fit_.center_x;
+    const double dy = sample.imag() - fit_.center_y;
+    return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace blinkradar::core

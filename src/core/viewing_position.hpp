@@ -1,0 +1,65 @@
+// Viewing-position estimation (paper Section IV-E).
+//
+// The "optimal viewing position" is the centre of the arc that the
+// selected bin's I/Q samples trace under embedded interference. Blink
+// detection then tracks the *relative distance* from this position to
+// each new I/Q sample: head-motion phase rotations slide along the arc
+// (constant distance), while the blink's amplitude change moves the
+// sample radially (distance bump) — the separation at the heart of the
+// method.
+#pragma once
+
+#include <span>
+
+#include "core/pipeline_config.hpp"
+#include "dsp/circle_fit.hpp"
+#include "dsp/dsp_types.hpp"
+
+namespace blinkradar::core {
+
+/// Wraps a circle fit into the viewing-position abstraction.
+class ViewingPosition {
+public:
+    /// Fit a viewing position from a window of I/Q samples using the
+    /// configured method. Returns an invalid (ok == false) fit for
+    /// degenerate input.
+    static ViewingPosition fit(std::span<const dsp::Complex> samples,
+                               CircleFitMethod method);
+
+    /// Robust (trimmed) fit: fit, discard the `trim_fraction` of samples
+    /// with the largest residuals — blink excursions are exactly such
+    /// outliers — and refit on the rest. This keeps the centre anchored
+    /// on the interference arc even while the driver blinks through the
+    /// fit window.
+    static ViewingPosition fit_trimmed(std::span<const dsp::Complex> samples,
+                                       CircleFitMethod method,
+                                       double trim_fraction = 0.2);
+
+    /// Construct directly from a centre and radius (used when blending a
+    /// fresh fit into the running estimate).
+    static ViewingPosition from_circle(dsp::Complex center, double radius);
+
+    /// Whether the underlying fit succeeded.
+    bool valid() const noexcept { return fit_.ok; }
+
+    /// The viewing position (arc centre) in the I/Q plane.
+    dsp::Complex center() const noexcept {
+        return dsp::Complex(fit_.center_x, fit_.center_y);
+    }
+
+    /// Arc radius (the dynamic-vector amplitude).
+    double radius() const noexcept { return fit_.radius; }
+
+    /// Relative distance from the viewing position to a new sample — the
+    /// waveform LEVD operates on.
+    double relative_distance(dsp::Complex sample) const;
+
+    /// The raw fit (residuals etc.) for diagnostics.
+    const dsp::CircleFit& raw_fit() const noexcept { return fit_; }
+
+private:
+    explicit ViewingPosition(dsp::CircleFit fit) : fit_(fit) {}
+    dsp::CircleFit fit_;
+};
+
+}  // namespace blinkradar::core

@@ -1,0 +1,49 @@
+#include "dsp/background.hpp"
+
+#include "common/contracts.hpp"
+
+namespace blinkradar::dsp {
+
+LoopbackFilter::LoopbackFilter(std::size_t n_bins, double alpha)
+    : background_(n_bins, Complex(0.0, 0.0)), alpha_(alpha) {
+    BR_EXPECTS(n_bins >= 1);
+    BR_EXPECTS(alpha > 0.0 && alpha < 1.0);
+}
+
+ComplexSignal LoopbackFilter::process(std::span<const Complex> frame) {
+    BR_EXPECTS(frame.size() == background_.size());
+    if (!primed_) {
+        // Seed the background with the first frame so start-up output is
+        // clutter-free immediately instead of after ~1/alpha frames.
+        for (std::size_t b = 0; b < frame.size(); ++b) background_[b] = frame[b];
+        primed_ = true;
+    }
+    ComplexSignal out(frame.size());
+    for (std::size_t b = 0; b < frame.size(); ++b) {
+        out[b] = frame[b] - background_[b];
+        background_[b] = (1.0 - alpha_) * background_[b] + alpha_ * frame[b];
+    }
+    return out;
+}
+
+void LoopbackFilter::reset() noexcept { primed_ = false; }
+
+std::vector<ComplexSignal> subtract_mean_background(
+    const std::vector<ComplexSignal>& frames) {
+    BR_EXPECTS(!frames.empty());
+    const std::size_t n_bins = frames.front().size();
+    for (const auto& f : frames) BR_EXPECTS(f.size() == n_bins);
+
+    ComplexSignal mean(n_bins, Complex(0.0, 0.0));
+    for (const auto& f : frames)
+        for (std::size_t b = 0; b < n_bins; ++b) mean[b] += f[b];
+    const double inv_n = 1.0 / static_cast<double>(frames.size());
+    for (auto& m : mean) m *= inv_n;
+
+    std::vector<ComplexSignal> out(frames.size(), ComplexSignal(n_bins));
+    for (std::size_t t = 0; t < frames.size(); ++t)
+        for (std::size_t b = 0; b < n_bins; ++b) out[t][b] = frames[t][b] - mean[b];
+    return out;
+}
+
+}  // namespace blinkradar::dsp

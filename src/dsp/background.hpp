@@ -1,0 +1,55 @@
+// Static-clutter (background) estimation along slow time.
+//
+// The paper removes reflections from static objects (seats, steering
+// wheel, direct antenna leakage) with a "loopback filter": an exponential
+// estimate of the static component per range bin, subtracted from each new
+// frame. A batch mean-subtraction variant is provided for offline use and
+// for the Fig. 8 bench.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "dsp/dsp_types.hpp"
+
+namespace blinkradar::dsp {
+
+/// Streaming exponential background estimator over complex range-bin
+/// frames. For each bin b: bg[b] <- (1-alpha)*bg[b] + alpha*x[b]; the
+/// returned frame is x - bg (computed against the *pre-update* background
+/// so a static scene converges to zero output).
+class LoopbackFilter {
+public:
+    /// \param n_bins number of range bins per frame (>= 1).
+    /// \param alpha  adaptation rate in (0, 1); small alpha = slow
+    ///               background, tracking only truly static reflectors.
+    LoopbackFilter(std::size_t n_bins, double alpha);
+
+    /// Process one frame; returns the background-subtracted frame.
+    /// `frame.size()` must equal `n_bins()`.
+    ComplexSignal process(std::span<const Complex> frame);
+
+    /// Current background estimate (one complex value per bin).
+    const ComplexSignal& background() const noexcept { return background_; }
+
+    /// Reset the background to the next incoming frame (used after a
+    /// detected large body movement, when the old background is stale).
+    void reset() noexcept;
+
+    std::size_t n_bins() const noexcept { return background_.size(); }
+    double alpha() const noexcept { return alpha_; }
+
+private:
+    ComplexSignal background_;
+    double alpha_;
+    bool primed_ = false;
+};
+
+/// Batch background subtraction: subtract the per-bin slow-time mean from
+/// every frame. `frames` is a slow-time sequence of equal-length range
+/// profiles.
+std::vector<ComplexSignal> subtract_mean_background(
+    const std::vector<ComplexSignal>& frames);
+
+}  // namespace blinkradar::dsp

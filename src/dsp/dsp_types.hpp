@@ -1,0 +1,18 @@
+// Shared scalar/vector aliases for the DSP layer.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace blinkradar::dsp {
+
+/// Complex baseband sample (I + jQ).
+using Complex = std::complex<double>;
+
+/// Real-valued signal, one sample per element.
+using RealSignal = std::vector<double>;
+
+/// Complex-valued signal, one sample per element.
+using ComplexSignal = std::vector<Complex>;
+
+}  // namespace blinkradar::dsp

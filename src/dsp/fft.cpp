@@ -1,0 +1,114 @@
+#include "dsp/fft.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "common/units.hpp"
+
+namespace blinkradar::dsp {
+
+bool is_power_of_two(std::size_t n) noexcept {
+    return n != 0 && (n & (n - 1)) == 0;
+}
+
+std::size_t next_power_of_two(std::size_t n) {
+    BR_EXPECTS(n >= 1);
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+}
+
+namespace {
+
+void bit_reverse_permute(std::span<Complex> data) {
+    const std::size_t n = data.size();
+    std::size_t j = 0;
+    for (std::size_t i = 1; i < n; ++i) {
+        std::size_t bit = n >> 1;
+        for (; j & bit; bit >>= 1) j ^= bit;
+        j ^= bit;
+        if (i < j) std::swap(data[i], data[j]);
+    }
+}
+
+void transform(std::span<Complex> data, bool inverse) {
+    const std::size_t n = data.size();
+    BR_EXPECTS(is_power_of_two(n));
+    bit_reverse_permute(data);
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+        const double angle =
+            (inverse ? constants::kTwoPi : -constants::kTwoPi) /
+            static_cast<double>(len);
+        const Complex wlen(std::cos(angle), std::sin(angle));
+        for (std::size_t i = 0; i < n; i += len) {
+            Complex w(1.0, 0.0);
+            for (std::size_t k = 0; k < len / 2; ++k) {
+                const Complex u = data[i + k];
+                const Complex v = data[i + k + len / 2] * w;
+                data[i + k] = u + v;
+                data[i + k + len / 2] = u - v;
+                w *= wlen;
+            }
+        }
+    }
+    if (inverse) {
+        const double inv_n = 1.0 / static_cast<double>(n);
+        for (auto& x : data) x *= inv_n;
+    }
+}
+
+}  // namespace
+
+void fft_inplace(std::span<Complex> data) { transform(data, /*inverse=*/false); }
+
+void ifft_inplace(std::span<Complex> data) { transform(data, /*inverse=*/true); }
+
+ComplexSignal fft(std::span<const Complex> input) {
+    BR_EXPECTS(!input.empty());
+    ComplexSignal out(input.begin(), input.end());
+    out.resize(next_power_of_two(out.size()), Complex(0.0, 0.0));
+    fft_inplace(out);
+    return out;
+}
+
+ComplexSignal fft_real(std::span<const double> input) {
+    BR_EXPECTS(!input.empty());
+    ComplexSignal out(input.size());
+    for (std::size_t i = 0; i < input.size(); ++i) out[i] = Complex(input[i], 0.0);
+    out.resize(next_power_of_two(out.size()), Complex(0.0, 0.0));
+    fft_inplace(out);
+    return out;
+}
+
+ComplexSignal ifft(std::span<const Complex> input) {
+    BR_EXPECTS(is_power_of_two(input.size()));
+    ComplexSignal out(input.begin(), input.end());
+    ifft_inplace(out);
+    return out;
+}
+
+RealSignal power_spectrum(std::span<const Complex> input) {
+    const ComplexSignal spec = fft(input);
+    RealSignal power(spec.size());
+    for (std::size_t i = 0; i < spec.size(); ++i) power[i] = std::norm(spec[i]);
+    return power;
+}
+
+RealSignal magnitude_spectrum_real(std::span<const double> input) {
+    const ComplexSignal spec = fft_real(input);
+    const std::size_t half = spec.size() / 2 + 1;
+    RealSignal mag(half);
+    for (std::size_t i = 0; i < half; ++i) mag[i] = std::abs(spec[i]);
+    return mag;
+}
+
+ComplexSignal fftshift(std::span<const Complex> input) {
+    const std::size_t n = input.size();
+    BR_EXPECTS(n >= 1);
+    ComplexSignal out(n);
+    const std::size_t half = (n + 1) / 2;
+    for (std::size_t i = 0; i < n; ++i) out[i] = input[(i + half) % n];
+    return out;
+}
+
+}  // namespace blinkradar::dsp

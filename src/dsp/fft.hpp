@@ -1,0 +1,46 @@
+// Radix-2 iterative FFT and helpers.
+//
+// Implemented from scratch (no external dependency). Used by the radar
+// simulator (range-profile synthesis checks), the background-subtraction
+// stage, and the spectrum benches that reproduce the paper's Fig. 5/6.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "dsp/dsp_types.hpp"
+
+namespace blinkradar::dsp {
+
+/// True iff n is a power of two (and non-zero).
+bool is_power_of_two(std::size_t n) noexcept;
+
+/// Smallest power of two >= n (n must be >= 1).
+std::size_t next_power_of_two(std::size_t n);
+
+/// In-place forward FFT. `data.size()` must be a power of two.
+void fft_inplace(std::span<Complex> data);
+
+/// In-place inverse FFT (includes the 1/N normalisation).
+void ifft_inplace(std::span<Complex> data);
+
+/// Forward FFT of a complex signal, zero-padded to the next power of two.
+ComplexSignal fft(std::span<const Complex> input);
+
+/// Forward FFT of a real signal, zero-padded to the next power of two.
+ComplexSignal fft_real(std::span<const double> input);
+
+/// Inverse FFT; input size must be a power of two.
+ComplexSignal ifft(std::span<const Complex> input);
+
+/// |X[k]|^2 for each bin of the forward FFT (zero-padded to pow2).
+RealSignal power_spectrum(std::span<const Complex> input);
+
+/// Magnitude spectrum |X[k]| of a real signal (zero-padded to pow2),
+/// returning only the first N/2+1 (non-negative frequency) bins.
+RealSignal magnitude_spectrum_real(std::span<const double> input);
+
+/// Shift zero-frequency component to the centre of the spectrum.
+ComplexSignal fftshift(std::span<const Complex> input);
+
+}  // namespace blinkradar::dsp

@@ -1,0 +1,37 @@
+// Smoothing filters for the slow-time signal path.
+//
+// The paper cascades the order-26 FIR with a 50-point smoothing filter
+// (moving average). Median and Savitzky-Golay smoothers are provided for
+// the ablation benches.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "dsp/dsp_types.hpp"
+
+namespace blinkradar::dsp {
+
+/// Centred moving average with the given window (odd or even; even windows
+/// are treated as window+1 to stay centred). Edges use the available
+/// samples only (shrinking window), so output length equals input length.
+RealSignal moving_average(std::span<const double> input, std::size_t window);
+
+/// Complex moving average (applied independently to I and Q).
+ComplexSignal moving_average(std::span<const Complex> input,
+                             std::size_t window);
+
+/// Centred running median with an odd window size.
+RealSignal median_filter(std::span<const double> input, std::size_t window);
+
+/// First-order exponential smoother y[n] = alpha*x[n] + (1-alpha)*y[n-1],
+/// alpha in (0, 1].
+RealSignal exponential_smooth(std::span<const double> input, double alpha);
+
+/// Savitzky-Golay smoothing: least-squares polynomial of degree `poly_order`
+/// over a centred window of odd length `window` (> poly_order). Preserves
+/// peak shape better than the moving average; used in ablations.
+RealSignal savitzky_golay(std::span<const double> input, std::size_t window,
+                          std::size_t poly_order);
+
+}  // namespace blinkradar::dsp

@@ -1,0 +1,36 @@
+#include "dsp/spectrogram.hpp"
+
+#include "common/contracts.hpp"
+#include "dsp/fft.hpp"
+
+namespace blinkradar::dsp {
+
+Spectrogram stft(std::span<const double> signal, double sample_rate_hz,
+                 std::size_t segment_len, std::size_t hop, WindowType window) {
+    BR_EXPECTS(sample_rate_hz > 0.0);
+    BR_EXPECTS(segment_len >= 4);
+    BR_EXPECTS(hop >= 1);
+    BR_EXPECTS(signal.size() >= segment_len);
+
+    const RealSignal w = make_window(window, segment_len);
+    const std::size_t fft_len = next_power_of_two(segment_len);
+
+    Spectrogram out;
+    out.bin_hz = sample_rate_hz / static_cast<double>(fft_len);
+    out.hop_s = static_cast<double>(hop) / sample_rate_hz;
+
+    for (std::size_t start = 0; start + segment_len <= signal.size();
+         start += hop) {
+        ComplexSignal seg(fft_len, Complex(0.0, 0.0));
+        for (std::size_t i = 0; i < segment_len; ++i)
+            seg[i] = Complex(signal[start + i] * w[i], 0.0);
+        fft_inplace(seg);
+        RealSignal power(fft_len / 2 + 1);
+        for (std::size_t f = 0; f < power.size(); ++f)
+            power[f] = std::norm(seg[f]);
+        out.power.push_back(std::move(power));
+    }
+    return out;
+}
+
+}  // namespace blinkradar::dsp

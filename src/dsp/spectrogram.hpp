@@ -1,0 +1,32 @@
+// Short-time Fourier transform (spectrogram), used by the Fig. 5(b)
+// transmitted-signal bench and by the signal_explorer example.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "dsp/dsp_types.hpp"
+#include "dsp/window.hpp"
+
+namespace blinkradar::dsp {
+
+/// Spectrogram result: `power[t][f]` is the windowed power of segment t at
+/// frequency bin f (only non-negative frequencies are kept).
+struct Spectrogram {
+    std::vector<RealSignal> power;  ///< [n_segments][n_freq_bins]
+    double bin_hz = 0.0;            ///< frequency spacing between bins
+    double hop_s = 0.0;             ///< time spacing between segments
+};
+
+/// Compute an STFT spectrogram.
+/// \param signal        input samples.
+/// \param sample_rate_hz sampling rate.
+/// \param segment_len   window length in samples (>= 4); zero-padded to pow2.
+/// \param hop           hop between segments in samples (>= 1).
+/// \param window        analysis window shape.
+Spectrogram stft(std::span<const double> signal, double sample_rate_hz,
+                 std::size_t segment_len, std::size_t hop,
+                 WindowType window = WindowType::kHann);
+
+}  // namespace blinkradar::dsp

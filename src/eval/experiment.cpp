@@ -1,0 +1,117 @@
+#include "eval/experiment.hpp"
+
+#include "common/contracts.hpp"
+
+namespace blinkradar::eval {
+
+SessionScore run_blink_session(const sim::ScenarioConfig& scenario,
+                               const core::PipelineConfig& pipeline) {
+    const sim::SimulatedSession session = sim::simulate_session(scenario);
+    const core::BatchResult result =
+        core::detect_blinks(session.frames, session.radar, pipeline);
+    SessionScore score;
+    score.match = match_blinks(session.truth.blinks, result.blinks);
+    score.restarts = result.restarts;
+    score.accuracy = score.match.accuracy();
+    return score;
+}
+
+std::vector<double> repeated_accuracies(const sim::ScenarioConfig& scenario,
+                                        std::size_t repetitions,
+                                        const core::PipelineConfig& pipeline) {
+    BR_EXPECTS(repetitions >= 1);
+    std::vector<double> accuracies;
+    accuracies.reserve(repetitions);
+    sim::ScenarioConfig cfg = scenario;
+    for (std::size_t r = 0; r < repetitions; ++r) {
+        cfg.seed = scenario.seed + r;
+        accuracies.push_back(run_blink_session(cfg, pipeline).accuracy);
+    }
+    return accuracies;
+}
+
+namespace {
+
+/// Detected blink rates over consecutive windows of a simulated session
+/// in the given alertness state.
+std::vector<double> session_window_rates(sim::ScenarioConfig scenario,
+                                         physio::Alertness state,
+                                         Seconds minutes, Seconds window_s,
+                                         Seconds long_blink_min_s,
+                                         double min_strength,
+                                         std::uint64_t seed,
+                                         const core::PipelineConfig& pipeline) {
+    scenario.alertness = state;
+    scenario.duration_s = minutes * 60.0;
+    scenario.seed = seed;
+    const sim::SimulatedSession session = sim::simulate_session(scenario);
+    const core::BatchResult result =
+        core::detect_blinks(session.frames, session.radar, pipeline);
+    return core::window_blink_rates(result.blinks, scenario.duration_s,
+                                    window_s, long_blink_min_s, min_strength);
+}
+
+}  // namespace
+
+DrowsyScore run_drowsy_experiment(sim::ScenarioConfig scenario,
+                                  const DrowsyExperimentOptions& options,
+                                  const core::PipelineConfig& pipeline) {
+    BR_EXPECTS(options.train_minutes_per_class >= 1.0);
+    BR_EXPECTS(options.test_minutes_per_class >= 1.0);
+
+    // Training: one labelled recording per class (different seeds so the
+    // test drive is new data).
+    const std::vector<double> train_awake = session_window_rates(
+        scenario, physio::Alertness::kAwake, options.train_minutes_per_class,
+        options.window_s, options.long_blink_min_s, options.min_strength,
+        scenario.seed * 7919 + 1, pipeline);
+    const std::vector<double> train_drowsy = session_window_rates(
+        scenario, physio::Alertness::kDrowsy, options.train_minutes_per_class,
+        options.window_s, options.long_blink_min_s, options.min_strength,
+        scenario.seed * 7919 + 2, pipeline);
+
+    core::DrowsinessDetector detector;
+    detector.train(train_awake, train_drowsy);
+
+    // Test: held-out windows of both classes.
+    const std::vector<double> test_awake = session_window_rates(
+        scenario, physio::Alertness::kAwake, options.test_minutes_per_class,
+        options.window_s, options.long_blink_min_s, options.min_strength,
+        scenario.seed * 7919 + 3, pipeline);
+    const std::vector<double> test_drowsy = session_window_rates(
+        scenario, physio::Alertness::kDrowsy, options.test_minutes_per_class,
+        options.window_s, options.long_blink_min_s, options.min_strength,
+        scenario.seed * 7919 + 4, pipeline);
+
+    std::size_t correct = 0;
+    for (const double r : test_awake)
+        if (detector.classify(r) == core::DrowsinessLabel::kAwake) ++correct;
+    for (const double r : test_drowsy)
+        if (detector.classify(r) == core::DrowsinessLabel::kDrowsy) ++correct;
+
+    DrowsyScore score;
+    score.windows = test_awake.size() + test_drowsy.size();
+    score.accuracy = score.windows == 0
+                         ? 0.0
+                         : static_cast<double>(correct) /
+                               static_cast<double>(score.windows);
+    score.threshold_rate = detector.threshold_rate();
+    return score;
+}
+
+std::vector<bool> accumulate_truth_hits(const sim::ScenarioConfig& scenario,
+                                        std::size_t repetitions,
+                                        const core::PipelineConfig& pipeline) {
+    BR_EXPECTS(repetitions >= 1);
+    std::vector<bool> hits;
+    sim::ScenarioConfig cfg = scenario;
+    for (std::size_t r = 0; r < repetitions; ++r) {
+        cfg.seed = scenario.seed + r;
+        const SessionScore score = run_blink_session(cfg, pipeline);
+        hits.insert(hits.end(), score.match.truth_hit.begin(),
+                    score.match.truth_hit.end());
+    }
+    return hits;
+}
+
+}  // namespace blinkradar::eval

@@ -1,0 +1,88 @@
+#include "eval/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace blinkradar::eval {
+
+double MatchResult::accuracy() const {
+    return true_blinks == 0
+               ? 1.0
+               : static_cast<double>(matched) /
+                     static_cast<double>(true_blinks);
+}
+
+double MatchResult::precision() const {
+    return detected == 0 ? 1.0
+                         : static_cast<double>(matched) /
+                               static_cast<double>(detected);
+}
+
+double MatchResult::f1() const {
+    const double r = accuracy();
+    const double p = precision();
+    return (r + p) > 0.0 ? 2.0 * r * p / (r + p) : 0.0;
+}
+
+MatchResult match_blinks(std::span<const physio::BlinkEvent> truth,
+                         std::span<const core::DetectedBlink> detected,
+                         Seconds tolerance_s) {
+    BR_EXPECTS(tolerance_s > 0.0);
+    MatchResult result;
+    result.true_blinks = truth.size();
+    result.detected = detected.size();
+    result.truth_hit.assign(truth.size(), false);
+
+    std::vector<bool> used(detected.size(), false);
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+        const Seconds target = truth[i].mid_s();
+        double best_dist = tolerance_s;
+        std::ptrdiff_t best = -1;
+        for (std::size_t j = 0; j < detected.size(); ++j) {
+            if (used[j]) continue;
+            const double dist = std::abs(detected[j].peak_s - target);
+            if (dist <= best_dist) {
+                best_dist = dist;
+                best = static_cast<std::ptrdiff_t>(j);
+            }
+        }
+        if (best >= 0) {
+            used[static_cast<std::size_t>(best)] = true;
+            result.truth_hit[i] = true;
+            ++result.matched;
+        }
+    }
+    return result;
+}
+
+MissRunStats miss_run_stats(const std::vector<bool>& truth_hit) {
+    MissRunStats stats;
+    if (truth_hit.empty()) return stats;
+
+    std::size_t runs1 = 0, runs2 = 0, runs3 = 0;
+    std::size_t i = 0;
+    const std::size_t n = truth_hit.size();
+    while (i < n) {
+        if (truth_hit[i]) {
+            ++i;
+            continue;
+        }
+        std::size_t run = 0;
+        while (i < n && !truth_hit[i]) {
+            ++run;
+            ++i;
+        }
+        if (run == 1) ++runs1;
+        else if (run == 2) ++runs2;
+        else ++runs3;  // three or more, reported in the >=3 bucket
+    }
+    const double total = static_cast<double>(n);
+    stats.pct_run1 = 100.0 * static_cast<double>(runs1) / total;
+    stats.pct_run2 = 100.0 * static_cast<double>(runs2) / total;
+    stats.pct_run3 = 100.0 * static_cast<double>(runs3) / total;
+    return stats;
+}
+
+}  // namespace blinkradar::eval

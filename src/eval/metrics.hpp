@@ -1,0 +1,56 @@
+// Event-level detection metrics.
+//
+// The paper defines blink-detection accuracy as "the number of correctly
+// detected eye blinks over the total number of eye blinks" (Section
+// VI-B), i.e. recall against the camera ground truth. This module matches
+// detected events to ground-truth events with a time tolerance, and adds
+// the precision/F1 and consecutive-missed-run statistics used by
+// Fig. 15a.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/units.hpp"
+#include "core/levd.hpp"
+#include "physio/blink.hpp"
+
+namespace blinkradar::eval {
+
+/// Result of matching detections against ground truth.
+struct MatchResult {
+    std::size_t true_blinks = 0;     ///< ground-truth events
+    std::size_t detected = 0;        ///< emitted detections
+    std::size_t matched = 0;         ///< detections paired with a truth event
+    std::vector<bool> truth_hit;     ///< per truth event: was it detected?
+
+    /// Paper's accuracy: matched / true_blinks (1.0 when no truth events).
+    double accuracy() const;
+    /// Precision: matched / detected (1.0 when nothing was detected).
+    double precision() const;
+    /// Harmonic mean of accuracy (recall) and precision.
+    double f1() const;
+    std::size_t false_positives() const { return detected - matched; }
+    std::size_t missed() const { return true_blinks - matched; }
+};
+
+/// Greedily match each truth blink to the nearest unused detection within
+/// `tolerance_s` of its peak time.
+MatchResult match_blinks(std::span<const physio::BlinkEvent> truth,
+                         std::span<const core::DetectedBlink> detected,
+                         Seconds tolerance_s = 0.4);
+
+/// Consecutive-missed-run statistics (Fig. 15a): element k (k = 0, 1, 2)
+/// is the percentage of ground-truth blinks that begin a missed run of
+/// exactly k+1 consecutive blinks.
+struct MissRunStats {
+    double pct_run1 = 0.0;
+    double pct_run2 = 0.0;
+    double pct_run3 = 0.0;
+};
+
+/// Compute missed-run percentages from per-truth hit flags (use the
+/// concatenation of many sessions for stable numbers).
+MissRunStats miss_run_stats(const std::vector<bool>& truth_hit);
+
+}  // namespace blinkradar::eval

@@ -1,0 +1,62 @@
+#include "eval/report.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/contracts.hpp"
+
+namespace blinkradar::eval {
+
+AsciiTable::AsciiTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+    BR_EXPECTS(!headers_.empty());
+}
+
+void AsciiTable::add_row(std::vector<std::string> cells) {
+    BR_EXPECTS(cells.size() == headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void AsciiTable::add_row(const std::string& label,
+                         const std::vector<double>& values, int precision) {
+    BR_EXPECTS(values.size() + 1 == headers_.size());
+    std::vector<std::string> cells;
+    cells.push_back(label);
+    for (const double v : values) cells.push_back(fmt(v, precision));
+    add_row(std::move(cells));
+}
+
+void AsciiTable::print(std::ostream& os) const {
+    std::vector<std::size_t> widths(headers_.size(), 0);
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << "| " << std::setw(static_cast<int>(widths[c])) << cells[c]
+               << ' ';
+        }
+        os << "|\n";
+    };
+    print_row(headers_);
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        os << "|-" << std::string(widths[c], '-') << '-';
+    os << "|\n";
+    for (const auto& row : rows_) print_row(row);
+}
+
+std::string fmt(double value, int precision) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return os.str();
+}
+
+void banner(std::ostream& os, const std::string& title) {
+    os << "\n== " << title << " ==\n";
+}
+
+}  // namespace blinkradar::eval

@@ -1,0 +1,37 @@
+// ASCII report helpers for the bench harnesses: aligned tables and
+// key-value blocks that print the paper's rows/series.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace blinkradar::eval {
+
+/// Simple aligned ASCII table.
+class AsciiTable {
+public:
+    explicit AsciiTable(std::vector<std::string> headers);
+
+    /// Add a row of preformatted cells (must match the header count).
+    void add_row(std::vector<std::string> cells);
+
+    /// Convenience: format doubles with the given precision.
+    void add_row(const std::string& label, const std::vector<double>& values,
+                 int precision = 1);
+
+    /// Render with column alignment and a header rule.
+    void print(std::ostream& os) const;
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision.
+std::string fmt(double value, int precision = 1);
+
+/// Print a section banner ("== Fig. 13a: ... ==").
+void banner(std::ostream& os, const std::string& title);
+
+}  // namespace blinkradar::eval

@@ -1,0 +1,106 @@
+#include "physio/blink.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace blinkradar::physio {
+
+BlinkStatistics BlinkStatistics::for_state(Alertness state,
+                                           double rate_per_min) {
+    BR_EXPECTS(rate_per_min > 0.0);
+    BlinkStatistics s;
+    s.rate_per_min = rate_per_min;
+    // Interval shapes reflect the moderate regularity of spontaneous
+    // blinking (inter-blink interval CV ~ 0.45, i.e. gamma shape ~ 5);
+    // drowsy blinking is somewhat more erratic.
+    if (state == Alertness::kAwake) {
+        s.mean_duration_s = 0.20;
+        s.min_duration_s = 0.075;
+        s.max_duration_s = 0.40;
+        s.interval_shape = 5.0;
+    } else {
+        // Drowsy: longer closures (> 400 ms per the paper).
+        s.mean_duration_s = 0.55;
+        s.min_duration_s = 0.40;
+        s.max_duration_s = 1.20;
+        s.interval_shape = 4.0;
+    }
+    return s;
+}
+
+BlinkProcess::BlinkProcess(BlinkStatistics stats, Rng rng)
+    : stats_(stats), rng_(rng) {
+    BR_EXPECTS(stats.rate_per_min > 0.0);
+    BR_EXPECTS(stats.min_duration_s > 0.0);
+    BR_EXPECTS(stats.min_duration_s <= stats.mean_duration_s);
+    BR_EXPECTS(stats.mean_duration_s <= stats.max_duration_s);
+    BR_EXPECTS(stats.interval_shape > 0.0);
+}
+
+std::vector<BlinkEvent> BlinkProcess::generate(Seconds duration_s) {
+    BR_EXPECTS(duration_s > 0.0);
+    std::vector<BlinkEvent> events;
+
+    const Seconds mean_cycle = 60.0 / stats_.rate_per_min;
+    constexpr Seconds kRefractory = 0.100;
+
+    // Gamma-distributed inter-blink gaps reproduce the aperiodic, sparse
+    // spacing (intervals from hundreds of ms to tens of seconds). The gap
+    // mean is the cycle length minus the blink itself and the refractory,
+    // so the *realised* rate matches rate_per_min — drowsy blinks are
+    // long, and ignoring their duration would silently compress the
+    // awake/drowsy rate gap the classifier depends on.
+    const Seconds mean_gap = std::max(
+        0.2, mean_cycle - stats_.mean_duration_s - kRefractory);
+    const double scale = mean_gap / stats_.interval_shape;
+
+    Seconds t = rng_.uniform(0.0, mean_cycle);  // random initial phase
+    while (t < duration_s) {
+        BlinkEvent e;
+        e.start_s = t;
+        // Log-normal-ish duration between the state's physiological bounds.
+        const double mu = std::log(stats_.mean_duration_s);
+        const double dur = rng_.lognormal(mu, 0.25);
+        e.duration_s =
+            std::clamp(dur, stats_.min_duration_s, stats_.max_duration_s);
+        if (e.end_s() > duration_s) break;
+        events.push_back(e);
+
+        const Seconds gap = rng_.gamma(stats_.interval_shape, scale);
+        t = e.end_s() + kRefractory + gap;
+    }
+    return events;
+}
+
+double eyelid_closure(Seconds t_in_blink, Seconds duration) {
+    BR_EXPECTS(duration > 0.0);
+    if (t_in_blink <= 0.0 || t_in_blink >= duration) return 0.0;
+    const double x = t_in_blink / duration;  // normalised position in blink
+
+    constexpr double kCloseEnd = 1.0 / 3.0;   // closing phase
+    constexpr double kPlateauEnd = 0.5;       // closed plateau
+    if (x < kCloseEnd) {
+        // Raised cosine 0 -> 1.
+        const double u = x / kCloseEnd;
+        return 0.5 * (1.0 - std::cos(constants::kPi * u));
+    }
+    if (x < kPlateauEnd) return 1.0;
+    // Reopening, slower (1/2 of the blink): raised cosine 1 -> 0.
+    const double u = (x - kPlateauEnd) / (1.0 - kPlateauEnd);
+    return 0.5 * (1.0 + std::cos(constants::kPi * u));
+}
+
+double eyelid_closure_at(const std::vector<BlinkEvent>& blinks, Seconds t_s) {
+    // Binary search for the last blink starting at or before t_s.
+    auto it = std::upper_bound(
+        blinks.begin(), blinks.end(), t_s,
+        [](Seconds t, const BlinkEvent& e) { return t < e.start_s; });
+    if (it == blinks.begin()) return 0.0;
+    --it;
+    if (t_s >= it->end_s()) return 0.0;
+    return eyelid_closure(t_s - it->start_s, it->duration_s);
+}
+
+}  // namespace blinkradar::physio

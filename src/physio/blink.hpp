@@ -1,0 +1,72 @@
+// Eye-blink event process and eyelid kinematics.
+//
+// Blink statistics follow the paper's Section II (after Caffier et al.):
+// typical blink duration < 400 ms (75 ms minimum) when alert, exceeding
+// 400 ms when drowsy; blink intervals are aperiodic and sparse (hundreds
+// of ms to tens of seconds); blink *rate* rises with drowsiness (Table I:
+// ~18-22/min alert vs ~24-30/min drowsy).
+#pragma once
+
+#include <vector>
+
+#include "common/random.hpp"
+#include "common/units.hpp"
+
+namespace blinkradar::physio {
+
+/// Alertness state of the driver.
+enum class Alertness { kAwake, kDrowsy };
+
+/// One ground-truth blink event.
+struct BlinkEvent {
+    Seconds start_s = 0.0;     ///< eyelid starts closing
+    Seconds duration_s = 0.0;  ///< total closing + closed + reopening time
+
+    Seconds end_s() const noexcept { return start_s + duration_s; }
+    Seconds mid_s() const noexcept { return start_s + duration_s / 2.0; }
+};
+
+/// Statistical parameters of a blink process.
+struct BlinkStatistics {
+    double rate_per_min = 20.0;       ///< mean blink rate
+    Seconds mean_duration_s = 0.20;   ///< mean blink duration
+    Seconds min_duration_s = 0.075;   ///< physiological minimum (75 ms)
+    Seconds max_duration_s = 0.40;    ///< clipped maximum for this state
+    double interval_shape = 2.5;      ///< gamma shape of inter-blink gaps
+                                      ///< (higher = more regular)
+
+    /// Canonical parameters for each alertness state, scaled so that the
+    /// rate matches `rate_per_min`.
+    static BlinkStatistics for_state(Alertness state, double rate_per_min);
+};
+
+/// Generates a reproducible sequence of blink events over a session.
+class BlinkProcess {
+public:
+    BlinkProcess(BlinkStatistics stats, Rng rng);
+
+    /// Generate all blinks in [0, duration_s). Events never overlap: the
+    /// next blink starts no earlier than the previous one ends plus a
+    /// 100 ms refractory gap.
+    std::vector<BlinkEvent> generate(Seconds duration_s);
+
+    const BlinkStatistics& statistics() const noexcept { return stats_; }
+
+private:
+    BlinkStatistics stats_;
+    Rng rng_;
+};
+
+/// Eyelid closure fraction during a blink: 0 = fully open, 1 = fully
+/// closed. The profile is the physiologically asymmetric raised-cosine:
+/// closing takes ~1/3 of the blink, a closed plateau ~1/6, reopening ~1/2
+/// (lid reopening is measurably slower than closing).
+/// \param t_in_blink time since blink start, in [0, duration].
+/// \param duration   total blink duration.
+double eyelid_closure(Seconds t_in_blink, Seconds duration);
+
+/// Evaluate the closure fraction at absolute time `t_s` against a list of
+/// (non-overlapping, time-sorted) blink events; 0 outside all blinks.
+double eyelid_closure_at(const std::vector<BlinkEvent>& blinks, Seconds t_s);
+
+}  // namespace blinkradar::physio

@@ -1,0 +1,84 @@
+#include "physio/body_events.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace blinkradar::physio {
+
+namespace {
+
+void append_poisson_events(std::vector<BodyEvent>& out, BodyEventKind kind,
+                           double rate_per_min, Seconds duration_s,
+                           Rng& rng) {
+    if (rate_per_min <= 0.0) return;
+    const double mean_gap_s = 60.0 / rate_per_min;
+    Seconds t = rng.exponential(mean_gap_s);
+    while (t < duration_s) {
+        BodyEvent e;
+        e.kind = kind;
+        e.start_s = t;
+        switch (kind) {
+            case BodyEventKind::kYawn:
+                e.duration_s = rng.uniform(2.0, 4.0);
+                e.range_offset_m = rng.uniform(0.00, 0.05);  // jaw near face
+                e.amplitude = rng.uniform(0.5, 1.0);
+                e.displacement_m = rng.uniform(0.01, 0.03);
+                break;
+            case BodyEventKind::kSteering:
+                e.duration_s = rng.uniform(0.5, 2.0);
+                // Hands on the wheel sit well inside the face range; the
+                // pulse's range point-spread still leaks a little of this
+                // motion into the face bins, as it would on real hardware.
+                e.range_offset_m = rng.uniform(-0.26, -0.16);
+                e.amplitude = rng.uniform(0.3, 0.8);
+                e.displacement_m = rng.uniform(0.02, 0.08);
+                break;
+            case BodyEventKind::kMirrorCheck:
+                e.duration_s = rng.uniform(0.8, 1.5);
+                e.range_offset_m = 0.0;
+                e.amplitude = rng.uniform(0.4, 0.9);
+                e.displacement_m = rng.uniform(0.03, 0.06);
+                break;
+        }
+        out.push_back(e);
+        t = e.start_s + e.duration_s + rng.exponential(mean_gap_s);
+    }
+}
+
+}  // namespace
+
+std::vector<BodyEvent> generate_body_events(const BodyEventParams& params,
+                                            Seconds duration_s, Rng& rng) {
+    BR_EXPECTS(duration_s > 0.0);
+    std::vector<BodyEvent> events;
+    append_poisson_events(events, BodyEventKind::kYawn,
+                          params.yawn_rate_per_min, duration_s, rng);
+    append_poisson_events(events, BodyEventKind::kSteering,
+                          params.steering_rate_per_min, duration_s, rng);
+    append_poisson_events(events, BodyEventKind::kMirrorCheck,
+                          params.mirror_rate_per_min, duration_s, rng);
+    std::sort(events.begin(), events.end(),
+              [](const BodyEvent& a, const BodyEvent& b) {
+                  return a.start_s < b.start_s;
+              });
+    return events;
+}
+
+double body_event_envelope(const BodyEvent& event, Seconds t) {
+    const double u = (t - event.start_s) / event.duration_s;
+    if (u <= 0.0 || u >= 1.0) return 0.0;
+    return 0.5 * (1.0 - std::cos(constants::kTwoPi * u));
+}
+
+std::string to_string(BodyEventKind kind) {
+    switch (kind) {
+        case BodyEventKind::kYawn: return "yawn";
+        case BodyEventKind::kSteering: return "steering";
+        case BodyEventKind::kMirrorCheck: return "mirror-check";
+    }
+    return "unknown";
+}
+
+}  // namespace blinkradar::physio

@@ -1,0 +1,51 @@
+// Sparse large body-movement events: yawns, steering-wheel operation,
+// mirror checks. These are the "self-interference" sources of the paper's
+// Section IV-D — signals reflected from body parts other than the eye that
+// momentarily swamp the blink signal and (when big enough) force the
+// pipeline to restart.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/random.hpp"
+#include "common/units.hpp"
+
+namespace blinkradar::physio {
+
+/// Kinds of self-interference event.
+enum class BodyEventKind {
+    kYawn,          ///< head/jaw motion near the face bins
+    kSteering,      ///< hand/arm motion at the steering-wheel range
+    kMirrorCheck,   ///< brief large head rotation
+};
+
+/// One body-movement event.
+struct BodyEvent {
+    BodyEventKind kind = BodyEventKind::kYawn;
+    Seconds start_s = 0.0;
+    Seconds duration_s = 1.5;
+    Meters range_offset_m = 0.0;   ///< where (relative to face) it reflects
+    double amplitude = 0.0;        ///< intrinsic reflection amplitude
+    Meters displacement_m = 0.0;   ///< peak radial motion during the event
+};
+
+/// Parameters of the event process.
+struct BodyEventParams {
+    double yawn_rate_per_min = 0.10;
+    double steering_rate_per_min = 1.0;
+    double mirror_rate_per_min = 0.2;
+};
+
+/// Generate a session's body events (Poisson per kind, merged and sorted).
+std::vector<BodyEvent> generate_body_events(const BodyEventParams& params,
+                                            Seconds duration_s, Rng& rng);
+
+/// Smooth activation envelope of an event at absolute time t: 0 outside,
+/// raised-cosine bump peaking at 1 mid-event.
+double body_event_envelope(const BodyEvent& event, Seconds t);
+
+/// Human-readable name of an event kind.
+std::string to_string(BodyEventKind kind);
+
+}  // namespace blinkradar::physio

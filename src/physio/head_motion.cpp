@@ -1,0 +1,68 @@
+#include "physio/head_motion.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "dsp/resample.hpp"
+
+namespace blinkradar::physio {
+
+HeadMotionModel::HeadMotionModel(HeadMotionParams params, Seconds duration_s,
+                                 double sample_rate_hz, Rng rng)
+    : params_(params), sample_rate_hz_(sample_rate_hz) {
+    BR_EXPECTS(params.drift_sigma_m >= 0.0);
+    BR_EXPECTS(params.drift_timescale_s > 0.0);
+    BR_EXPECTS(params.shift_rate_per_min >= 0.0);
+    BR_EXPECTS(duration_s > 0.0);
+    BR_EXPECTS(sample_rate_hz > 0.0);
+
+    const std::size_t n =
+        static_cast<std::size_t>(duration_s * sample_rate_hz) + 2;
+    drift_.resize(n, 0.0);
+
+    // Ornstein-Uhlenbeck drift: mean-reverting random walk whose
+    // stationary standard deviation equals drift_sigma_m.
+    const double dt = 1.0 / sample_rate_hz;
+    const double theta = 1.0 / params.drift_timescale_s;
+    const double step_sigma =
+        params.drift_sigma_m * std::sqrt(2.0 * theta * dt);
+    double x = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        drift_[i] = x;
+        x += -theta * x * dt + rng.normal(0.0, step_sigma);
+    }
+
+    // Poisson posture shifts.
+    if (params.shift_rate_per_min > 0.0) {
+        const double mean_gap_s = 60.0 / params.shift_rate_per_min;
+        Seconds t = rng.exponential(mean_gap_s);
+        while (t < duration_s) {
+            PostureShift s;
+            s.start_s = t;
+            s.duration_s = params.shift_duration_s;
+            const double sign = rng.bernoulli(0.5) ? 1.0 : -1.0;
+            s.delta_m = sign * params.shift_amplitude_m *
+                        rng.uniform(0.6, 1.4);
+            shifts_.push_back(s);
+            t += s.duration_s + rng.exponential(mean_gap_s);
+        }
+    }
+}
+
+Meters HeadMotionModel::displacement(Seconds t) const {
+    double d = dsp::interp_at(drift_, t * sample_rate_hz_);
+    // Smooth-step each posture shift (C1-continuous so the radar sees a
+    // fast but not discontinuous range change).
+    for (const PostureShift& s : shifts_) {
+        if (t <= s.start_s) break;  // shifts_ is time-ordered
+        const double u = (t - s.start_s) / s.duration_s;
+        if (u >= 1.0) {
+            d += s.delta_m;
+        } else {
+            d += s.delta_m * u * u * (3.0 - 2.0 * u);
+        }
+    }
+    return d;
+}
+
+}  // namespace blinkradar::physio

@@ -1,0 +1,56 @@
+// Involuntary head drift and posture shifts.
+//
+// A seated driver's head is never static: it drifts by millimetres over
+// seconds (muscle tone, micro-corrections) and occasionally jumps by
+// centimetres when the driver adjusts posture. The drift changes the
+// optimal viewing position slowly (handled by BlinkRadar's adaptive
+// update); the posture shifts are the "significant body movement" events
+// that force a full pipeline restart.
+#pragma once
+
+#include <vector>
+
+#include "common/random.hpp"
+#include "common/units.hpp"
+
+namespace blinkradar::physio {
+
+/// Parameters of the head-motion model.
+struct HeadMotionParams {
+    Meters drift_sigma_m = 0.002;      ///< RMS of the slow drift
+    Seconds drift_timescale_s = 8.0;   ///< mean-reversion timescale
+    double shift_rate_per_min = 0.2;   ///< posture shifts per minute
+    Meters shift_amplitude_m = 0.03;   ///< typical posture-shift size
+    Seconds shift_duration_s = 1.0;    ///< how long a shift takes
+};
+
+/// One posture-shift (large body movement) event.
+struct PostureShift {
+    Seconds start_s = 0.0;
+    Seconds duration_s = 1.0;
+    Meters delta_m = 0.0;  ///< net radial displacement after the shift
+};
+
+/// Precomputed head trajectory: slow Ornstein-Uhlenbeck drift plus
+/// smooth-step posture shifts.
+class HeadMotionModel {
+public:
+    HeadMotionModel(HeadMotionParams params, Seconds duration_s,
+                    double sample_rate_hz, Rng rng);
+
+    /// Radial head displacement (drift + accumulated shifts) at time t.
+    Meters displacement(Seconds t) const;
+
+    /// Ground-truth posture shifts (for validating restart behaviour).
+    const std::vector<PostureShift>& shifts() const noexcept {
+        return shifts_;
+    }
+
+private:
+    HeadMotionParams params_;
+    double sample_rate_hz_;
+    std::vector<double> drift_;
+    std::vector<PostureShift> shifts_;
+};
+
+}  // namespace blinkradar::physio

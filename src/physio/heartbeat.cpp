@@ -1,0 +1,48 @@
+#include "physio/heartbeat.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "dsp/resample.hpp"
+
+namespace blinkradar::physio {
+
+HeartbeatModel::HeartbeatModel(HeartbeatParams params, Seconds duration_s,
+                               double sample_rate_hz, Rng rng)
+    : params_(params), sample_rate_hz_(sample_rate_hz) {
+    BR_EXPECTS(params.rate_hz > 0.0);
+    BR_EXPECTS(params.head_amplitude_m >= 0.0);
+    BR_EXPECTS(duration_s > 0.0);
+    BR_EXPECTS(sample_rate_hz > 4.0 * params.rate_hz);
+
+    const std::size_t n =
+        static_cast<std::size_t>(duration_s * sample_rate_hz) + 2;
+    phase_.resize(n, 0.0);
+
+    double jitter_state = 0.0;
+    const double reversion = 0.05;
+    const double step_sigma = params.rate_jitter * std::sqrt(2.0 * reversion);
+    double phase = rng.uniform(0.0, constants::kTwoPi);
+    for (std::size_t i = 0; i < n; ++i) {
+        phase_[i] = phase;
+        jitter_state += -reversion * jitter_state + rng.normal(0.0, step_sigma);
+        const double inst_rate =
+            params.rate_hz * (1.0 + jitter_state);
+        phase += constants::kTwoPi *
+                 std::max(inst_rate, 0.3 * params.rate_hz) / sample_rate_hz;
+    }
+}
+
+Meters HeartbeatModel::head_displacement(Seconds t) const {
+    const double ph = dsp::interp_at(phase_, t * sample_rate_hz_);
+    // Harmonics carry fixed phase offsets so the waveform is asymmetric,
+    // like a real ballistocardiogram (sharp ejection, slow recovery) —
+    // phase-aligned odd sines would be point-symmetric.
+    const double raw = std::sin(ph) +
+                       params_.harmonic2 * std::sin(2.0 * ph + 0.9) +
+                       params_.harmonic3 * std::sin(3.0 * ph + 2.1);
+    const double norm = 1.0 + params_.harmonic2 + params_.harmonic3;
+    return params_.head_amplitude_m / 2.0 * raw / norm;
+}
+
+}  // namespace blinkradar::physio

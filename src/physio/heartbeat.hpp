@@ -1,0 +1,43 @@
+// Ballistocardiographic (BCG) head motion.
+//
+// Blood ejection at each heartbeat moves the head by roughly 1 mm in a
+// periodic pattern synchronised with the heart rate (paper Section IV-D).
+// The paper's bin-selection and arc-fitting stages *rely* on this embedded
+// interference: it keeps the eye bin's I/Q trajectory moving even between
+// blinks.
+#pragma once
+
+#include <vector>
+
+#include "common/random.hpp"
+#include "common/units.hpp"
+
+namespace blinkradar::physio {
+
+/// Parameters of the BCG model.
+struct HeartbeatParams {
+    double rate_hz = 1.15;            ///< ~69 bpm
+    Meters head_amplitude_m = 0.001;  ///< ~1 mm head displacement
+    double rate_jitter = 0.03;        ///< beat-to-beat variability
+    double harmonic2 = 0.35;          ///< BCG waveform harmonic content
+    double harmonic3 = 0.15;
+};
+
+/// Quasi-periodic BCG head displacement over a session.
+class HeartbeatModel {
+public:
+    HeartbeatModel(HeartbeatParams params, Seconds duration_s,
+                   double sample_rate_hz, Rng rng);
+
+    /// Radial head displacement at time t.
+    Meters head_displacement(Seconds t) const;
+
+    const HeartbeatParams& params() const noexcept { return params_; }
+
+private:
+    HeartbeatParams params_;
+    double sample_rate_hz_;
+    std::vector<double> phase_;
+};
+
+}  // namespace blinkradar::physio

@@ -1,0 +1,59 @@
+#include "physio/respiration.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "dsp/resample.hpp"
+
+namespace blinkradar::physio {
+
+RespirationModel::RespirationModel(RespirationParams params,
+                                   Seconds duration_s, double sample_rate_hz,
+                                   Rng rng)
+    : params_(params), sample_rate_hz_(sample_rate_hz) {
+    BR_EXPECTS(params.rate_hz > 0.0);
+    BR_EXPECTS(params.chest_amplitude_m >= 0.0);
+    BR_EXPECTS(params.head_amplitude_m >= 0.0);
+    BR_EXPECTS(duration_s > 0.0);
+    BR_EXPECTS(sample_rate_hz > 4.0 * params.rate_hz);
+
+    const std::size_t n =
+        static_cast<std::size_t>(duration_s * sample_rate_hz) + 2;
+    phase_.resize(n, 0.0);
+
+    // Random-walk instantaneous rate: rate(t) = base * (1 + jitter state),
+    // where the state is a slowly mean-reverting AR(1) process.
+    double jitter_state = 0.0;
+    const double reversion = 0.02;  // per sample at the frame rate
+    const double step_sigma =
+        params.rate_jitter * std::sqrt(2.0 * reversion);
+    double phase = rng.uniform(0.0, constants::kTwoPi);
+    for (std::size_t i = 0; i < n; ++i) {
+        phase_[i] = phase;
+        jitter_state += -reversion * jitter_state +
+                        rng.normal(0.0, step_sigma);
+        const double inst_rate = params.rate_hz * (1.0 + jitter_state);
+        phase += constants::kTwoPi * std::max(inst_rate, 0.05 * params.rate_hz) /
+                 sample_rate_hz;
+    }
+}
+
+double RespirationModel::waveform_at(Seconds t) const {
+    const double idx = t * sample_rate_hz_;
+    const double ph = dsp::interp_at(phase_, idx);
+    // Fundamental plus a small second harmonic for inhale/exhale asymmetry;
+    // normalised to stay within [-1, 1].
+    const double raw = std::sin(ph) + params_.second_harmonic * std::sin(2.0 * ph);
+    return raw / (1.0 + params_.second_harmonic);
+}
+
+Meters RespirationModel::chest_displacement(Seconds t) const {
+    // Amplitude is the peak-to-peak excursion / 2.
+    return params_.chest_amplitude_m / 2.0 * waveform_at(t);
+}
+
+Meters RespirationModel::head_displacement(Seconds t) const {
+    return params_.head_amplitude_m / 2.0 * waveform_at(t);
+}
+
+}  // namespace blinkradar::physio

@@ -1,0 +1,48 @@
+// Respiration displacement model.
+//
+// Breathing displaces the chest by 3-5 cm (paper Section IV-D) and couples
+// a millimetre-scale motion into the head. The waveform is quasi-periodic:
+// the instantaneous rate wanders around the base rate, and the shape has a
+// mild second harmonic (inhale faster than exhale).
+#pragma once
+
+#include "common/random.hpp"
+#include "common/units.hpp"
+
+namespace blinkradar::physio {
+
+/// Parameters of a breathing pattern.
+struct RespirationParams {
+    double rate_hz = 0.25;            ///< base rate (~15 breaths/min)
+    Meters chest_amplitude_m = 0.04;  ///< chest displacement amplitude
+    Meters head_amplitude_m = 0.0015; ///< respiration-coupled head motion
+    double rate_jitter = 0.05;        ///< relative random-walk rate drift
+    double second_harmonic = 0.2;     ///< waveform asymmetry
+};
+
+/// Precomputed respiration trajectory over a session, sampled at the
+/// radar frame rate. Displacements are radial (towards the radar positive).
+class RespirationModel {
+public:
+    /// Build the phase trajectory for `duration_s` at `sample_rate_hz`.
+    RespirationModel(RespirationParams params, Seconds duration_s,
+                     double sample_rate_hz, Rng rng);
+
+    /// Chest radial displacement at time t (linear interpolation between
+    /// the precomputed samples; clamped at the ends).
+    Meters chest_displacement(Seconds t) const;
+
+    /// Head radial displacement at time t (same phase, smaller amplitude).
+    Meters head_displacement(Seconds t) const;
+
+    const RespirationParams& params() const noexcept { return params_; }
+
+private:
+    double waveform_at(Seconds t) const;  // normalised [-1, 1] waveform
+
+    RespirationParams params_;
+    double sample_rate_hz_;
+    std::vector<double> phase_;  ///< accumulated phase per sample
+};
+
+}  // namespace blinkradar::physio

@@ -1,0 +1,45 @@
+#include "radar/antenna.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace blinkradar::radar {
+
+AntennaPattern::AntennaPattern(Degrees azimuth_bw_deg,
+                               Degrees elevation_bw_deg)
+    : az_bw_(azimuth_bw_deg), el_bw_(elevation_bw_deg) {
+    BR_EXPECTS(azimuth_bw_deg > 0.0 && azimuth_bw_deg <= 180.0);
+    BR_EXPECTS(elevation_bw_deg > 0.0 && elevation_bw_deg <= 180.0);
+}
+
+AntennaPattern AntennaPattern::paper_default() {
+    // Azimuth narrower than elevation: the paper loses accuracy beyond
+    // ~30 deg azimuth but tolerates up to ~30-45 deg elevation.
+    return AntennaPattern(/*azimuth_bw_deg=*/90.0, /*elevation_bw_deg=*/130.0);
+}
+
+namespace {
+
+// Gaussian beam: one-way power gain is -3 dB at half the beamwidth.
+double axis_gain(Degrees angle, Degrees beamwidth) {
+    const double half_bw = beamwidth / 2.0;
+    // power(theta) = exp(-ln2 * (theta / half_bw)^2); voltage is sqrt.
+    const double power =
+        std::exp(-std::log(2.0) * (angle / half_bw) * (angle / half_bw));
+    return std::sqrt(power);
+}
+
+}  // namespace
+
+double AntennaPattern::gain(Degrees azimuth_deg, Degrees elevation_deg) const {
+    return axis_gain(azimuth_deg, az_bw_) * axis_gain(elevation_deg, el_bw_);
+}
+
+double AntennaPattern::two_way_gain(Degrees azimuth_deg,
+                                    Degrees elevation_deg) const {
+    const double g = gain(azimuth_deg, elevation_deg);
+    return g * g;
+}
+
+}  // namespace blinkradar::radar

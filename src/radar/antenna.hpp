@@ -1,0 +1,39 @@
+// Antenna beam pattern.
+//
+// The paper reports that detection degrades sharply past ~30 degrees of
+// azimuth and holds to ~30 degrees of elevation (Fig. 15c/d, Section
+// VIII: "the limited angular range of the antenna"). We model the
+// combined TX/RX pattern as a separable Gaussian beam; the azimuth beam is
+// narrower than the elevation beam to match the reported asymmetry.
+#pragma once
+
+#include "common/units.hpp"
+
+namespace blinkradar::radar {
+
+/// Separable Gaussian beam pattern; gains are one-way voltage gains
+/// normalised to 1 at boresight.
+class AntennaPattern {
+public:
+    /// \param azimuth_bw_deg  -3 dB full beamwidth in azimuth (one-way).
+    /// \param elevation_bw_deg -3 dB full beamwidth in elevation (one-way).
+    AntennaPattern(Degrees azimuth_bw_deg, Degrees elevation_bw_deg);
+
+    /// Default beam matched to the paper's observed angular behaviour.
+    static AntennaPattern paper_default();
+
+    /// One-way voltage gain at the given off-boresight angles.
+    double gain(Degrees azimuth_deg, Degrees elevation_deg) const;
+
+    /// Two-way (TX * RX) voltage gain — what a monostatic reflection sees.
+    double two_way_gain(Degrees azimuth_deg, Degrees elevation_deg) const;
+
+    Degrees azimuth_beamwidth_deg() const noexcept { return az_bw_; }
+    Degrees elevation_beamwidth_deg() const noexcept { return el_bw_; }
+
+private:
+    Degrees az_bw_;
+    Degrees el_bw_;
+};
+
+}  // namespace blinkradar::radar

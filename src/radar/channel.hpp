@@ -1,0 +1,51 @@
+// Waveform-level multipath channel (paper Eq. 4-6).
+//
+// The channel is a sum of discrete paths, each with a gain alpha_p, a
+// delay tau_p = 2 R_p / c and a Doppler-induced per-frame delay drift
+// tau_D_p(k Ts) = 2 v_p k Ts / c. This model is used by the
+// waveform-level receiver (tests and the Fig. 5/6 benches); the
+// frame-stream simulator in simulator.hpp uses the equivalent analytic
+// baseband form.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "dsp/dsp_types.hpp"
+#include "radar/pulse.hpp"
+
+namespace blinkradar::radar {
+
+/// One propagation path.
+struct Path {
+    std::string name;        ///< label for diagnostics ("eye", "seat", ...)
+    double gain = 0.0;       ///< alpha_p: two-way amplitude gain
+    Meters range_m = 0.0;    ///< R_p: one-way distance to the reflector
+    double velocity_mps = 0.0; ///< v_p: radial velocity (positive = receding)
+};
+
+/// Static description of the multipath environment.
+class MultipathChannel {
+public:
+    explicit MultipathChannel(std::vector<Path> paths);
+
+    /// Path delay at frame k: tau_p + tau_D_p(k Ts) (Eq. 4).
+    Seconds delay_at_frame(const Path& path, std::size_t frame_index,
+                           Seconds frame_period_s) const;
+
+    /// Propagate the transmitted waveform through the channel for frame k:
+    /// y_k(t) = sum_p alpha_p x(t - tau_p - tau_D_p(k Ts))  (Eq. 5).
+    /// `tx` is sampled at `sample_rate_hz`; the output spans
+    /// [0, observation_window_s).
+    dsp::RealSignal propagate(const dsp::RealSignal& tx, Hertz sample_rate_hz,
+                              std::size_t frame_index, Seconds frame_period_s,
+                              Seconds observation_window_s) const;
+
+    const std::vector<Path>& paths() const noexcept { return paths_; }
+
+private:
+    std::vector<Path> paths_;
+};
+
+}  // namespace blinkradar::radar

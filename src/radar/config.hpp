@@ -1,0 +1,81 @@
+// IR-UWB radar configuration.
+//
+// Defaults mirror the paper's platform: a system-on-chip impulse radio
+// with a 7.3 GHz carrier, 1.4 GHz (-10 dB) bandwidth and a 40 ms frame
+// (chirp) period, i.e. 25 complex range-bin frames per second.
+#pragma once
+
+#include <cstddef>
+
+#include "common/contracts.hpp"
+#include "common/units.hpp"
+
+namespace blinkradar::radar {
+
+/// Static radar parameters shared by the waveform-level model and the
+/// analytic frame simulator.
+struct RadarConfig {
+    Hertz carrier_hz = 7.3e9;       ///< fc: carrier frequency
+    Hertz bandwidth_hz = 1.4e9;     ///< B: -10 dB bandwidth
+    Seconds frame_period_s = 0.040; ///< Ts: time between chirps (frames)
+    double tx_amplitude = 1.0;      ///< Vtx: transmitted pulse amplitude
+
+    Meters max_range_m = 1.5;       ///< extent of the recorded range window
+    Meters bin_spacing_m = 0.01;    ///< fast-time sample spacing in range
+
+    /// Reference range for the radar-equation amplitude normalisation: a
+    /// reflector with reflectivity rho at this range produces a baseband
+    /// amplitude of rho.
+    Meters reference_range_m = 0.4;
+
+    /// Near-field cap for the 1/R^2 roll-off: inside this range the far-
+    /// field radar equation no longer applies and the received amplitude
+    /// stops growing (physically: the reflector is inside the antenna's
+    /// near field / finite beam footprint).
+    Meters min_rolloff_range_m = 0.15;
+
+    /// Per-bin complex thermal-noise standard deviation (per I and Q
+    /// component) at the receiver output.
+    double noise_sigma = 0.004;
+
+    /// RMS of the receiver's residual phase noise per frame [rad].
+    double phase_noise_rad = 0.005;
+
+    /// Range resolution Δr = c / (2B).
+    Meters range_resolution_m() const {
+        BR_EXPECTS(bandwidth_hz > 0.0);
+        return constants::kSpeedOfLight / (2.0 * bandwidth_hz);
+    }
+
+    /// Number of range bins in a frame.
+    std::size_t n_bins() const {
+        BR_EXPECTS(bin_spacing_m > 0.0 && max_range_m > 0.0);
+        return static_cast<std::size_t>(max_range_m / bin_spacing_m) + 1;
+    }
+
+    /// Frame rate in frames per second (1/Ts).
+    double frame_rate_hz() const {
+        BR_EXPECTS(frame_period_s > 0.0);
+        return 1.0 / frame_period_s;
+    }
+
+    /// Carrier wavelength lambda = c / fc.
+    Meters wavelength_m() const {
+        BR_EXPECTS(carrier_hz > 0.0);
+        return constants::kSpeedOfLight / carrier_hz;
+    }
+
+    /// Validate invariants; throws ContractViolation on nonsense configs.
+    void validate() const {
+        BR_EXPECTS(carrier_hz > 0.0);
+        BR_EXPECTS(bandwidth_hz > 0.0 && bandwidth_hz < 2.0 * carrier_hz);
+        BR_EXPECTS(frame_period_s > 0.0);
+        BR_EXPECTS(max_range_m > 0.0);
+        BR_EXPECTS(bin_spacing_m > 0.0 && bin_spacing_m < max_range_m);
+        BR_EXPECTS(reference_range_m > 0.0);
+        BR_EXPECTS(noise_sigma >= 0.0);
+        BR_EXPECTS(phase_noise_rad >= 0.0);
+    }
+};
+
+}  // namespace blinkradar::radar

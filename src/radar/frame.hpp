@@ -1,0 +1,22 @@
+// Radar frame types: the unit of data exchanged between the radar layer
+// and the detection pipeline.
+#pragma once
+
+#include <vector>
+
+#include "common/units.hpp"
+#include "dsp/dsp_types.hpp"
+
+namespace blinkradar::radar {
+
+/// One complex range profile ("chirp"), captured at `timestamp_s`.
+/// `bins[b]` is the I/Q sample for range b * bin_spacing_m.
+struct RadarFrame {
+    Seconds timestamp_s = 0.0;
+    dsp::ComplexSignal bins;
+};
+
+/// A slow-time sequence of frames with a common bin layout.
+using FrameSeries = std::vector<RadarFrame>;
+
+}  // namespace blinkradar::radar

@@ -1,0 +1,62 @@
+#include "radar/pulse.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace blinkradar::radar {
+
+GaussianPulse::GaussianPulse(double amplitude, Hertz bandwidth_hz,
+                             Hertz carrier_hz)
+    : amplitude_(amplitude), bandwidth_(bandwidth_hz), carrier_(carrier_hz) {
+    BR_EXPECTS(amplitude > 0.0);
+    BR_EXPECTS(bandwidth_hz > 0.0);
+    BR_EXPECTS(carrier_hz > 0.0);
+    // -10 dB power points of the Gaussian spectrum sit at +-B/2:
+    //   exp(-(B/2)^2 / sigma_f^2) = 10^-1  =>  sigma_f = B / (2 sqrt(ln 10))
+    // and sigma_p = 1 / (2 pi sigma_f).
+    sigma_ = std::sqrt(std::log(10.0)) / (constants::kPi * bandwidth_hz);
+}
+
+double GaussianPulse::baseband(Seconds t) const {
+    const double centred = t - duration_s() / 2.0;
+    return amplitude_ * std::exp(-centred * centred / (2.0 * sigma_ * sigma_));
+}
+
+double GaussianPulse::transmitted(Seconds t) const {
+    return baseband(t) * std::cos(constants::kTwoPi * carrier_ * t);
+}
+
+dsp::RealSignal GaussianPulse::sample_transmitted(Hertz sample_rate_hz) const {
+    BR_EXPECTS(sample_rate_hz > 2.0 * carrier_);
+    const std::size_t n =
+        static_cast<std::size_t>(duration_s() * sample_rate_hz) + 1;
+    dsp::RealSignal out(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = transmitted(static_cast<double>(i) / sample_rate_hz);
+    return out;
+}
+
+dsp::RealSignal GaussianPulse::sample_baseband(Hertz sample_rate_hz) const {
+    BR_EXPECTS(sample_rate_hz > 2.0 * bandwidth_);
+    const std::size_t n =
+        static_cast<std::size_t>(duration_s() * sample_rate_hz) + 1;
+    dsp::RealSignal out(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = baseband(static_cast<double>(i) / sample_rate_hz);
+    return out;
+}
+
+double GaussianPulse::range_psf(Meters range_offset_m) const {
+    const double s = range_psf_sigma_m();
+    return std::exp(-range_offset_m * range_offset_m / (2.0 * s * s));
+}
+
+Meters GaussianPulse::range_psf_sigma_m() const {
+    // Correlating two Gaussians of sigma_p yields a Gaussian of
+    // sigma_p * sqrt(2) in delay; two-way propagation halves the range
+    // scale (delay tau = 2 r / c).
+    return constants::kSpeedOfLight * sigma_ * std::sqrt(2.0) / 2.0;
+}
+
+}  // namespace blinkradar::radar

@@ -1,0 +1,64 @@
+// Gaussian IR-UWB pulse model (paper Eq. 1-3).
+//
+// The transmitted chirp is s(t) = Vtx * exp(-(t - Tp/2)^2 / (2 sigma_p^2)),
+// upconverted by cos(2 pi fc t). sigma_p is derived from the -10 dB
+// bandwidth: |S(f)|^2 is Gaussian, down 10 dB at +-B/2, giving
+// sigma_p = sqrt(ln 10) / (pi B).
+#pragma once
+
+#include <cstddef>
+
+#include "common/units.hpp"
+#include "dsp/dsp_types.hpp"
+
+namespace blinkradar::radar {
+
+/// The baseband Gaussian pulse and its upconverted form.
+class GaussianPulse {
+public:
+    /// \param amplitude   Vtx.
+    /// \param bandwidth_hz -10 dB bandwidth B (> 0).
+    /// \param carrier_hz  fc for upconversion (> 0).
+    GaussianPulse(double amplitude, Hertz bandwidth_hz, Hertz carrier_hz);
+
+    /// sigma_p implied by the -10 dB bandwidth.
+    Seconds sigma_s() const noexcept { return sigma_; }
+
+    /// Pulse duration Tp chosen as 6 sigma (+-3 sigma about the centre),
+    /// which captures > 99.7 % of the pulse energy.
+    Seconds duration_s() const noexcept { return 6.0 * sigma_; }
+
+    /// Baseband envelope s(t), centred at t = Tp/2 (Eq. 1).
+    double baseband(Seconds t) const;
+
+    /// Upconverted transmitted waveform x(t) = s(t) cos(2 pi fc t) (Eq. 3).
+    double transmitted(Seconds t) const;
+
+    /// Sample the transmitted waveform at `sample_rate_hz` over one pulse
+    /// duration.
+    dsp::RealSignal sample_transmitted(Hertz sample_rate_hz) const;
+
+    /// Sample the baseband envelope over one pulse duration.
+    dsp::RealSignal sample_baseband(Hertz sample_rate_hz) const;
+
+    /// Normalised matched-filter range point-spread function: the magnitude
+    /// response, as a function of range mismatch, of correlating the
+    /// received pulse against the template. For a Gaussian pulse this is a
+    /// Gaussian of sigma_r = c * sigma_p * sqrt(2) / 2 in range.
+    double range_psf(Meters range_offset_m) const;
+
+    /// sigma of the range PSF in metres.
+    Meters range_psf_sigma_m() const;
+
+    double amplitude() const noexcept { return amplitude_; }
+    Hertz bandwidth_hz() const noexcept { return bandwidth_; }
+    Hertz carrier_hz() const noexcept { return carrier_; }
+
+private:
+    double amplitude_;
+    Hertz bandwidth_;
+    Hertz carrier_;
+    Seconds sigma_;
+};
+
+}  // namespace blinkradar::radar

@@ -1,0 +1,43 @@
+// Waveform-level I/Q receiver (paper Eq. 6).
+//
+// Downconverts the received RF waveform with the in-phase/quadrature pair
+// cos(2 pi fc t) / -sin(2 pi fc t), low-pass filters, matched-filters
+// against the baseband pulse and samples the result onto range bins,
+// producing the complex range profile that the detection pipeline
+// consumes. A delayed path at range R produces amplitude ~ alpha_p / 2 at
+// its bin with phase -4 pi fc R / c — the phase law the whole BlinkRadar
+// method rests on.
+#pragma once
+
+#include "common/units.hpp"
+#include "dsp/dsp_types.hpp"
+#include "radar/config.hpp"
+#include "radar/pulse.hpp"
+
+namespace blinkradar::radar {
+
+/// Waveform-level receiver front end.
+class Receiver {
+public:
+    /// \param config radar parameters (carrier, bandwidth, bin layout).
+    /// \param sample_rate_hz RF sampling rate; must exceed 2(fc + B/2).
+    Receiver(const RadarConfig& config, Hertz sample_rate_hz);
+
+    /// Downconvert an RF waveform to complex baseband (I + jQ), including
+    /// the image-rejecting low-pass.
+    dsp::ComplexSignal downconvert(const dsp::RealSignal& rf) const;
+
+    /// Full front end: downconvert, matched-filter against the baseband
+    /// pulse, and sample onto the configured range bins.
+    dsp::ComplexSignal range_profile(const dsp::RealSignal& rf) const;
+
+    Hertz sample_rate_hz() const noexcept { return sample_rate_; }
+    const GaussianPulse& pulse() const noexcept { return pulse_; }
+
+private:
+    RadarConfig config_;
+    Hertz sample_rate_;
+    GaussianPulse pulse_;
+};
+
+}  // namespace blinkradar::radar

@@ -1,0 +1,50 @@
+#include "sim/geometry.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace blinkradar::sim {
+
+double eye_aspect_factor(Degrees azimuth_deg, Degrees elevation_deg) {
+    // Gaussian fall-off, azimuth half-width 45 deg, elevation 80 deg:
+    // viewed from the side, the eye opening foreshortens and the
+    // lid/cornea contrast washes out quickly; viewed from above it
+    // survives longer (the paper tolerates ~30-45 deg of elevation but
+    // degrades sharply past 30 deg of azimuth).
+    constexpr double kAzHalf = 45.0;
+    constexpr double kElHalf = 80.0;
+    const double az = azimuth_deg / kAzHalf;
+    const double el = elevation_deg / kElHalf;
+    return std::exp(-std::log(2.0) * (az * az + el * el));
+}
+
+PathGains compute_path_gains(const physio::DriverProfile& driver,
+                             const MountingGeometry& geometry,
+                             const radar::AntennaPattern& antenna) {
+    BR_EXPECTS(geometry.distance_m > 0.0);
+    PathGains g;
+
+    const double beam =
+        antenna.two_way_gain(geometry.azimuth_deg, geometry.elevation_deg);
+    const double aspect =
+        eye_aspect_factor(geometry.azimuth_deg, geometry.elevation_deg);
+
+    g.face = reflectivity::kFace * beam;
+    g.eye = reflectivity::kEye * beam * aspect * driver.eye_area_factor() *
+            driver.glasses_attenuation();
+    // Oblique viewing also shrinks the lid/cornea contrast itself.
+    g.blink_depth = reflectivity::kBlinkContrast * aspect;
+
+    // The chest sits well below the boresight; raising the radar
+    // (elevation) moves the chest even further out of the beam.
+    const double chest_el =
+        reflectivity::kChestElevationOffset + geometry.elevation_deg;
+    g.chest = reflectivity::kChest *
+              antenna.two_way_gain(geometry.azimuth_deg, chest_el);
+
+    g.glasses_static = driver.glasses_static_reflection() * beam;
+    return g;
+}
+
+}  // namespace blinkradar::sim

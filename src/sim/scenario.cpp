@@ -1,0 +1,218 @@
+#include "sim/scenario.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "common/contracts.hpp"
+#include "physio/heartbeat.hpp"
+#include "physio/respiration.hpp"
+#include "vehicle/vibration.hpp"
+
+namespace blinkradar::sim {
+
+namespace {
+
+/// All the precomputed trajectories one session needs. Shared (immutably)
+/// by the DynamicPath closures.
+struct SessionModels {
+    physio::RespirationModel respiration;
+    physio::HeartbeatModel heartbeat;
+    physio::HeadMotionModel head;
+    vehicle::VibrationModel vibration;
+    std::vector<physio::BlinkEvent> blinks;
+    std::vector<physio::BodyEvent> body_events;
+    PathGains gains;
+    MountingGeometry geometry;
+
+    /// Radial displacement of the whole head at time t (respiration
+    /// coupling + BCG + drift + posture shifts).
+    Meters head_displacement(Seconds t) const {
+        return respiration.head_displacement(t) +
+               heartbeat.head_displacement(t) + head.displacement(t);
+    }
+
+    /// Common-mode radar-to-body displacement from vehicle vibration.
+    Meters vib(Seconds t) const { return vibration.displacement(t); }
+};
+
+std::shared_ptr<const SessionModels> build_models(
+    const ScenarioConfig& config, Rng& rng) {
+    config.radar.validate();
+    BR_EXPECTS(config.duration_s > 0.0);
+    BR_EXPECTS(config.geometry.distance_m > 0.05);
+    BR_EXPECTS(config.geometry.distance_m < config.radar.max_range_m);
+
+    const double fs = config.radar.frame_rate_hz();
+    // Oversample the physiological trajectories 4x relative to the frame
+    // rate so frame timestamps never alias the waveform shapes.
+    const double traj_fs = 4.0 * fs;
+
+    Rng resp_rng = rng.fork();
+    Rng heart_rng = rng.fork();
+    Rng head_rng = rng.fork();
+    Rng vib_rng = rng.fork();
+    Rng blink_rng = rng.fork();
+    Rng event_rng = rng.fork();
+
+    physio::HeadMotionParams head_params = config.head_motion;
+    vehicle::RoadVibrationSpec vib_spec =
+        vehicle::vibration_spec(config.road);
+    physio::BodyEventParams event_params = config.body_events;
+    if (config.environment == Environment::kLaboratory) {
+        // Vehicle off: no vibration, no steering activity, calmer posture.
+        vib_spec = vehicle::RoadVibrationSpec{};
+        vib_spec.continuous_rms_m = 0.0;
+        event_params.steering_rate_per_min = 0.0;
+        head_params.shift_rate_per_min *= 0.5;
+    }
+
+    const double rate = config.alertness == physio::Alertness::kAwake
+                            ? config.driver.awake_blink_rate_per_min
+                            : config.driver.drowsy_blink_rate_per_min;
+    physio::BlinkProcess blink_process(
+        physio::BlinkStatistics::for_state(config.alertness, rate),
+        blink_rng);
+
+    std::vector<physio::BodyEvent> events;
+    if (config.include_body_events) {
+        events = physio::generate_body_events(event_params,
+                                              config.duration_s, event_rng);
+    }
+
+    auto models = std::make_shared<SessionModels>(SessionModels{
+        physio::RespirationModel(config.driver.respiration,
+                                 config.duration_s, traj_fs, resp_rng),
+        physio::HeartbeatModel(config.driver.heartbeat, config.duration_s,
+                               traj_fs, heart_rng),
+        physio::HeadMotionModel(head_params, config.duration_s, traj_fs,
+                                head_rng),
+        vehicle::VibrationModel(vib_spec, config.duration_s, traj_fs,
+                                vib_rng),
+        blink_process.generate(config.duration_s),
+        std::move(events),
+        compute_path_gains(config.driver, config.geometry,
+                           radar::AntennaPattern::paper_default()),
+        config.geometry,
+    });
+    return models;
+}
+
+std::vector<radar::DynamicPath> build_paths(
+    const ScenarioConfig& config,
+    const std::shared_ptr<const SessionModels>& m) {
+    std::vector<radar::DynamicPath> paths;
+    const Meters d = config.geometry.distance_m;
+
+    // --- Static cabin clutter (rigid with the radar: no vibration) ---
+    paths.push_back(radar::DynamicPath{
+        "direct-leakage",
+        [](Seconds) { return 0.03; },
+        [](Seconds) { return reflectivity::kDirectLeakage; },
+        /*apply_rolloff=*/false});
+    // The wheel sits a fixed ~0.13 m in front of the driver's face plane
+    // regardless of where the radar is mounted (moving the radar closer
+    // to the driver moves it past the wheel, not the wheel with it).
+    const Meters wheel_range = std::max(0.10, d - 0.13);
+    paths.push_back(radar::DynamicPath{
+        "steering-wheel",
+        [wheel_range](Seconds) { return wheel_range; },
+        [](Seconds) { return reflectivity::kSteeringWheel; }});
+    paths.push_back(radar::DynamicPath{
+        "seat-headrest",
+        [d](Seconds) { return d + 0.45; },
+        [](Seconds) { return reflectivity::kSeat; }});
+
+    // --- Face composite (moves with the head, carries no blink) ---
+    paths.push_back(radar::DynamicPath{
+        "face",
+        [d, m](Seconds t) { return d + 0.04 + m->head_displacement(t) + m->vib(t); },
+        [m](Seconds) { return m->gains.face; }});
+
+    // --- Eye region (the signal of interest) ---
+    paths.push_back(radar::DynamicPath{
+        "eye",
+        [d, m](Seconds t) {
+            const double closure = physio::eyelid_closure_at(m->blinks, t);
+            // The lid surface sits slightly in front of the cornea, so a
+            // closing lid shortens the path (paper Eq. 9 displacement).
+            return d + m->head_displacement(t) + m->vib(t) -
+                   reflectivity::kLidPathDelta * closure;
+        },
+        [m](Seconds t) {
+            const double closure = physio::eyelid_closure_at(m->blinks, t);
+            // Lid skin reflects more strongly than the wet cornea, raising
+            // the amplitude while the eye is covered (paper Section IV-C).
+            return m->gains.eye * (1.0 + m->gains.blink_depth * closure);
+        }});
+
+    // --- Glasses lens (static relative to the head; no blink content) ---
+    if (m->gains.glasses_static > 0.0) {
+        paths.push_back(radar::DynamicPath{
+            "glasses-lens",
+            [d, m](Seconds t) {
+                return d - 0.02 + m->head_displacement(t) + m->vib(t);
+            },
+            [m](Seconds) { return m->gains.glasses_static; }});
+    }
+
+    // --- Chest (respiration carrier) ---
+    paths.push_back(radar::DynamicPath{
+        "chest",
+        [d, m](Seconds t) {
+            return d + 0.22 + m->respiration.chest_displacement(t) +
+                   m->head.displacement(t) + m->vib(t);
+        },
+        [m](Seconds) { return m->gains.chest; }});
+
+    // --- Sparse self-interference events (yawns, steering, mirror) ---
+    for (std::size_t i = 0; i < m->body_events.size(); ++i) {
+        paths.push_back(radar::DynamicPath{
+            "body-event-" + std::to_string(i),
+            [d, m, i](Seconds t) {
+                const physio::BodyEvent& e = m->body_events[i];
+                const double env = physio::body_event_envelope(e, t);
+                return std::max(0.06, d + 0.04 + e.range_offset_m +
+                                          e.displacement_m * env + m->vib(t));
+            },
+            [m, i](Seconds t) {
+                const physio::BodyEvent& e = m->body_events[i];
+                return e.amplitude * physio::body_event_envelope(e, t);
+            }});
+    }
+
+    return paths;
+}
+
+GroundTruth build_truth(const std::shared_ptr<const SessionModels>& m) {
+    GroundTruth truth;
+    truth.blinks = m->blinks;
+    truth.posture_shifts = m->head.shifts();
+    truth.body_events = m->body_events;
+    return truth;
+}
+
+}  // namespace
+
+SimulatedSession simulate_session(const ScenarioConfig& config) {
+    Rng rng(config.seed);
+    auto models = build_models(config, rng);
+    radar::FrameSimulator simulator(config.radar, build_paths(config, models),
+                                    rng.fork());
+    SimulatedSession session;
+    session.frames = simulator.generate(config.duration_s);
+    session.truth = build_truth(models);
+    session.radar = config.radar;
+    return session;
+}
+
+StreamingSession make_streaming_session(const ScenarioConfig& config) {
+    Rng rng(config.seed);
+    auto models = build_models(config, rng);
+    StreamingSession session;
+    session.simulator = std::make_unique<radar::FrameSimulator>(
+        config.radar, build_paths(config, models), rng.fork());
+    session.truth = build_truth(models);
+    return session;
+}
+
+}  // namespace blinkradar::sim

@@ -1,0 +1,72 @@
+// Scenario composition: one simulated driving (or lab) session.
+//
+// Combines a driver profile, an alertness state, a road type and a
+// mounting geometry into the multipath scene the radar observes, and
+// produces the frame stream plus exact ground truth. This is the module
+// that substitutes for the paper's human-participant data collection.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/units.hpp"
+#include "physio/blink.hpp"
+#include "physio/body_events.hpp"
+#include "physio/driver_profile.hpp"
+#include "physio/head_motion.hpp"
+#include "radar/config.hpp"
+#include "radar/frame.hpp"
+#include "radar/simulator.hpp"
+#include "sim/geometry.hpp"
+#include "vehicle/road.hpp"
+
+namespace blinkradar::sim {
+
+/// Whether the session is on the road (vibration, maneuvers, steering
+/// events) or in the laboratory (subject seated, vehicle off).
+enum class Environment { kLaboratory, kDriving };
+
+/// Full description of one session.
+struct ScenarioConfig {
+    physio::DriverProfile driver;
+    physio::Alertness alertness = physio::Alertness::kAwake;
+    Environment environment = Environment::kDriving;
+    vehicle::RoadType road = vehicle::RoadType::kSmoothHighway;
+    MountingGeometry geometry;
+    Seconds duration_s = 60.0;
+    std::uint64_t seed = 1;
+    radar::RadarConfig radar;
+    physio::HeadMotionParams head_motion;
+    physio::BodyEventParams body_events;
+    bool include_body_events = true;
+};
+
+/// Exact ground truth emitted alongside the frames.
+struct GroundTruth {
+    std::vector<physio::BlinkEvent> blinks;
+    std::vector<physio::PostureShift> posture_shifts;
+    std::vector<physio::BodyEvent> body_events;
+};
+
+/// A generated session: the frame stream plus its truth.
+struct SimulatedSession {
+    radar::FrameSeries frames;
+    GroundTruth truth;
+    radar::RadarConfig radar;
+};
+
+/// A streaming session: the simulator (pull frames one at a time, for the
+/// real-time pipeline) plus the precomputed truth.
+struct StreamingSession {
+    std::unique_ptr<radar::FrameSimulator> simulator;
+    GroundTruth truth;
+};
+
+/// Build the scene and generate all frames for the session at once.
+SimulatedSession simulate_session(const ScenarioConfig& config);
+
+/// Build the scene but return the streaming simulator instead of
+/// pre-generated frames.
+StreamingSession make_streaming_session(const ScenarioConfig& config);
+
+}  // namespace blinkradar::sim

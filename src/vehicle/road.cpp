@@ -1,0 +1,103 @@
+#include "vehicle/road.hpp"
+
+namespace blinkradar::vehicle {
+
+std::vector<RoadType> all_road_types() {
+    return {RoadType::kSmoothHighway, RoadType::kBumpyRoad, RoadType::kUphill,
+            RoadType::kDownhill,      RoadType::kIntersection,
+            RoadType::kLeftTurn,      RoadType::kRightTurn,
+            RoadType::kRoundabout,    RoadType::kUTurn};
+}
+
+RoadClass road_class(RoadType type) {
+    switch (type) {
+        case RoadType::kSmoothHighway:
+            return RoadClass::kSmooth;
+        case RoadType::kBumpyRoad:
+            return RoadClass::kBumpy;
+        case RoadType::kUphill:
+        case RoadType::kDownhill:
+            return RoadClass::kSlope;
+        case RoadType::kIntersection:
+        case RoadType::kLeftTurn:
+        case RoadType::kRightTurn:
+        case RoadType::kRoundabout:
+        case RoadType::kUTurn:
+            return RoadClass::kManeuver;
+    }
+    return RoadClass::kSmooth;
+}
+
+RoadVibrationSpec vibration_spec(RoadType type) {
+    // Note these are *differential* radar-to-driver displacements: the
+    // windshield-mounted radar and the seated driver shake together, so
+    // only a small fraction of the cabin's absolute vibration appears in
+    // the measured range.
+    RoadVibrationSpec s;
+    switch (type) {
+        case RoadType::kSmoothHighway:
+            s.continuous_rms_m = 0.00010;
+            s.vibration_bw_hz = 3.0;
+            break;
+        case RoadType::kBumpyRoad:
+            // On genuinely rough surfaces the driver bounces in the seat
+            // suspension independently of the body shell, so the
+            // differential radar-to-driver motion is several millimetres
+            // continuous plus near-centimetre pothole transients.
+            s.continuous_rms_m = 0.0015;
+            s.vibration_bw_hz = 6.0;
+            s.bump_rate_per_min = 14.0;
+            s.bump_amplitude_m = 0.005;
+            break;
+        case RoadType::kUphill:
+        case RoadType::kDownhill:
+            s.continuous_rms_m = 0.00020;
+            s.vibration_bw_hz = 3.5;
+            s.sway_amplitude_m = 0.0012;
+            s.sway_rate_hz = 0.08;
+            break;
+        case RoadType::kIntersection:
+        case RoadType::kLeftTurn:
+        case RoadType::kRightTurn:
+            s.continuous_rms_m = 0.00025;
+            s.vibration_bw_hz = 4.0;
+            s.sway_amplitude_m = 0.0030;
+            s.sway_rate_hz = 0.15;
+            break;
+        case RoadType::kRoundabout:
+        case RoadType::kUTurn:
+            s.continuous_rms_m = 0.00030;
+            s.vibration_bw_hz = 4.0;
+            s.sway_amplitude_m = 0.0045;
+            s.sway_rate_hz = 0.2;
+            break;
+    }
+    return s;
+}
+
+std::string to_string(RoadType type) {
+    switch (type) {
+        case RoadType::kSmoothHighway: return "smooth-highway";
+        case RoadType::kBumpyRoad: return "bumpy-road";
+        case RoadType::kUphill: return "uphill";
+        case RoadType::kDownhill: return "downhill";
+        case RoadType::kIntersection: return "intersection";
+        case RoadType::kLeftTurn: return "left-turn";
+        case RoadType::kRightTurn: return "right-turn";
+        case RoadType::kRoundabout: return "roundabout";
+        case RoadType::kUTurn: return "u-turn";
+    }
+    return "unknown";
+}
+
+std::string to_string(RoadClass cls) {
+    switch (cls) {
+        case RoadClass::kSmooth: return "smooth";
+        case RoadClass::kBumpy: return "bumpy";
+        case RoadClass::kSlope: return "slope";
+        case RoadClass::kManeuver: return "maneuver";
+    }
+    return "unknown";
+}
+
+}  // namespace blinkradar::vehicle

@@ -1,0 +1,63 @@
+// Road and maneuver taxonomy (paper Section VI-H).
+//
+// The paper collects data on nine road/maneuver types — smooth highway,
+// bumpy road, uphill, downhill, intersection, left turn, right turn,
+// roundabout, U-turn — and reports accuracy grouped into the four classes
+// of Fig. 16b. This module defines the taxonomy and each type's vibration
+// characteristics.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace blinkradar::vehicle {
+
+/// The paper's nine road / maneuver types.
+enum class RoadType {
+    kSmoothHighway,
+    kBumpyRoad,
+    kUphill,
+    kDownhill,
+    kIntersection,
+    kLeftTurn,
+    kRightTurn,
+    kRoundabout,
+    kUTurn,
+};
+
+/// Fig. 16b groups the nine types into four reported classes.
+enum class RoadClass {
+    kSmooth = 1,     ///< smooth highway
+    kBumpy = 2,      ///< bumpy road
+    kSlope = 3,      ///< uphill / downhill
+    kManeuver = 4,   ///< intersection, turns, roundabout, U-turn
+};
+
+/// Vibration character of a road type, consumed by VibrationModel.
+struct RoadVibrationSpec {
+    Meters continuous_rms_m = 0.0003;  ///< RMS of the broadband vibration
+    Hertz vibration_bw_hz = 4.0;       ///< vibration low-pass bandwidth
+    double bump_rate_per_min = 0.0;    ///< discrete bumps (potholes etc.)
+    Meters bump_amplitude_m = 0.0;     ///< typical bump displacement
+    Meters sway_amplitude_m = 0.0;     ///< slow lateral/longitudinal sway
+    Hertz sway_rate_hz = 0.0;          ///< sway pseudo-frequency
+};
+
+/// All nine road types.
+std::vector<RoadType> all_road_types();
+
+/// The Fig. 16b class of a road type.
+RoadClass road_class(RoadType type);
+
+/// Vibration spec for a road type (calibrated so smooth < slope <
+/// maneuver < bumpy in disturbance energy, matching the paper's ordering
+/// of degradation).
+RoadVibrationSpec vibration_spec(RoadType type);
+
+/// Human-readable names.
+std::string to_string(RoadType type);
+std::string to_string(RoadClass cls);
+
+}  // namespace blinkradar::vehicle

@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "radar/antenna.hpp"
+
+namespace blinkradar::radar {
+namespace {
+
+TEST(Antenna, BoresightGainIsOne) {
+    const AntennaPattern a(60.0, 80.0);
+    EXPECT_DOUBLE_EQ(a.gain(0.0, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(a.two_way_gain(0.0, 0.0), 1.0);
+}
+
+TEST(Antenna, HalfBeamwidthIsMinus3dBPower) {
+    const AntennaPattern a(60.0, 80.0);
+    // One-way power at half the beamwidth = 0.5 => voltage = sqrt(0.5).
+    EXPECT_NEAR(a.gain(30.0, 0.0), std::sqrt(0.5), 1e-12);
+    EXPECT_NEAR(a.gain(0.0, 40.0), std::sqrt(0.5), 1e-12);
+}
+
+TEST(Antenna, TwoWayGainIsSquare) {
+    const AntennaPattern a(60.0, 80.0);
+    for (const double az : {0.0, 10.0, 25.0, 45.0}) {
+        const double g = a.gain(az, 12.0);
+        EXPECT_NEAR(a.two_way_gain(az, 12.0), g * g, 1e-12);
+    }
+}
+
+TEST(Antenna, GainDecreasesMonotonicallyOffAxis) {
+    const AntennaPattern a = AntennaPattern::paper_default();
+    double prev = 2.0;
+    for (const double az : {0.0, 10.0, 20.0, 30.0, 45.0, 60.0}) {
+        const double g = a.gain(az, 0.0);
+        EXPECT_LT(g, prev);
+        prev = g;
+    }
+}
+
+TEST(Antenna, SymmetricAboutBoresight) {
+    const AntennaPattern a = AntennaPattern::paper_default();
+    EXPECT_DOUBLE_EQ(a.gain(17.0, -8.0), a.gain(-17.0, 8.0));
+}
+
+TEST(Antenna, PaperDefaultIsNarrowerInAzimuth) {
+    const AntennaPattern a = AntennaPattern::paper_default();
+    EXPECT_LT(a.azimuth_beamwidth_deg(), a.elevation_beamwidth_deg());
+    // Hence for equal off-axis angles, azimuth is more punishing.
+    EXPECT_LT(a.gain(30.0, 0.0), a.gain(0.0, 30.0));
+}
+
+TEST(Antenna, SeparabilityOfAxes) {
+    const AntennaPattern a(60.0, 90.0);
+    EXPECT_NEAR(a.gain(20.0, 35.0), a.gain(20.0, 0.0) * a.gain(0.0, 35.0),
+                1e-12);
+}
+
+TEST(Antenna, InvalidBeamwidthsThrow) {
+    EXPECT_THROW(AntennaPattern(0.0, 80.0), blinkradar::ContractViolation);
+    EXPECT_THROW(AntennaPattern(60.0, 181.0), blinkradar::ContractViolation);
+}
+
+}  // namespace
+}  // namespace blinkradar::radar

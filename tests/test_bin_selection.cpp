@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "common/random.hpp"
+#include "common/units.hpp"
+#include "core/bin_selection.hpp"
+
+namespace blinkradar::core {
+namespace {
+
+radar::RadarConfig config() { return radar::RadarConfig{}; }
+
+/// Build a synthetic slow-time window: an "eye" bin tracing a thin arc, a
+/// "chest" bin doing full rotations with radius wobble, and noise
+/// elsewhere.
+std::vector<dsp::ComplexSignal> make_window(std::size_t frames,
+                                            std::size_t n_bins,
+                                            std::size_t eye_bin,
+                                            std::size_t chest_bin,
+                                            double noise, Rng& rng) {
+    std::vector<dsp::ComplexSignal> window(frames,
+                                           dsp::ComplexSignal(n_bins));
+    for (std::size_t t = 0; t < frames; ++t) {
+        for (std::size_t b = 0; b < n_bins; ++b)
+            window[t][b] = dsp::Complex(rng.normal(0, noise),
+                                        rng.normal(0, noise));
+        // Eye/face: radius-1 arc sweeping 0.6 rad over the window.
+        const double arc = 0.6 * static_cast<double>(t) /
+                           static_cast<double>(frames);
+        window[t][eye_bin] +=
+            dsp::Complex(std::cos(arc), std::sin(arc));
+        // Chest: three full turns with 10% radius wobble.
+        const double rot = 3.0 * constants::kTwoPi *
+                           static_cast<double>(t) /
+                           static_cast<double>(frames);
+        const double r = 0.6 * (1.0 + 0.1 * std::sin(5.0 * rot));
+        window[t][chest_bin] +=
+            dsp::Complex(r * std::cos(rot), r * std::sin(rot));
+    }
+    return window;
+}
+
+TEST(BinSelector, PicksTheArcBinNotTheRotatingChest) {
+    Rng rng(1);
+    const auto window = make_window(100, 151, 40, 62, 0.002, rng);
+    const BinSelector sel(config(), PipelineConfig{});
+    const auto choice = sel.select(window);
+    ASSERT_TRUE(choice.has_value());
+    EXPECT_EQ(choice->bin, 40u);
+    EXPECT_TRUE(choice->fit.ok);
+}
+
+TEST(BinSelector, MaxPowerBaselinePicksTheStrongestBin) {
+    Rng rng(2);
+    const auto window = make_window(100, 151, 40, 62, 0.002, rng);
+    PipelineConfig pc;
+    pc.selection_mode = BinSelectionMode::kMaxPower;
+    const BinSelector sel(config(), pc);
+    const auto choice = sel.select(window);
+    ASSERT_TRUE(choice.has_value());
+    // The eye arc (radius 1) carries more power than the chest (0.6).
+    EXPECT_EQ(choice->bin, 40u);
+}
+
+TEST(BinSelector, NoSelectionOnPureNoise) {
+    Rng rng(3);
+    std::vector<dsp::ComplexSignal> window(60, dsp::ComplexSignal(151));
+    for (auto& f : window)
+        for (auto& v : f)
+            v = dsp::Complex(rng.normal(0, 0.002), rng.normal(0, 0.002));
+    const BinSelector sel(config(), PipelineConfig{});
+    EXPECT_FALSE(sel.select(window).has_value());
+}
+
+TEST(BinSelector, RespectsRangeGate) {
+    Rng rng(4);
+    // Arc sits below the minimum search range: must not be selected.
+    const auto window = make_window(100, 151, /*eye_bin=*/4, 62, 0.002, rng);
+    const BinSelector sel(config(), PipelineConfig{});
+    const auto choice = sel.select(window);
+    // Either nothing, or not the gated-out bin.
+    if (choice) EXPECT_NE(choice->bin, 4u);
+}
+
+TEST(BinSelector, BinVariancesPeakAtDynamicBins) {
+    Rng rng(5);
+    const auto window = make_window(80, 151, 40, 62, 0.001, rng);
+    const BinSelector sel(config(), PipelineConfig{});
+    const auto variances = sel.bin_variances(window);
+    ASSERT_EQ(variances.size(), 151u);
+    EXPECT_GT(variances[40], 100.0 * variances[100]);
+    EXPECT_GT(variances[62], 100.0 * variances[100]);
+}
+
+TEST(BinSelector, ScoreBinGatesRotations) {
+    Rng rng(6);
+    const auto window = make_window(100, 151, 40, 62, 0.002, rng);
+    const BinSelector sel(config(), PipelineConfig{});
+    EXPECT_TRUE(sel.score_bin(window, 40).has_value());
+    // The multi-turn chest bin fails the arc gate.
+    EXPECT_FALSE(sel.score_bin(window, 62).has_value());
+}
+
+TEST(BinSelector, ScoreBinRejectsNoiseBin) {
+    Rng rng(7);
+    const auto window = make_window(100, 151, 40, 62, 0.002, rng);
+    const BinSelector sel(config(), PipelineConfig{});
+    // A pure-noise bin: either the fit degenerates or the radius-
+    // plausibility gate rejects it.
+    EXPECT_FALSE(sel.score_bin(window, 100).has_value());
+}
+
+TEST(BinSelector, RejectsTinyWindows) {
+    const BinSelector sel(config(), PipelineConfig{});
+    std::vector<dsp::ComplexSignal> window(3, dsp::ComplexSignal(151));
+    EXPECT_THROW(sel.select(window), blinkradar::ContractViolation);
+}
+
+TEST(BinSelector, RejectsInvertedRangeGate) {
+    PipelineConfig pc;
+    pc.selection_min_range_m = 1.0;
+    pc.selection_max_range_m = 0.2;
+    EXPECT_THROW(BinSelector(config(), pc), blinkradar::ContractViolation);
+}
+
+}  // namespace
+}  // namespace blinkradar::core

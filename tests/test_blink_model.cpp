@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "common/random.hpp"
+#include "physio/blink.hpp"
+
+namespace blinkradar::physio {
+namespace {
+
+TEST(BlinkStatistics, StateDefaultsMatchPaperPhysiology) {
+    const auto awake = BlinkStatistics::for_state(Alertness::kAwake, 20.0);
+    const auto drowsy = BlinkStatistics::for_state(Alertness::kDrowsy, 26.0);
+    // Paper Section II: typical duration < 400 ms alert (75 ms minimum);
+    // > 400 ms when exhausted.
+    EXPECT_GE(awake.min_duration_s, 0.075);
+    EXPECT_LE(awake.max_duration_s, 0.40 + 1e-12);
+    EXPECT_GE(drowsy.min_duration_s, 0.40);
+    EXPECT_GT(drowsy.mean_duration_s, awake.mean_duration_s);
+}
+
+class BlinkRates : public ::testing::TestWithParam<double> {};
+
+TEST_P(BlinkRates, RealisedRateMatchesTarget) {
+    const double rate = GetParam();
+    // Long horizon, many seeds: the realised rate must match the target
+    // (an early version under-shot by ignoring blink duration in the
+    // inter-blink gaps).
+    double total = 0.0;
+    constexpr double kMinutes = 10.0;
+    constexpr int kSeeds = 8;
+    for (int s = 0; s < kSeeds; ++s) {
+        BlinkProcess p(BlinkStatistics::for_state(Alertness::kAwake, rate),
+                       Rng(100 + s));
+        total += static_cast<double>(p.generate(kMinutes * 60.0).size());
+    }
+    const double realised = total / (kMinutes * kSeeds);
+    EXPECT_NEAR(realised, rate, 0.08 * rate);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, BlinkRates,
+                         ::testing::Values(12.0, 18.0, 22.0, 28.0));
+
+TEST(BlinkProcess, DrowsyRateAlsoCalibrated) {
+    double total = 0.0;
+    for (int s = 0; s < 8; ++s) {
+        BlinkProcess p(BlinkStatistics::for_state(Alertness::kDrowsy, 26.0),
+                       Rng(200 + s));
+        total += static_cast<double>(p.generate(600.0).size());
+    }
+    EXPECT_NEAR(total / 80.0, 26.0, 2.0);
+}
+
+TEST(BlinkProcess, EventsAreSortedAndNonOverlapping) {
+    BlinkProcess p(BlinkStatistics::for_state(Alertness::kDrowsy, 28.0),
+                   Rng(3));
+    const auto blinks = p.generate(300.0);
+    ASSERT_GT(blinks.size(), 50u);
+    for (std::size_t i = 1; i < blinks.size(); ++i) {
+        EXPECT_GE(blinks[i].start_s, blinks[i - 1].end_s() + 0.099);
+    }
+}
+
+TEST(BlinkProcess, DurationsRespectStateBounds) {
+    const auto stats = BlinkStatistics::for_state(Alertness::kAwake, 20.0);
+    BlinkProcess p(stats, Rng(4));
+    for (const BlinkEvent& b : p.generate(600.0)) {
+        EXPECT_GE(b.duration_s, stats.min_duration_s);
+        EXPECT_LE(b.duration_s, stats.max_duration_s);
+    }
+}
+
+TEST(BlinkProcess, EventsStayInsideSession) {
+    BlinkProcess p(BlinkStatistics::for_state(Alertness::kAwake, 20.0),
+                   Rng(5));
+    for (const BlinkEvent& b : p.generate(30.0)) {
+        EXPECT_GE(b.start_s, 0.0);
+        EXPECT_LE(b.end_s(), 30.0);
+    }
+}
+
+TEST(BlinkProcess, IntervalsAreAperiodic) {
+    // The paper stresses blink aperiodicity: gaps must vary widely.
+    BlinkProcess p(BlinkStatistics::for_state(Alertness::kAwake, 20.0),
+                   Rng(6));
+    const auto blinks = p.generate(600.0);
+    double min_gap = 1e9, max_gap = 0.0;
+    for (std::size_t i = 1; i < blinks.size(); ++i) {
+        const double gap = blinks[i].start_s - blinks[i - 1].end_s();
+        min_gap = std::min(min_gap, gap);
+        max_gap = std::max(max_gap, gap);
+    }
+    EXPECT_GT(max_gap / min_gap, 5.0);
+}
+
+TEST(EyelidClosure, ZeroOutsideBlink) {
+    EXPECT_DOUBLE_EQ(eyelid_closure(-0.01, 0.2), 0.0);
+    EXPECT_DOUBLE_EQ(eyelid_closure(0.21, 0.2), 0.0);
+    EXPECT_DOUBLE_EQ(eyelid_closure(0.0, 0.2), 0.0);
+}
+
+TEST(EyelidClosure, FullyClosedAtPlateau) {
+    // Plateau spans [1/3, 1/2] of the blink.
+    EXPECT_NEAR(eyelid_closure(0.35 * 0.2, 0.2), 1.0, 1e-9);
+    EXPECT_NEAR(eyelid_closure(0.49 * 0.2, 0.2), 1.0, 1e-9);
+}
+
+TEST(EyelidClosure, ClosingIsFasterThanOpening) {
+    // At 25% through closing vs 25% through reopening, compare slopes via
+    // symmetric points: the closing phase spans 1/3 of the blink, the
+    // reopening 1/2, so closing velocity is higher.
+    const double d = 0.3;
+    const double closing_mid = eyelid_closure(d / 6.0, d);   // mid-closing
+    EXPECT_NEAR(closing_mid, 0.5, 1e-9);
+    const double opening_mid = eyelid_closure(0.75 * d, d);  // mid-opening
+    EXPECT_NEAR(opening_mid, 0.5, 1e-9);
+    // Time from 0 to closed = d/3 < time from closed to 0 = d/2.
+}
+
+TEST(EyelidClosure, ContinuousAtPhaseBoundaries) {
+    const double d = 0.25;
+    for (const double x : {1.0 / 3.0, 0.5}) {
+        const double before = eyelid_closure((x - 1e-6) * d, d);
+        const double after = eyelid_closure((x + 1e-6) * d, d);
+        EXPECT_NEAR(before, after, 1e-3);
+    }
+}
+
+TEST(EyelidClosureAt, LooksUpCorrectEvent) {
+    const std::vector<BlinkEvent> blinks = {{1.0, 0.2}, {5.0, 0.4}};
+    EXPECT_DOUBLE_EQ(eyelid_closure_at(blinks, 0.5), 0.0);
+    EXPECT_GT(eyelid_closure_at(blinks, 1.08), 0.5);
+    EXPECT_DOUBLE_EQ(eyelid_closure_at(blinks, 3.0), 0.0);
+    EXPECT_NEAR(eyelid_closure_at(blinks, 5.15), 1.0, 1e-9);
+    EXPECT_DOUBLE_EQ(eyelid_closure_at(blinks, 100.0), 0.0);
+}
+
+TEST(EyelidClosureAt, EmptyListIsAlwaysOpen) {
+    EXPECT_DOUBLE_EQ(eyelid_closure_at({}, 1.0), 0.0);
+}
+
+TEST(BlinkProcess, InvalidStatsRejected) {
+    BlinkStatistics s = BlinkStatistics::for_state(Alertness::kAwake, 20.0);
+    s.rate_per_min = 0.0;
+    EXPECT_THROW(BlinkProcess(s, Rng(1)), blinkradar::ContractViolation);
+    s = BlinkStatistics::for_state(Alertness::kAwake, 20.0);
+    s.min_duration_s = 1.0;  // above mean
+    EXPECT_THROW(BlinkProcess(s, Rng(1)), blinkradar::ContractViolation);
+}
+
+}  // namespace
+}  // namespace blinkradar::physio

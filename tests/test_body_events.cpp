@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+#include "common/random.hpp"
+#include "physio/body_events.hpp"
+
+namespace blinkradar::physio {
+namespace {
+
+TEST(BodyEvents, RatesScaleWithConfig) {
+    BodyEventParams params;
+    params.yawn_rate_per_min = 0.0;
+    params.steering_rate_per_min = 3.0;
+    params.mirror_rate_per_min = 0.0;
+    Rng rng(1);
+    const auto events = generate_body_events(params, 600.0, rng);
+    // ~30 steering events expected in 10 minutes.
+    EXPECT_GT(events.size(), 15u);
+    EXPECT_LT(events.size(), 50u);
+    for (const auto& e : events)
+        EXPECT_EQ(e.kind, BodyEventKind::kSteering);
+}
+
+TEST(BodyEvents, AllKindsAppearAtDefaultRates) {
+    BodyEventParams params;
+    params.yawn_rate_per_min = 1.0;
+    params.steering_rate_per_min = 1.0;
+    params.mirror_rate_per_min = 1.0;
+    Rng rng(2);
+    const auto events = generate_body_events(params, 1200.0, rng);
+    bool yawn = false, steer = false, mirror = false;
+    for (const auto& e : events) {
+        yawn |= e.kind == BodyEventKind::kYawn;
+        steer |= e.kind == BodyEventKind::kSteering;
+        mirror |= e.kind == BodyEventKind::kMirrorCheck;
+    }
+    EXPECT_TRUE(yawn);
+    EXPECT_TRUE(steer);
+    EXPECT_TRUE(mirror);
+}
+
+TEST(BodyEvents, EventsAreTimeSorted) {
+    BodyEventParams params;
+    Rng rng(3);
+    const auto events = generate_body_events(params, 1800.0, rng);
+    for (std::size_t i = 1; i < events.size(); ++i)
+        EXPECT_GE(events[i].start_s, events[i - 1].start_s);
+}
+
+TEST(BodyEvents, ZeroRatesYieldNothing) {
+    BodyEventParams params;
+    params.yawn_rate_per_min = 0.0;
+    params.steering_rate_per_min = 0.0;
+    params.mirror_rate_per_min = 0.0;
+    Rng rng(4);
+    EXPECT_TRUE(generate_body_events(params, 600.0, rng).empty());
+}
+
+TEST(BodyEvents, EnvelopeIsZeroOutsideAndPeaksMidEvent) {
+    BodyEvent e;
+    e.start_s = 10.0;
+    e.duration_s = 2.0;
+    EXPECT_DOUBLE_EQ(body_event_envelope(e, 9.9), 0.0);
+    EXPECT_DOUBLE_EQ(body_event_envelope(e, 12.1), 0.0);
+    EXPECT_NEAR(body_event_envelope(e, 11.0), 1.0, 1e-12);
+    // Rising and falling halves are symmetric.
+    EXPECT_NEAR(body_event_envelope(e, 10.5), body_event_envelope(e, 11.5),
+                1e-12);
+}
+
+TEST(BodyEvents, EnvelopeIsContinuousAtEdges) {
+    BodyEvent e;
+    e.start_s = 0.0;
+    e.duration_s = 1.0;
+    EXPECT_NEAR(body_event_envelope(e, 1e-4), 0.0, 1e-6);
+    EXPECT_NEAR(body_event_envelope(e, 1.0 - 1e-4), 0.0, 1e-6);
+}
+
+TEST(BodyEvents, KindNames) {
+    EXPECT_EQ(to_string(BodyEventKind::kYawn), "yawn");
+    EXPECT_EQ(to_string(BodyEventKind::kSteering), "steering");
+    EXPECT_EQ(to_string(BodyEventKind::kMirrorCheck), "mirror-check");
+}
+
+TEST(BodyEvents, RejectsNonPositiveDuration) {
+    BodyEventParams params;
+    Rng rng(5);
+    EXPECT_THROW(generate_body_events(params, 0.0, rng),
+                 blinkradar::ContractViolation);
+}
+
+}  // namespace
+}  // namespace blinkradar::physio

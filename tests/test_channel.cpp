@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "common/units.hpp"
+#include "radar/channel.hpp"
+#include "radar/pulse.hpp"
+
+namespace blinkradar::radar {
+namespace {
+
+constexpr double kFs = 32e9;
+
+TEST(Channel, DelayFollowsTwoOverC) {
+    const MultipathChannel ch({Path{"p", 1.0, 0.6, 0.0}});
+    const Seconds tau = ch.delay_at_frame(ch.paths()[0], 0, 0.04);
+    EXPECT_NEAR(tau, 2.0 * 0.6 / constants::kSpeedOfLight, 1e-18);
+}
+
+TEST(Channel, DopplerAddsLinearDelayPerFrame) {
+    // Eq. 4: tau_D(k Ts) = 2 v k Ts / c.
+    const Path moving{"m", 1.0, 0.5, 2.0};  // 2 m/s receding
+    const MultipathChannel ch({moving});
+    const Seconds t0 = ch.delay_at_frame(moving, 0, 0.04);
+    const Seconds t10 = ch.delay_at_frame(moving, 10, 0.04);
+    EXPECT_NEAR(t10 - t0, 2.0 * 2.0 * 10.0 * 0.04 / constants::kSpeedOfLight,
+                1e-15);
+}
+
+TEST(Channel, SinglePathDelaysThePulse) {
+    const GaussianPulse pulse(1.0, 1.4e9, 7.3e9);
+    const dsp::RealSignal tx = pulse.sample_transmitted(kFs);
+    const Meters range = 0.3;
+    const MultipathChannel ch({Path{"p", 1.0, range, 0.0}});
+    const dsp::RealSignal rx = ch.propagate(tx, kFs, 0, 0.04, 6e-9);
+
+    // The received envelope peak must sit at tau + Tp/2.
+    std::size_t peak = 0;
+    for (std::size_t i = 0; i < rx.size(); ++i)
+        if (std::abs(rx[i]) > std::abs(rx[peak])) peak = i;
+    const double expected_s =
+        2.0 * range / constants::kSpeedOfLight + pulse.duration_s() / 2.0;
+    EXPECT_NEAR(static_cast<double>(peak) / kFs, expected_s, 0.15e-9);
+}
+
+TEST(Channel, GainScalesLinearly) {
+    const GaussianPulse pulse(1.0, 1.4e9, 7.3e9);
+    const dsp::RealSignal tx = pulse.sample_transmitted(kFs);
+    const MultipathChannel unit({Path{"p", 1.0, 0.2, 0.0}});
+    const MultipathChannel half({Path{"p", 0.5, 0.2, 0.0}});
+    const dsp::RealSignal rx1 = unit.propagate(tx, kFs, 0, 0.04, 4e-9);
+    const dsp::RealSignal rx2 = half.propagate(tx, kFs, 0, 0.04, 4e-9);
+    for (std::size_t i = 0; i < rx1.size(); i += 7)
+        EXPECT_NEAR(rx2[i], 0.5 * rx1[i], 1e-9);
+}
+
+TEST(Channel, SuperpositionOfPaths) {
+    const GaussianPulse pulse(1.0, 1.4e9, 7.3e9);
+    const dsp::RealSignal tx = pulse.sample_transmitted(kFs);
+    const MultipathChannel a({Path{"a", 0.7, 0.2, 0.0}});
+    const MultipathChannel b({Path{"b", 0.4, 0.5, 0.0}});
+    const MultipathChannel both(
+        {Path{"a", 0.7, 0.2, 0.0}, Path{"b", 0.4, 0.5, 0.0}});
+    const dsp::RealSignal ra = a.propagate(tx, kFs, 0, 0.04, 6e-9);
+    const dsp::RealSignal rb = b.propagate(tx, kFs, 0, 0.04, 6e-9);
+    const dsp::RealSignal rab = both.propagate(tx, kFs, 0, 0.04, 6e-9);
+    for (std::size_t i = 0; i < rab.size(); i += 11)
+        EXPECT_NEAR(rab[i], ra[i] + rb[i], 1e-9);
+}
+
+TEST(Channel, EmptyPathsRejected) {
+    EXPECT_THROW(MultipathChannel({}), blinkradar::ContractViolation);
+}
+
+TEST(Channel, NegativeRangeRejected) {
+    EXPECT_THROW(MultipathChannel({Path{"p", 1.0, -0.1, 0.0}}),
+                 blinkradar::ContractViolation);
+}
+
+}  // namespace
+}  // namespace blinkradar::radar

@@ -1,0 +1,52 @@
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+
+namespace blinkradar {
+namespace {
+
+TEST(Contracts, ExpectsPassesOnTrue) {
+    EXPECT_NO_THROW(BR_EXPECTS(1 + 1 == 2));
+}
+
+TEST(Contracts, ExpectsThrowsOnFalse) {
+    EXPECT_THROW(BR_EXPECTS(1 + 1 == 3), ContractViolation);
+}
+
+TEST(Contracts, EnsuresThrowsOnFalse) {
+    EXPECT_THROW(BR_ENSURES(false), ContractViolation);
+}
+
+TEST(Contracts, AssertThrowsOnFalse) {
+    EXPECT_THROW(BR_ASSERT(false), ContractViolation);
+}
+
+TEST(Contracts, MessageNamesKindExpressionAndLocation) {
+    try {
+        BR_EXPECTS(2 < 1);
+        FAIL() << "should have thrown";
+    } catch (const ContractViolation& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("Precondition"), std::string::npos);
+        EXPECT_NE(what.find("2 < 1"), std::string::npos);
+        EXPECT_NE(what.find("test_contracts.cpp"), std::string::npos);
+    }
+}
+
+TEST(Contracts, ViolationIsALogicError) {
+    // Contract violations are programmer errors, not runtime conditions.
+    EXPECT_THROW(BR_EXPECTS(false), std::logic_error);
+}
+
+TEST(Contracts, SideEffectsInConditionRunOnce) {
+    int calls = 0;
+    auto count = [&calls] {
+        ++calls;
+        return true;
+    };
+    BR_EXPECTS(count());
+    EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace blinkradar

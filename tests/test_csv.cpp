@@ -1,0 +1,55 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/contracts.hpp"
+#include "common/csv.hpp"
+
+namespace blinkradar {
+namespace {
+
+std::string read_all(const std::string& path) {
+    std::ifstream in(path);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+class CsvTest : public ::testing::Test {
+protected:
+    std::string path_ = ::testing::TempDir() + "br_csv_test.csv";
+    void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(CsvTest, WritesHeaderAndRows) {
+    {
+        CsvWriter csv(path_, {"t", "value"});
+        csv.row(std::vector<double>{1.0, 2.5});
+        csv.row(std::vector<double>{2.0, -3.0});
+        EXPECT_EQ(csv.rows_written(), 2u);
+    }
+    EXPECT_EQ(read_all(path_), "t,value\n1,2.5\n2,-3\n");
+}
+
+TEST_F(CsvTest, WritesStringCells) {
+    {
+        CsvWriter csv(path_, {"name", "score"});
+        csv.row(std::vector<std::string>{"alpha", "1.5"});
+    }
+    EXPECT_EQ(read_all(path_), "name,score\nalpha,1.5\n");
+}
+
+TEST_F(CsvTest, RejectsWrongArity) {
+    CsvWriter csv(path_, {"a", "b", "c"});
+    EXPECT_THROW(csv.row(std::vector<double>{1.0}), ContractViolation);
+}
+
+TEST_F(CsvTest, RejectsUnopenablePath) {
+    EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv", {"a"}),
+                 std::runtime_error);
+}
+
+}  // namespace
+}  // namespace blinkradar

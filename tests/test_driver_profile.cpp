@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+#include "common/random.hpp"
+#include "physio/driver_profile.hpp"
+
+namespace blinkradar::physio {
+namespace {
+
+TEST(DriverProfile, Table1ParticipantsMatchPublishedRates) {
+    const auto ps = table1_participants();
+    ASSERT_EQ(ps.size(), 7u);  // the paper's table lists 7 columns
+    // Spot-check the published values.
+    EXPECT_EQ(ps[0].id, "P1");
+    EXPECT_DOUBLE_EQ(ps[0].awake_blink_rate_per_min, 20.0);
+    EXPECT_DOUBLE_EQ(ps[0].drowsy_blink_rate_per_min, 25.0);
+    EXPECT_EQ(ps[2].id, "P4");
+    EXPECT_DOUBLE_EQ(ps[2].awake_blink_rate_per_min, 19.0);
+    EXPECT_DOUBLE_EQ(ps[2].drowsy_blink_rate_per_min, 30.0);
+    // Everyone blinks more when drowsy.
+    for (const auto& p : ps)
+        EXPECT_GT(p.drowsy_blink_rate_per_min, p.awake_blink_rate_per_min);
+}
+
+TEST(DriverProfile, SampledParticipantsArePlausible) {
+    Rng rng(1);
+    const auto ps = sample_participants(30, rng);
+    ASSERT_EQ(ps.size(), 30u);
+    for (const auto& p : ps) {
+        EXPECT_GE(p.awake_blink_rate_per_min, 17.0);
+        EXPECT_LE(p.awake_blink_rate_per_min, 23.0);
+        EXPECT_GT(p.drowsy_blink_rate_per_min,
+                  p.awake_blink_rate_per_min + 3.9);
+        EXPECT_GE(p.eye_size.width_m, 0.035);
+        EXPECT_LE(p.eye_size.width_m, 0.055);
+        EXPECT_GE(p.eye_size.height_m, 0.008);
+        EXPECT_GT(p.respiration.rate_hz, 0.1);
+        EXPECT_GT(p.heartbeat.rate_hz, 0.9);
+    }
+}
+
+TEST(DriverProfile, SamplingIsDeterministic) {
+    Rng a(5), b(5);
+    const auto pa = sample_participants(5, a);
+    const auto pb = sample_participants(5, b);
+    for (std::size_t i = 0; i < 5; ++i) {
+        EXPECT_DOUBLE_EQ(pa[i].awake_blink_rate_per_min,
+                         pb[i].awake_blink_rate_per_min);
+        EXPECT_DOUBLE_EQ(pa[i].eye_size.width_m, pb[i].eye_size.width_m);
+    }
+}
+
+TEST(DriverProfile, EyeAreaFactorIsRelativeToReference) {
+    DriverProfile p;
+    p.eye_size = DriverProfile::reference_eye_size();
+    EXPECT_DOUBLE_EQ(p.eye_area_factor(), 1.0);
+    p.eye_size.width_m /= 2.0;
+    EXPECT_DOUBLE_EQ(p.eye_area_factor(), 0.5);
+}
+
+TEST(DriverProfile, GlassesAttenuationOrdering) {
+    DriverProfile p;
+    p.glasses = Glasses::kNone;
+    const double none = p.glasses_attenuation();
+    p.glasses = Glasses::kMyopia;
+    const double myopia = p.glasses_attenuation();
+    p.glasses = Glasses::kSunglasses;
+    const double sun = p.glasses_attenuation();
+    EXPECT_DOUBLE_EQ(none, 1.0);
+    EXPECT_LT(myopia, none);
+    EXPECT_LT(sun, myopia);
+    EXPECT_GT(sun, 0.5);
+}
+
+TEST(DriverProfile, GlassesStaticReflectionOnlyWhenWorn) {
+    DriverProfile p;
+    p.glasses = Glasses::kNone;
+    EXPECT_DOUBLE_EQ(p.glasses_static_reflection(), 0.0);
+    p.glasses = Glasses::kMyopia;
+    EXPECT_GT(p.glasses_static_reflection(), 0.0);
+}
+
+TEST(DriverProfile, SampleRejectsZero) {
+    Rng rng(1);
+    EXPECT_THROW(sample_participants(0, rng), blinkradar::ContractViolation);
+}
+
+}  // namespace
+}  // namespace blinkradar::physio

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+#include "core/drowsy.hpp"
+
+namespace blinkradar::core {
+namespace {
+
+TEST(Drowsy, ThresholdBetweenClassMeans) {
+    DrowsinessDetector d;
+    const double awake[] = {18.0, 20.0, 19.0};
+    const double drowsy[] = {26.0, 28.0, 27.0};
+    d.train(awake, drowsy);
+    ASSERT_TRUE(d.trained());
+    EXPECT_GT(d.threshold_rate(), 20.0);
+    EXPECT_LT(d.threshold_rate(), 26.0);
+    EXPECT_DOUBLE_EQ(d.awake_mean(), 19.0);
+    EXPECT_DOUBLE_EQ(d.drowsy_mean(), 27.0);
+}
+
+TEST(Drowsy, ClassifiesAgainstThreshold) {
+    DrowsinessDetector d;
+    const double awake[] = {18.0, 20.0};
+    const double drowsy[] = {27.0, 29.0};
+    d.train(awake, drowsy);
+    EXPECT_EQ(d.classify(17.0), DrowsinessLabel::kAwake);
+    EXPECT_EQ(d.classify(30.0), DrowsinessLabel::kDrowsy);
+}
+
+TEST(Drowsy, SpreadWeightedThresholdLeansAwayFromNoisyClass) {
+    DrowsinessDetector d;
+    // Awake is very tight, drowsy is very noisy: the threshold should sit
+    // closer to the awake mean.
+    const double awake[] = {20.0, 20.0, 20.0, 20.1};
+    const double drowsy[] = {24.0, 36.0, 28.0, 32.0};
+    d.train(awake, drowsy);
+    const double midpoint = (20.0 + 30.0) / 2.0;
+    EXPECT_LT(d.threshold_rate(), midpoint);
+}
+
+TEST(Drowsy, SingleWindowPerClassUsesMidpoint) {
+    DrowsinessDetector d;
+    const double awake[] = {20.0};
+    const double drowsy[] = {30.0};
+    d.train(awake, drowsy);
+    EXPECT_DOUBLE_EQ(d.threshold_rate(), 25.0);
+}
+
+TEST(Drowsy, InvertedTrainingDegradesGracefully) {
+    DrowsinessDetector d;
+    const double awake[] = {28.0};
+    const double drowsy[] = {22.0};
+    EXPECT_NO_THROW(d.train(awake, drowsy));
+    EXPECT_TRUE(d.trained());
+    EXPECT_DOUBLE_EQ(d.threshold_rate(), 25.0);
+}
+
+TEST(Drowsy, ClassifyBeforeTrainThrows) {
+    DrowsinessDetector d;
+    EXPECT_THROW(d.classify(20.0), blinkradar::ContractViolation);
+}
+
+TEST(Drowsy, EmptyTrainingThrows) {
+    DrowsinessDetector d;
+    const double some[] = {20.0};
+    EXPECT_THROW(d.train({}, some), blinkradar::ContractViolation);
+    EXPECT_THROW(d.train(some, {}), blinkradar::ContractViolation);
+}
+
+TEST(WindowRates, CountsPerMinuteWindows) {
+    std::vector<DetectedBlink> blinks;
+    // 10 blinks in minute 1, 20 in minute 2.
+    for (int i = 0; i < 10; ++i)
+        blinks.push_back({5.0 + i * 5.0, 0.2, 0.05, 3.0});
+    for (int i = 0; i < 20; ++i)
+        blinks.push_back({61.0 + i * 2.8, 0.2, 0.05, 3.0});
+    const auto rates = window_blink_rates(blinks, 120.0);
+    ASSERT_EQ(rates.size(), 2u);
+    EXPECT_DOUBLE_EQ(rates[0], 10.0);
+    EXPECT_DOUBLE_EQ(rates[1], 20.0);
+}
+
+TEST(WindowRates, PartialTrailingWindowIsScaled) {
+    std::vector<DetectedBlink> blinks;
+    for (int i = 0; i < 15; ++i)
+        blinks.push_back({60.0 + i * 1.9, 0.2, 0.05, 3.0});
+    // 90 s session: one full window plus a 30 s half window (kept since
+    // it is exactly half) — its count is scaled to a per-minute rate.
+    const auto rates = window_blink_rates(blinks, 90.0);
+    ASSERT_EQ(rates.size(), 2u);
+    EXPECT_DOUBLE_EQ(rates[0], 0.0);
+    EXPECT_NEAR(rates[1], 2.0 * 15.0, 4.0);
+}
+
+TEST(WindowRates, DurationFilterSelectsLongBlinks) {
+    std::vector<DetectedBlink> blinks = {
+        {10.0, 0.2, 0.05, 3.0},   // short (awake-like)
+        {20.0, 0.9, 0.05, 3.0},   // long (drowsy-like)
+        {30.0, 1.1, 0.05, 3.0},   // long
+    };
+    const auto all = window_blink_rates(blinks, 60.0, 60.0, 0.0);
+    const auto longs = window_blink_rates(blinks, 60.0, 60.0, 0.75);
+    EXPECT_DOUBLE_EQ(all[0], 3.0);
+    EXPECT_DOUBLE_EQ(longs[0], 2.0);
+}
+
+TEST(WindowRates, StrengthFilterSelectsConfidentBlinks) {
+    std::vector<DetectedBlink> blinks = {
+        {10.0, 0.2, 0.05, 1.1},
+        {20.0, 0.2, 0.05, 5.0},
+    };
+    const auto confident = window_blink_rates(blinks, 60.0, 60.0, 0.0, 2.0);
+    EXPECT_DOUBLE_EQ(confident[0], 1.0);
+}
+
+TEST(WindowRates, CustomWindowLength) {
+    std::vector<DetectedBlink> blinks = {{10.0, 0.2, 0.05, 3.0},
+                                         {40.0, 0.2, 0.05, 3.0}};
+    const auto rates = window_blink_rates(blinks, 60.0, 30.0);
+    ASSERT_EQ(rates.size(), 2u);
+    EXPECT_DOUBLE_EQ(rates[0], 2.0);  // 1 blink / 0.5 min
+    EXPECT_DOUBLE_EQ(rates[1], 2.0);
+}
+
+TEST(WindowRates, RejectsBadArguments) {
+    std::vector<DetectedBlink> blinks;
+    EXPECT_THROW(window_blink_rates(blinks, 0.0),
+                 blinkradar::ContractViolation);
+    EXPECT_THROW(window_blink_rates(blinks, 60.0, 0.0),
+                 blinkradar::ContractViolation);
+}
+
+}  // namespace
+}  // namespace blinkradar::core

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+#include "radar/antenna.hpp"
+#include "sim/geometry.hpp"
+
+namespace blinkradar::sim {
+namespace {
+
+physio::DriverProfile reference_driver() {
+    physio::DriverProfile d;
+    d.eye_size = physio::DriverProfile::reference_eye_size();
+    return d;
+}
+
+TEST(Geometry, AspectFactorIsOneAtBoresight) {
+    EXPECT_DOUBLE_EQ(eye_aspect_factor(0.0, 0.0), 1.0);
+}
+
+TEST(Geometry, AspectFallsWithEitherAngle) {
+    EXPECT_LT(eye_aspect_factor(20.0, 0.0), 1.0);
+    EXPECT_LT(eye_aspect_factor(0.0, 30.0), 1.0);
+    EXPECT_LT(eye_aspect_factor(40.0, 0.0), eye_aspect_factor(20.0, 0.0));
+}
+
+TEST(Geometry, AzimuthIsMorePunishingThanElevation) {
+    // Paper: accuracy collapses past ~30 deg azimuth but survives to
+    // ~45 deg elevation.
+    EXPECT_LT(eye_aspect_factor(30.0, 0.0), eye_aspect_factor(0.0, 30.0));
+}
+
+TEST(Geometry, PathGainsAtBoresightMatchIntrinsics) {
+    const auto gains =
+        compute_path_gains(reference_driver(), MountingGeometry{},
+                           radar::AntennaPattern::paper_default());
+    EXPECT_NEAR(gains.face, reflectivity::kFace, 1e-12);
+    EXPECT_NEAR(gains.eye, reflectivity::kEye, 1e-12);
+    EXPECT_NEAR(gains.blink_depth, reflectivity::kBlinkContrast, 1e-12);
+    EXPECT_DOUBLE_EQ(gains.glasses_static, 0.0);
+    // The chest sits well below the beam: attenuated.
+    EXPECT_LT(gains.chest, reflectivity::kChest);
+}
+
+TEST(Geometry, EyeGainScalesWithEyeArea) {
+    physio::DriverProfile small = reference_driver();
+    small.eye_size.width_m *= 0.5;
+    const auto ref = compute_path_gains(reference_driver(), MountingGeometry{},
+                                        radar::AntennaPattern::paper_default());
+    const auto sm = compute_path_gains(small, MountingGeometry{},
+                                       radar::AntennaPattern::paper_default());
+    EXPECT_NEAR(sm.eye, 0.5 * ref.eye, 1e-12);
+    // The face does not shrink with the eye.
+    EXPECT_DOUBLE_EQ(sm.face, ref.face);
+}
+
+TEST(Geometry, GlassesAttenuateEyeAndAddStaticReflection) {
+    physio::DriverProfile sunny = reference_driver();
+    sunny.glasses = physio::Glasses::kSunglasses;
+    const auto ref = compute_path_gains(reference_driver(), MountingGeometry{},
+                                        radar::AntennaPattern::paper_default());
+    const auto sun = compute_path_gains(sunny, MountingGeometry{},
+                                        radar::AntennaPattern::paper_default());
+    EXPECT_LT(sun.eye, ref.eye);
+    EXPECT_GT(sun.glasses_static, 0.0);
+}
+
+TEST(Geometry, OffAxisMountingWeakensEverything) {
+    MountingGeometry off;
+    off.azimuth_deg = 30.0;
+    off.elevation_deg = 20.0;
+    const auto ref = compute_path_gains(reference_driver(), MountingGeometry{},
+                                        radar::AntennaPattern::paper_default());
+    const auto g = compute_path_gains(reference_driver(), off,
+                                      radar::AntennaPattern::paper_default());
+    EXPECT_LT(g.face, ref.face);
+    EXPECT_LT(g.eye, ref.eye);
+    EXPECT_LT(g.blink_depth, ref.blink_depth);
+}
+
+TEST(Geometry, RaisingRadarPushesChestFurtherOffBeam) {
+    MountingGeometry raised;
+    raised.elevation_deg = 30.0;
+    const auto ref = compute_path_gains(reference_driver(), MountingGeometry{},
+                                        radar::AntennaPattern::paper_default());
+    const auto g = compute_path_gains(reference_driver(), raised,
+                                      radar::AntennaPattern::paper_default());
+    EXPECT_LT(g.chest, ref.chest);
+}
+
+TEST(Geometry, RejectsNonPositiveDistance) {
+    MountingGeometry bad;
+    bad.distance_m = 0.0;
+    EXPECT_THROW(compute_path_gains(reference_driver(), bad,
+                                    radar::AntennaPattern::paper_default()),
+                 blinkradar::ContractViolation);
+}
+
+}  // namespace
+}  // namespace blinkradar::sim

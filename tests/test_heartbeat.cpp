@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "common/random.hpp"
+#include "dsp/fft.hpp"
+#include "physio/heartbeat.hpp"
+
+namespace blinkradar::physio {
+namespace {
+
+constexpr double kFs = 100.0;
+
+TEST(Heartbeat, DisplacementBoundedByAmplitude) {
+    HeartbeatParams params;
+    params.head_amplitude_m = 0.001;
+    const HeartbeatModel m(params, 60.0, kFs, Rng(1));
+    for (double t = 0.0; t < 60.0; t += 0.03)
+        EXPECT_LE(std::abs(m.head_displacement(t)), 0.00055);
+}
+
+TEST(Heartbeat, FundamentalNearConfiguredRate) {
+    HeartbeatParams params;
+    params.rate_hz = 1.2;
+    params.rate_jitter = 0.01;
+    const HeartbeatModel m(params, 120.0, kFs, Rng(2));
+    dsp::RealSignal x(4096);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        x[i] = m.head_displacement(static_cast<double>(i) / 25.0);
+    const dsp::RealSignal mag = dsp::magnitude_spectrum_real(x);
+    std::size_t peak = 5;  // skip DC region
+    for (std::size_t k = 5; k < mag.size(); ++k)
+        if (mag[k] > mag[peak]) peak = k;
+    const double peak_hz = static_cast<double>(peak) * 25.0 / 4096.0;
+    EXPECT_NEAR(peak_hz, 1.2, 0.15);
+}
+
+TEST(Heartbeat, HarmonicsGiveNonSinusoidalShape) {
+    // With harmonics the positive and negative half-waves differ; a pure
+    // sine would have max == -min.
+    HeartbeatParams params;
+    params.rate_jitter = 0.0;
+    const HeartbeatModel m(params, 30.0, kFs, Rng(3));
+    double lo = 1e9, hi = -1e9;
+    for (double t = 5.0; t < 25.0; t += 0.01) {
+        lo = std::min(lo, m.head_displacement(t));
+        hi = std::max(hi, m.head_displacement(t));
+    }
+    EXPECT_GT(std::abs(hi + lo), 0.02 * (hi - lo));
+}
+
+TEST(Heartbeat, ZeroAmplitudeIsFlat) {
+    HeartbeatParams params;
+    params.head_amplitude_m = 0.0;
+    const HeartbeatModel m(params, 10.0, kFs, Rng(4));
+    for (double t = 0.0; t < 10.0; t += 0.1)
+        EXPECT_DOUBLE_EQ(m.head_displacement(t), 0.0);
+}
+
+TEST(Heartbeat, DeterministicForSeed) {
+    const HeartbeatParams params;
+    const HeartbeatModel a(params, 15.0, kFs, Rng(5));
+    const HeartbeatModel b(params, 15.0, kFs, Rng(5));
+    for (double t = 0.0; t < 15.0; t += 0.41)
+        EXPECT_DOUBLE_EQ(a.head_displacement(t), b.head_displacement(t));
+}
+
+TEST(Heartbeat, InvalidParamsThrow) {
+    HeartbeatParams params;
+    params.rate_hz = -1.0;
+    EXPECT_THROW(HeartbeatModel(params, 10.0, kFs, Rng(1)),
+                 blinkradar::ContractViolation);
+}
+
+}  // namespace
+}  // namespace blinkradar::physio

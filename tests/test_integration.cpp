@@ -1,0 +1,154 @@
+// End-to-end integration tests: full scenario -> pipeline -> metrics,
+// exercising the headline behaviours the paper reports. These are the
+// expensive tests (seconds, not milliseconds).
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+#include "core/drowsy.hpp"
+#include "core/pipeline.hpp"
+#include "eval/experiment.hpp"
+#include "eval/metrics.hpp"
+#include "physio/driver_profile.hpp"
+#include "sim/scenario.hpp"
+
+namespace blinkradar {
+namespace {
+
+sim::ScenarioConfig reference(std::uint64_t seed, Seconds duration = 120.0) {
+    sim::ScenarioConfig sc;
+    Rng rng(2022);
+    sc.driver = physio::sample_participants(1, rng).front();
+    sc.duration_s = duration;
+    sc.seed = seed;
+    return sc;
+}
+
+TEST(Integration, ReferenceConditionsReachHighAccuracy) {
+    // Paper headline: ~95 % blink accuracy at 0.4 m on smooth road.
+    double acc = 0.0;
+    for (int i = 0; i < 3; ++i)
+        acc += eval::run_blink_session(reference(100 + i)).accuracy;
+    EXPECT_GT(acc / 3.0, 0.85);
+}
+
+TEST(Integration, LabIsAtLeastAsGoodAsRoad) {
+    sim::ScenarioConfig road = reference(200);
+    sim::ScenarioConfig lab = reference(200);
+    lab.environment = sim::Environment::kLaboratory;
+    double road_acc = 0.0, lab_acc = 0.0;
+    for (int i = 0; i < 3; ++i) {
+        road.seed = 200 + i;
+        lab.seed = 200 + i;
+        road_acc += eval::run_blink_session(road).accuracy;
+        lab_acc += eval::run_blink_session(lab).accuracy;
+    }
+    EXPECT_GE(lab_acc, road_acc - 0.05 * 3.0);
+}
+
+TEST(Integration, AccuracyDegradesMonotonicallyWithAzimuth) {
+    // Fig. 15d: the azimuth sweep must be (weakly) monotone decreasing.
+    double prev = 1.1;
+    for (const double az : {0.0, 20.0, 40.0, 60.0}) {
+        sim::ScenarioConfig sc = reference(300);
+        sc.geometry.azimuth_deg = az;
+        double acc = 0.0;
+        for (int i = 0; i < 2; ++i) {
+            sc.seed = 300 + i;
+            acc += eval::run_blink_session(sc).accuracy;
+        }
+        acc /= 2.0;
+        EXPECT_LE(acc, prev + 0.08) << "azimuth " << az;
+        prev = acc;
+    }
+}
+
+TEST(Integration, FarRangeIsHarderThanReference) {
+    sim::ScenarioConfig near = reference(400);
+    near.geometry.distance_m = 0.4;
+    sim::ScenarioConfig far = reference(400);
+    far.geometry.distance_m = 1.1;  // beyond the paper's tested range
+    double near_acc = 0.0, far_acc = 0.0;
+    for (int i = 0; i < 2; ++i) {
+        near.seed = 400 + i;
+        far.seed = 400 + i;
+        near_acc += eval::run_blink_session(near).accuracy;
+        far_acc += eval::run_blink_session(far).accuracy;
+    }
+    EXPECT_GT(near_acc, far_acc);
+}
+
+TEST(Integration, BumpyRoadCostsAccuracyVersusSmooth) {
+    double smooth = 0.0, bumpy = 0.0;
+    for (int i = 0; i < 3; ++i) {
+        sim::ScenarioConfig sc = reference(500 + i);
+        sc.road = vehicle::RoadType::kSmoothHighway;
+        smooth += eval::run_blink_session(sc).accuracy;
+        sc.road = vehicle::RoadType::kBumpyRoad;
+        bumpy += eval::run_blink_session(sc).accuracy;
+    }
+    EXPECT_GE(smooth, bumpy - 0.02 * 3.0);
+}
+
+TEST(Integration, DetectedBlinkDurationsSeparateAlertnessStates) {
+    // Drowsy blinks are longer — visible in the *detected* durations, the
+    // basis of the drowsiness feature.
+    sim::ScenarioConfig sc = reference(600, 180.0);
+    sc.alertness = physio::Alertness::kAwake;
+    const auto awake = sim::simulate_session(sc);
+    sc.alertness = physio::Alertness::kDrowsy;
+    sc.seed = 601;
+    const auto drowsy = sim::simulate_session(sc);
+
+    auto median_duration = [](const sim::SimulatedSession& s) {
+        const auto res = core::detect_blinks(s.frames, s.radar);
+        std::vector<double> durs;
+        for (const auto& b : res.blinks) durs.push_back(b.duration_s);
+        std::sort(durs.begin(), durs.end());
+        return durs.empty() ? 0.0 : durs[durs.size() / 2];
+    };
+    EXPECT_GT(median_duration(drowsy), median_duration(awake));
+}
+
+TEST(Integration, EndToEndDrowsinessDetection) {
+    eval::DrowsyExperimentOptions opt;
+    opt.train_minutes_per_class = 3.0;
+    opt.test_minutes_per_class = 4.0;
+    const eval::DrowsyScore score =
+        eval::run_drowsy_experiment(reference(700), opt);
+    EXPECT_GT(score.accuracy, 0.5);
+    EXPECT_EQ(score.windows, 8u);
+}
+
+TEST(Integration, SaturatedFramesDoNotCrashThePipeline) {
+    // Failure injection: clip all I/Q samples to a saturation rail for a
+    // stretch of frames (receiver overload) mid-session.
+    const sim::SimulatedSession s = sim::simulate_session(reference(800, 60.0));
+    core::BlinkRadarPipeline pipe(s.radar);
+    for (std::size_t i = 0; i < s.frames.size(); ++i) {
+        radar::RadarFrame f = s.frames[i];
+        if (i > 500 && i < 560) {
+            for (auto& v : f.bins) {
+                v = dsp::Complex(std::clamp(v.real(), -0.5, 0.5),
+                                 std::clamp(v.imag(), -0.5, 0.5));
+            }
+        }
+        EXPECT_NO_THROW(pipe.process(f));
+    }
+}
+
+TEST(Integration, ZeroVarianceFramesKeepPipelineInColdStart) {
+    // Failure injection: frozen hardware output (all frames identical).
+    radar::RadarConfig cfg;
+    radar::RadarFrame frozen;
+    frozen.bins.assign(cfg.n_bins(), dsp::Complex(0.3, -0.2));
+    core::BlinkRadarPipeline pipe(cfg);
+    for (int i = 0; i < 300; ++i) {
+        frozen.timestamp_s = i * cfg.frame_period_s;
+        const core::FrameResult r = pipe.process(frozen);
+        EXPECT_FALSE(r.blink.has_value());
+    }
+    EXPECT_TRUE(pipe.blinks().empty());
+}
+
+}  // namespace
+}  // namespace blinkradar

@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "common/random.hpp"
+#include "core/levd.hpp"
+
+namespace blinkradar::core {
+namespace {
+
+constexpr double kFps = 25.0;
+
+/// Feed a waveform into LEVD and collect the detections.
+std::vector<DetectedBlink> run(Levd& levd, const std::vector<double>& wave) {
+    std::vector<DetectedBlink> out;
+    for (std::size_t i = 0; i < wave.size(); ++i) {
+        const auto b = levd.push(static_cast<double>(i) / kFps, wave[i]);
+        if (b) out.push_back(*b);
+    }
+    return out;
+}
+
+/// Baseline + noise + raised-cosine bumps at the given frame indices.
+std::vector<double> synth_wave(std::size_t frames, double noise_sigma,
+                               const std::vector<std::size_t>& bump_starts,
+                               double bump_height, std::size_t bump_len,
+                               Rng& rng) {
+    std::vector<double> w(frames, 1.0);
+    for (auto& v : w) v += rng.normal(0, noise_sigma);
+    for (const std::size_t s : bump_starts) {
+        for (std::size_t k = 0; k < bump_len && s + k < frames; ++k) {
+            const double u = static_cast<double>(k) /
+                             static_cast<double>(bump_len - 1);
+            w[s + k] += bump_height * 0.5 *
+                        (1.0 - std::cos(2.0 * 3.14159265358979 * u));
+        }
+    }
+    return w;
+}
+
+TEST(Levd, DetectsClearBumps) {
+    Rng rng(1);
+    Levd levd(PipelineConfig{}, kFps);
+    // Three 8-frame (320 ms) bumps of height 0.05 over sigma 0.002 noise.
+    const auto wave = synth_wave(1000, 0.002, {300, 500, 800}, 0.05, 8, rng);
+    const auto blinks = run(levd, wave);
+    ASSERT_EQ(blinks.size(), 3u);
+    EXPECT_NEAR(blinks[0].peak_s, 304.0 / kFps, 0.2);
+    EXPECT_NEAR(blinks[1].peak_s, 504.0 / kFps, 0.2);
+    EXPECT_NEAR(blinks[2].peak_s, 804.0 / kFps, 0.2);
+}
+
+// The statistical tests below pin threshold_sigma = 6: the library
+// default (5.5) deliberately trades a sliver of noise immunity for
+// recall, and these tests characterise the conservative operating point.
+PipelineConfig strict_config() {
+    PipelineConfig pc;
+    pc.threshold_sigma = 6.0;
+    return pc;
+}
+
+TEST(Levd, MagnitudeAndStrengthReported) {
+    Rng rng(2);
+    Levd levd(strict_config(), kFps);
+    const auto wave = synth_wave(800, 0.002, {400}, 0.06, 8, rng);
+    const auto blinks = run(levd, wave);
+    ASSERT_EQ(blinks.size(), 1u);
+    EXPECT_NEAR(blinks[0].magnitude, 0.06, 0.02);
+    EXPECT_GT(blinks[0].strength, 2.0);
+}
+
+TEST(Levd, IgnoresPureNoise) {
+    Rng rng(3);
+    Levd levd(strict_config(), kFps);
+    const auto wave = synth_wave(2000, 0.003, {}, 0.0, 8, rng);
+    EXPECT_TRUE(run(levd, wave).empty());
+}
+
+TEST(Levd, ThresholdTracksNoiseLevel) {
+    Rng rng(4);
+    PipelineConfig pc;
+    Levd quiet(pc, kFps), loud(pc, kFps);
+    run(quiet, synth_wave(500, 0.001, {}, 0.0, 8, rng));
+    run(loud, synth_wave(500, 0.01, {}, 0.0, 8, rng));
+    EXPECT_GT(quiet.threshold(), 0.0);
+    EXPECT_GT(loud.threshold(), 4.0 * quiet.threshold());
+}
+
+TEST(Levd, SubThresholdBumpsAreMissed) {
+    Rng rng(5);
+    Levd levd(strict_config(), kFps);
+    // Height only ~2 sigma-equivalent: below the 6-sigma bar.
+    const auto wave = synth_wave(1000, 0.004, {500}, 0.006, 8, rng);
+    EXPECT_TRUE(run(levd, wave).empty());
+}
+
+TEST(Levd, SlowRiseIsRejected) {
+    // A respiration-like swell (3.6 s wide, a few local sigma tall) must
+    // not fire: near its blunt top it climbs far too slowly to satisfy
+    // the rise threshold within the eyelid-closure time window.
+    Rng rng(6);
+    Levd levd(strict_config(), kFps);
+    const auto wave = synth_wave(1200, 0.002, {400, 700, 1000}, 0.02, 90, rng);
+    EXPECT_TRUE(run(levd, wave).empty());
+}
+
+TEST(Levd, RefractorySuppressesDoubleCounting) {
+    Rng rng(7);
+    PipelineConfig pc;
+    Levd levd(pc, kFps);
+    // Two bumps 5 frames apart (0.2 s < 0.35 s refractory): one event.
+    const auto wave = synth_wave(800, 0.002, {400, 405}, 0.05, 5, rng);
+    EXPECT_EQ(run(levd, wave).size(), 1u);
+}
+
+TEST(Levd, BlinksOnRisingBaselineAreStillCaught) {
+    // Regression test: the windowed-minimum rise measurement must keep
+    // blinks detectable on a monotonically rising baseline (an early
+    // strict-local-minimum version lost them).
+    Rng rng(8);
+    Levd levd(PipelineConfig{}, kFps);
+    auto wave = synth_wave(1000, 0.002, {600}, 0.06, 8, rng);
+    for (std::size_t i = 0; i < wave.size(); ++i)
+        wave[i] += 0.0004 * static_cast<double>(i);  // slow upward drift
+    EXPECT_EQ(run(levd, wave).size(), 1u);
+}
+
+TEST(Levd, WarmUpEnablesImmediateDetection) {
+    Rng rng(9);
+    PipelineConfig pc;
+    Levd cold(pc, kFps), warmed(pc, kFps);
+    const auto quiet = synth_wave(100, 0.002, {}, 0.0, 8, rng);
+    for (std::size_t i = 0; i < quiet.size(); ++i)
+        warmed.warm_up(static_cast<double>(i) / kFps, quiet[i]);
+    EXPECT_GT(warmed.threshold(), 0.0);
+    EXPECT_DOUBLE_EQ(cold.threshold(), 0.0);
+    // A bump right after warm-up is caught.
+    Rng rng2(10);
+    const auto wave = synth_wave(100, 0.002, {30}, 0.05, 8, rng2);
+    std::vector<DetectedBlink> out;
+    for (std::size_t i = 0; i < wave.size(); ++i) {
+        const auto b =
+            warmed.push(4.0 + static_cast<double>(i) / kFps, wave[i]);
+        if (b) out.push_back(*b);
+    }
+    EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(Levd, ResetClearsState) {
+    Rng rng(11);
+    Levd levd(PipelineConfig{}, kFps);
+    run(levd, synth_wave(500, 0.002, {}, 0.0, 8, rng));
+    EXPECT_GT(levd.threshold(), 0.0);
+    levd.reset();
+    EXPECT_DOUBLE_EQ(levd.threshold(), 0.0);
+    EXPECT_DOUBLE_EQ(levd.noise_sigma(), 0.0);
+}
+
+class ThresholdSigmas : public ::testing::TestWithParam<double> {};
+
+TEST_P(ThresholdSigmas, HigherSigmaDetectsFewer) {
+    // Property: detections are monotonically non-increasing in the
+    // threshold multiplier.
+    Rng rng(12);
+    const auto wave =
+        synth_wave(3000, 0.004, {300, 700, 1100, 1500, 1900, 2300, 2700},
+                   0.028, 8, rng);
+    PipelineConfig lo_cfg, hi_cfg;
+    lo_cfg.threshold_sigma = GetParam();
+    hi_cfg.threshold_sigma = GetParam() + 3.0;
+    Levd lo(lo_cfg, kFps), hi(hi_cfg, kFps);
+    Rng r1(13), r2(13);
+    const auto n_lo = run(lo, wave).size();
+    const auto n_hi = run(hi, wave).size();
+    EXPECT_GE(n_lo, n_hi);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sigmas, ThresholdSigmas,
+                         ::testing::Values(3.0, 5.0, 7.0));
+
+TEST(Levd, InvalidConfigThrows) {
+    PipelineConfig pc;
+    pc.threshold_sigma = 0.0;
+    EXPECT_THROW(Levd(pc, kFps), blinkradar::ContractViolation);
+    EXPECT_THROW(Levd(PipelineConfig{}, 0.0), blinkradar::ContractViolation);
+}
+
+}  // namespace
+}  // namespace blinkradar::core

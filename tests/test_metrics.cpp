@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+#include "eval/metrics.hpp"
+
+namespace blinkradar::eval {
+namespace {
+
+physio::BlinkEvent truth(double start, double dur = 0.2) {
+    return physio::BlinkEvent{start, dur};
+}
+
+core::DetectedBlink det(double peak) {
+    return core::DetectedBlink{peak, 0.3, 0.05, 3.0};
+}
+
+TEST(Metrics, PerfectDetectionScoresFull) {
+    const std::vector<physio::BlinkEvent> t = {truth(1.0), truth(5.0),
+                                               truth(9.0)};
+    const std::vector<core::DetectedBlink> d = {det(1.1), det(5.1), det(9.1)};
+    const MatchResult m = match_blinks(t, d);
+    EXPECT_EQ(m.matched, 3u);
+    EXPECT_DOUBLE_EQ(m.accuracy(), 1.0);
+    EXPECT_DOUBLE_EQ(m.precision(), 1.0);
+    EXPECT_DOUBLE_EQ(m.f1(), 1.0);
+    EXPECT_EQ(m.false_positives(), 0u);
+    EXPECT_EQ(m.missed(), 0u);
+}
+
+TEST(Metrics, ToleranceBoundsMatching) {
+    const std::vector<physio::BlinkEvent> t = {truth(5.0)};
+    // truth mid = 5.1; detection 0.3 s away matches at 0.4 tolerance but
+    // not at 0.2.
+    const std::vector<core::DetectedBlink> d = {det(5.4)};
+    EXPECT_EQ(match_blinks(t, d, 0.4).matched, 1u);
+    EXPECT_EQ(match_blinks(t, d, 0.2).matched, 0u);
+}
+
+TEST(Metrics, DetectionUsedOnlyOnce) {
+    // Two truth blinks near one detection: only one can match.
+    const std::vector<physio::BlinkEvent> t = {truth(5.0), truth(5.3)};
+    const std::vector<core::DetectedBlink> d = {det(5.2)};
+    const MatchResult m = match_blinks(t, d);
+    EXPECT_EQ(m.matched, 1u);
+    EXPECT_EQ(m.missed(), 1u);
+}
+
+TEST(Metrics, FalsePositivesCounted) {
+    const std::vector<physio::BlinkEvent> t = {truth(5.0)};
+    const std::vector<core::DetectedBlink> d = {det(5.1), det(20.0),
+                                                det(30.0)};
+    const MatchResult m = match_blinks(t, d);
+    EXPECT_EQ(m.matched, 1u);
+    EXPECT_EQ(m.false_positives(), 2u);
+    EXPECT_DOUBLE_EQ(m.precision(), 1.0 / 3.0);
+}
+
+TEST(Metrics, TruthHitFlagsAlignWithEvents) {
+    const std::vector<physio::BlinkEvent> t = {truth(1.0), truth(5.0),
+                                               truth(9.0)};
+    const std::vector<core::DetectedBlink> d = {det(1.1), det(9.1)};
+    const MatchResult m = match_blinks(t, d);
+    ASSERT_EQ(m.truth_hit.size(), 3u);
+    EXPECT_TRUE(m.truth_hit[0]);
+    EXPECT_FALSE(m.truth_hit[1]);
+    EXPECT_TRUE(m.truth_hit[2]);
+}
+
+TEST(Metrics, EmptyInputsBehave) {
+    const MatchResult none = match_blinks({}, {});
+    EXPECT_DOUBLE_EQ(none.accuracy(), 1.0);
+    EXPECT_DOUBLE_EQ(none.precision(), 1.0);
+    const std::vector<core::DetectedBlink> d = {det(1.0)};
+    const MatchResult fp_only = match_blinks({}, d);
+    EXPECT_DOUBLE_EQ(fp_only.accuracy(), 1.0);
+    EXPECT_DOUBLE_EQ(fp_only.precision(), 0.0);
+}
+
+TEST(Metrics, MissRunStatsCountRunLengths) {
+    //                   1     1  1        2           3+
+    const std::vector<bool> hits = {false, true, false, true, false, true,
+                                    false, false, true, false, false, false,
+                                    true};
+    const MissRunStats s = miss_run_stats(hits);
+    // 13 truth blinks: three 1-runs, one 2-run, one 3-run.
+    EXPECT_NEAR(s.pct_run1, 100.0 * 3.0 / 13.0, 1e-9);
+    EXPECT_NEAR(s.pct_run2, 100.0 * 1.0 / 13.0, 1e-9);
+    EXPECT_NEAR(s.pct_run3, 100.0 * 1.0 / 13.0, 1e-9);
+}
+
+TEST(Metrics, MissRunStatsAllHit) {
+    const std::vector<bool> hits(20, true);
+    const MissRunStats s = miss_run_stats(hits);
+    EXPECT_DOUBLE_EQ(s.pct_run1, 0.0);
+    EXPECT_DOUBLE_EQ(s.pct_run2, 0.0);
+    EXPECT_DOUBLE_EQ(s.pct_run3, 0.0);
+}
+
+TEST(Metrics, MissRunStatsEmpty) {
+    const MissRunStats s = miss_run_stats({});
+    EXPECT_DOUBLE_EQ(s.pct_run1, 0.0);
+}
+
+TEST(Metrics, GreedyMatchingPrefersClosest) {
+    const std::vector<physio::BlinkEvent> t = {truth(5.0)};
+    const std::vector<core::DetectedBlink> d = {det(5.3), det(5.12)};
+    const MatchResult m = match_blinks(t, d);
+    EXPECT_EQ(m.matched, 1u);
+    // The 5.12 detection (nearest to truth mid 5.1) is consumed; 5.3 is FP.
+    EXPECT_EQ(m.false_positives(), 1u);
+}
+
+TEST(Metrics, ToleranceMustBePositive) {
+    EXPECT_THROW(match_blinks({}, {}, 0.0), blinkradar::ContractViolation);
+}
+
+}  // namespace
+}  // namespace blinkradar::eval

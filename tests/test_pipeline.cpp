@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "common/random.hpp"
+#include "core/pipeline.hpp"
+#include "eval/metrics.hpp"
+#include "physio/driver_profile.hpp"
+#include "sim/scenario.hpp"
+
+namespace blinkradar::core {
+namespace {
+
+sim::ScenarioConfig reference_scenario(std::uint64_t seed,
+                                       Seconds duration = 60.0) {
+    sim::ScenarioConfig sc;
+    Rng rng(42);
+    sc.driver = physio::sample_participants(1, rng).front();
+    sc.duration_s = duration;
+    sc.seed = seed;
+    return sc;
+}
+
+TEST(Pipeline, ColdStartLastsFiftyChirps) {
+    const sim::SimulatedSession s = simulate_session(reference_scenario(1, 10.0));
+    BlinkRadarPipeline pipe(s.radar);
+    std::size_t cold_frames = 0;
+    for (const auto& f : s.frames) {
+        const FrameResult r = pipe.process(f);
+        if (r.cold_start)
+            ++cold_frames;
+        else
+            break;
+    }
+    // Paper: 50 chirps (2 s) one-time cold start.
+    EXPECT_GE(cold_frames, 49u);
+    EXPECT_LE(cold_frames, 60u);
+}
+
+TEST(Pipeline, SelectsTheFaceEyeRegionBin) {
+    const sim::SimulatedSession s = simulate_session(reference_scenario(2, 30.0));
+    BlinkRadarPipeline pipe(s.radar);
+    for (const auto& f : s.frames) pipe.process(f);
+    ASSERT_TRUE(pipe.selected_bin().has_value());
+    const double range = static_cast<double>(*pipe.selected_bin()) *
+                         s.radar.bin_spacing_m;
+    // Eye at 0.40 m, face composite at 0.44 m: the carrier bin must be in
+    // that neighbourhood, not at the chest (0.62) or clutter.
+    EXPECT_GE(range, 0.30);
+    EXPECT_LE(range, 0.52);
+}
+
+TEST(Pipeline, DetectsMostBlinksAtReferenceConditions) {
+    // Averaged over a few seeds to damp single-session variance.
+    double accuracy = 0.0, precision = 0.0;
+    constexpr int kSessions = 3;
+    for (int i = 0; i < kSessions; ++i) {
+        const sim::SimulatedSession s =
+            simulate_session(reference_scenario(3 + 100 * i, 120.0));
+        const BatchResult result = detect_blinks(s.frames, s.radar);
+        const eval::MatchResult m =
+            eval::match_blinks(s.truth.blinks, result.blinks);
+        accuracy += m.accuracy();
+        precision += m.precision();
+    }
+    EXPECT_GT(accuracy / kSessions, 0.8);
+    EXPECT_GT(precision / kSessions, 0.5);
+}
+
+TEST(Pipeline, StreamingEqualsBatch) {
+    const sim::SimulatedSession s = simulate_session(reference_scenario(4, 40.0));
+    BlinkRadarPipeline streaming(s.radar);
+    for (const auto& f : s.frames) streaming.process(f);
+    const BatchResult batch = detect_blinks(s.frames, s.radar);
+    ASSERT_EQ(streaming.blinks().size(), batch.blinks.size());
+    for (std::size_t i = 0; i < batch.blinks.size(); ++i)
+        EXPECT_DOUBLE_EQ(streaming.blinks()[i].peak_s,
+                         batch.blinks[i].peak_s);
+}
+
+TEST(Pipeline, RestartsOnInjectedPostureShift) {
+    sim::ScenarioConfig sc = reference_scenario(5, 60.0);
+    sc.head_motion.shift_rate_per_min = 3.0;   // frequent...
+    sc.head_motion.shift_amplitude_m = 0.08;   // ...and unambiguously large
+    const sim::SimulatedSession s = simulate_session(sc);
+    ASSERT_FALSE(s.truth.posture_shifts.empty());
+    const BatchResult result = detect_blinks(s.frames, s.radar);
+    EXPECT_GE(result.restarts, 1u);
+}
+
+TEST(Pipeline, NoRestartsWhenDriverIsStill) {
+    sim::ScenarioConfig sc = reference_scenario(6, 60.0);
+    sc.environment = sim::Environment::kLaboratory;
+    sc.include_body_events = false;
+    sc.head_motion.shift_rate_per_min = 0.0;
+    const sim::SimulatedSession s = simulate_session(sc);
+    const BatchResult result = detect_blinks(s.frames, s.radar);
+    EXPECT_EQ(result.restarts, 0u);
+}
+
+TEST(Pipeline, RecoversAfterRestart) {
+    sim::ScenarioConfig sc = reference_scenario(7, 90.0);
+    sc.head_motion.shift_rate_per_min = 1.0;
+    sc.head_motion.shift_amplitude_m = 0.08;
+    const sim::SimulatedSession s = simulate_session(sc);
+    BlinkRadarPipeline pipe(s.radar);
+    Seconds last_restart = -1.0;
+    Seconds last_blink = -1.0;
+    for (const auto& f : s.frames) {
+        const FrameResult r = pipe.process(f);
+        if (r.restarted) last_restart = f.timestamp_s;
+        if (r.blink) last_blink = f.timestamp_s;
+    }
+    ASSERT_GT(last_restart, 0.0);  // at least one restart happened
+    // Blinks are detected again after the final restart.
+    EXPECT_GT(last_blink, last_restart);
+}
+
+TEST(Pipeline, EmptySceneStaysInColdStart) {
+    // No driver: only static clutter and noise. The pipeline must never
+    // claim a selection or emit blinks.
+    radar::RadarConfig cfg;
+    std::vector<radar::DynamicPath> paths;
+    paths.push_back(radar::DynamicPath{
+        "seat", [](Seconds) { return 0.8; }, [](Seconds) { return 3.0; }});
+    radar::FrameSimulator sim(cfg, paths, Rng(1));
+    BlinkRadarPipeline pipe(cfg);
+    for (int i = 0; i < 500; ++i) {
+        const FrameResult r = pipe.process(sim.next());
+        EXPECT_TRUE(r.cold_start);
+    }
+    EXPECT_FALSE(pipe.selected_bin().has_value());
+    EXPECT_TRUE(pipe.blinks().empty());
+}
+
+TEST(Pipeline, DroppedFramesDegradeGracefully) {
+    // Feed only every third frame (simulates frame drops): the pipeline
+    // must not crash and should still find some blinks.
+    const sim::SimulatedSession s = simulate_session(reference_scenario(8, 120.0));
+    BlinkRadarPipeline pipe(s.radar);
+    for (std::size_t i = 0; i < s.frames.size(); i += 3)
+        pipe.process(s.frames[i]);
+    SUCCEED();
+}
+
+TEST(Pipeline, WaveformModesProduceDifferentDetectors) {
+    const sim::SimulatedSession s = simulate_session(reference_scenario(9, 60.0));
+    PipelineConfig amp_cfg;
+    amp_cfg.waveform_mode = WaveformMode::kAmplitude;
+    PipelineConfig arc_cfg;  // default
+    const BatchResult amp = detect_blinks(s.frames, s.radar, amp_cfg);
+    const BatchResult arc = detect_blinks(s.frames, s.radar, arc_cfg);
+    const auto m_amp = eval::match_blinks(s.truth.blinks, amp.blinks);
+    const auto m_arc = eval::match_blinks(s.truth.blinks, arc.blinks);
+    // The paper's core claim: the I/Q arc method beats 1-D amplitude.
+    EXPECT_GT(m_arc.accuracy(), m_amp.accuracy());
+}
+
+TEST(Pipeline, RejectsWrongBinCount) {
+    radar::RadarConfig cfg;
+    BlinkRadarPipeline pipe(cfg);
+    radar::RadarFrame bad;
+    bad.bins.assign(10, dsp::Complex(0, 0));
+    EXPECT_THROW(pipe.process(bad), blinkradar::ContractViolation);
+}
+
+TEST(Pipeline, RejectsBadConfig) {
+    radar::RadarConfig cfg;
+    PipelineConfig pc;
+    pc.cold_start_frames = 2;
+    EXPECT_THROW(BlinkRadarPipeline(cfg, pc), blinkradar::ContractViolation);
+}
+
+}  // namespace
+}  // namespace blinkradar::core

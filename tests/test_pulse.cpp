@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "common/units.hpp"
+#include "dsp/fft.hpp"
+#include "radar/pulse.hpp"
+
+namespace blinkradar::radar {
+namespace {
+
+constexpr double kFc = 7.3e9;
+constexpr double kBw = 1.4e9;
+
+TEST(GaussianPulse, SigmaMatchesMinus10dBBandwidth) {
+    const GaussianPulse p(1.0, kBw, kFc);
+    // Analytic check: the baseband spectrum magnitude at f = B/2 must be
+    // -10 dB in power (10^-0.5 in amplitude) relative to DC.
+    // |S(f)| = exp(-2 pi^2 sigma^2 f^2).
+    const double f_edge = kBw / 2.0;
+    const double ratio = std::exp(-2.0 * constants::kPi * constants::kPi *
+                                  p.sigma_s() * p.sigma_s() * f_edge * f_edge);
+    EXPECT_NEAR(ratio, std::pow(10.0, -0.5), 1e-9);
+}
+
+TEST(GaussianPulse, BasebandPeaksAtCentreWithAmplitude) {
+    const GaussianPulse p(2.5, kBw, kFc);
+    EXPECT_NEAR(p.baseband(p.duration_s() / 2.0), 2.5, 1e-12);
+    // Symmetric about the centre.
+    EXPECT_NEAR(p.baseband(p.duration_s() / 2.0 - 0.1e-9),
+                p.baseband(p.duration_s() / 2.0 + 0.1e-9), 1e-12);
+}
+
+TEST(GaussianPulse, EnvelopeIsNegligibleAtEdges) {
+    const GaussianPulse p(1.0, kBw, kFc);
+    EXPECT_LT(p.baseband(0.0), 0.015);
+    EXPECT_LT(p.baseband(p.duration_s()), 0.015);
+}
+
+TEST(GaussianPulse, DurationIsAboutTwoNanoseconds) {
+    // The paper's Fig. 5a shows a ~2 ns burst for the 1.4 GHz pulse.
+    const GaussianPulse p(1.0, kBw, kFc);
+    EXPECT_NEAR(p.duration_s() * 1e9, 2.0, 0.3);
+}
+
+TEST(GaussianPulse, TransmittedIsEnvelopeTimesCarrier) {
+    const GaussianPulse p(1.0, kBw, kFc);
+    const Seconds t = 0.9e-9;
+    EXPECT_NEAR(p.transmitted(t),
+                p.baseband(t) * std::cos(constants::kTwoPi * kFc * t), 1e-12);
+}
+
+TEST(GaussianPulse, SpectrumCentredOnCarrier) {
+    const GaussianPulse p(1.0, kBw, kFc);
+    const double fs = 32e9;
+    dsp::RealSignal tx = p.sample_transmitted(fs);
+    tx.resize(8192, 0.0);
+    const dsp::RealSignal mag = dsp::magnitude_spectrum_real(tx);
+    std::size_t peak = 0;
+    for (std::size_t i = 0; i < mag.size(); ++i)
+        if (mag[i] > mag[peak]) peak = i;
+    const double bin_hz = fs / static_cast<double>(2 * (mag.size() - 1));
+    EXPECT_NEAR(static_cast<double>(peak) * bin_hz, kFc, 2.5 * bin_hz);
+}
+
+class PsfWidths : public ::testing::TestWithParam<double> {};
+
+TEST_P(PsfWidths, RangePsfSigmaScalesInverselyWithBandwidth) {
+    const double bw = GetParam();
+    const GaussianPulse p(1.0, bw, kFc);
+    // sigma_r = c * sigma_p * sqrt(2) / 2 and sigma_p ~ 1/B.
+    const double expected = constants::kSpeedOfLight *
+                            std::sqrt(std::log(10.0)) /
+                            (constants::kPi * bw) * std::sqrt(2.0) / 2.0;
+    EXPECT_NEAR(p.range_psf_sigma_m(), expected, 1e-12);
+    // PSF is 1 at zero offset and decays monotonically.
+    EXPECT_DOUBLE_EQ(p.range_psf(0.0), 1.0);
+    EXPECT_GT(p.range_psf(0.01), p.range_psf(0.02));
+    EXPECT_NEAR(p.range_psf(5.0 * p.range_psf_sigma_m()), 0.0, 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bandwidths, PsfWidths,
+                         ::testing::Values(0.5e9, 1.0e9, 1.4e9, 2.0e9));
+
+TEST(GaussianPulse, PsfIsSymmetric) {
+    const GaussianPulse p(1.0, kBw, kFc);
+    EXPECT_DOUBLE_EQ(p.range_psf(0.03), p.range_psf(-0.03));
+}
+
+TEST(GaussianPulse, SamplingRequiresAdequateRate) {
+    const GaussianPulse p(1.0, kBw, kFc);
+    EXPECT_THROW(p.sample_transmitted(2e9), blinkradar::ContractViolation);
+    EXPECT_THROW(p.sample_baseband(1e9), blinkradar::ContractViolation);
+}
+
+TEST(GaussianPulse, InvalidParametersThrow) {
+    EXPECT_THROW(GaussianPulse(0.0, kBw, kFc), blinkradar::ContractViolation);
+    EXPECT_THROW(GaussianPulse(1.0, 0.0, kFc), blinkradar::ContractViolation);
+    EXPECT_THROW(GaussianPulse(1.0, kBw, 0.0), blinkradar::ContractViolation);
+}
+
+}  // namespace
+}  // namespace blinkradar::radar

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+#include "common/random.hpp"
+
+namespace blinkradar {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_DOUBLE_EQ(a.uniform(0, 1), b.uniform(0, 1));
+    }
+}
+
+TEST(Rng, DifferentSeedsDifferentStreams) {
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 50; ++i)
+        if (a.uniform(0, 1) == b.uniform(0, 1)) ++same;
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformStaysInRange) {
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.uniform(-2.5, 3.5);
+        EXPECT_GE(x, -2.5);
+        EXPECT_LT(x, 3.5);
+    }
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+    Rng rng(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 1000; ++i) {
+        const int v = rng.uniform_int(1, 6);
+        EXPECT_GE(v, 1);
+        EXPECT_LE(v, 6);
+        saw_lo |= v == 1;
+        saw_hi |= v == 6;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMatchesMoments) {
+    Rng rng(11);
+    double sum = 0, sq = 0;
+    constexpr int kN = 20000;
+    for (int i = 0; i < kN; ++i) {
+        const double x = rng.normal(3.0, 2.0);
+        sum += x;
+        sq += x * x;
+    }
+    const double mean = sum / kN;
+    const double var = sq / kN - mean * mean;
+    EXPECT_NEAR(mean, 3.0, 0.1);
+    EXPECT_NEAR(var, 4.0, 0.2);
+}
+
+TEST(Rng, NormalZeroStddevIsDeterministic) {
+    Rng rng(1);
+    EXPECT_DOUBLE_EQ(rng.normal(5.0, 0.0), 5.0);
+}
+
+TEST(Rng, ExponentialMatchesMean) {
+    Rng rng(13);
+    double sum = 0;
+    constexpr int kN = 20000;
+    for (int i = 0; i < kN; ++i) sum += rng.exponential(2.5);
+    EXPECT_NEAR(sum / kN, 2.5, 0.1);
+}
+
+TEST(Rng, GammaMatchesMean) {
+    Rng rng(17);
+    double sum = 0;
+    constexpr int kN = 20000;
+    for (int i = 0; i < kN; ++i) sum += rng.gamma(2.0, 1.5);
+    EXPECT_NEAR(sum / kN, 3.0, 0.1);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+    Rng rng(19);
+    int hits = 0;
+    constexpr int kN = 20000;
+    for (int i = 0; i < kN; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.02);
+}
+
+TEST(Rng, ForkIsDeterministicAndIndependent) {
+    Rng a(5);
+    Rng a_child = a.fork();
+    Rng b(5);
+    Rng b_child = b.fork();
+    // Same parent seed => same child stream.
+    for (int i = 0; i < 10; ++i)
+        EXPECT_DOUBLE_EQ(a_child.uniform(0, 1), b_child.uniform(0, 1));
+}
+
+TEST(Rng, ForkedChildDiffersFromParent) {
+    Rng parent(21);
+    Rng child = parent.fork();
+    int same = 0;
+    for (int i = 0; i < 50; ++i)
+        if (parent.uniform(0, 1) == child.uniform(0, 1)) ++same;
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, InvalidArgumentsThrow) {
+    Rng rng(1);
+    EXPECT_THROW(rng.uniform(2.0, 1.0), ContractViolation);
+    EXPECT_THROW(rng.exponential(0.0), ContractViolation);
+    EXPECT_THROW(rng.gamma(-1.0, 1.0), ContractViolation);
+    EXPECT_THROW(rng.bernoulli(1.5), ContractViolation);
+    EXPECT_THROW(rng.normal(0.0, -1.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace blinkradar

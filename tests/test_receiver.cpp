@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "common/units.hpp"
+#include "radar/channel.hpp"
+#include "radar/config.hpp"
+#include "radar/receiver.hpp"
+
+namespace blinkradar::radar {
+namespace {
+
+constexpr double kFs = 32e9;
+
+RadarConfig test_config() {
+    RadarConfig cfg;
+    cfg.max_range_m = 1.0;
+    cfg.noise_sigma = 0.0;
+    cfg.phase_noise_rad = 0.0;
+    return cfg;
+}
+
+dsp::ComplexSignal profile_for_path(const RadarConfig& cfg, double gain,
+                                    Meters range) {
+    const Receiver rx(cfg, kFs);
+    const dsp::RealSignal tx = rx.pulse().sample_transmitted(kFs);
+    const MultipathChannel ch({Path{"p", gain, range, 0.0}});
+    const dsp::RealSignal wave = ch.propagate(
+        tx, kFs, 0, cfg.frame_period_s,
+        2.0 * cfg.max_range_m / constants::kSpeedOfLight +
+            rx.pulse().duration_s());
+    return rx.range_profile(wave);
+}
+
+TEST(Receiver, ProfilePeaksAtPathRange) {
+    const RadarConfig cfg = test_config();
+    const dsp::ComplexSignal profile = profile_for_path(cfg, 1.0, 0.42);
+    std::size_t peak = 0;
+    for (std::size_t b = 0; b < profile.size(); ++b)
+        if (std::abs(profile[b]) > std::abs(profile[peak])) peak = b;
+    EXPECT_NEAR(static_cast<double>(peak) * cfg.bin_spacing_m, 0.42, 0.02);
+}
+
+TEST(Receiver, PeakPhaseFollowsEquation6) {
+    // A path at range R carries phase -4 pi fc R / c after downconversion
+    // — the law the whole detection method rests on (paper Eq. 6/9).
+    const RadarConfig cfg = test_config();
+    const Meters r1 = 0.400;
+    const Meters r2 = 0.4002;  // 0.2 mm further
+    const dsp::ComplexSignal p1 = profile_for_path(cfg, 1.0, r1);
+    const dsp::ComplexSignal p2 = profile_for_path(cfg, 1.0, r2);
+    const std::size_t bin = static_cast<std::size_t>(r1 / cfg.bin_spacing_m);
+    const double measured =
+        std::arg(p2[bin] * std::conj(p1[bin]));
+    const double expected = -2.0 * constants::kTwoPi * cfg.carrier_hz *
+                            (r2 - r1) / constants::kSpeedOfLight;
+    // Wrap both into (-pi, pi] for comparison.
+    const double wrap = std::remainder(expected, constants::kTwoPi);
+    EXPECT_NEAR(measured, wrap, 0.05);
+}
+
+TEST(Receiver, AmplitudeScalesWithPathGain) {
+    const RadarConfig cfg = test_config();
+    const dsp::ComplexSignal p1 = profile_for_path(cfg, 1.0, 0.4);
+    const dsp::ComplexSignal p2 = profile_for_path(cfg, 0.25, 0.4);
+    const std::size_t bin = static_cast<std::size_t>(0.4 / cfg.bin_spacing_m);
+    EXPECT_NEAR(std::abs(p2[bin]) / std::abs(p1[bin]), 0.25, 0.01);
+}
+
+TEST(Receiver, ProfileDecaysAwayFromPath) {
+    const RadarConfig cfg = test_config();
+    const dsp::ComplexSignal profile = profile_for_path(cfg, 1.0, 0.5);
+    const std::size_t bin = static_cast<std::size_t>(0.5 / cfg.bin_spacing_m);
+    const double peak = std::abs(profile[bin]);
+    const std::size_t off = static_cast<std::size_t>(0.8 / cfg.bin_spacing_m);
+    EXPECT_LT(std::abs(profile[off]), 0.02 * peak);
+}
+
+TEST(Receiver, DownconvertRejectsEmpty) {
+    const Receiver rx(test_config(), kFs);
+    EXPECT_THROW(rx.downconvert(dsp::RealSignal{}),
+                 blinkradar::ContractViolation);
+}
+
+TEST(Receiver, RequiresNyquistRate) {
+    EXPECT_THROW(Receiver(test_config(), 10e9),
+                 blinkradar::ContractViolation);
+}
+
+TEST(RadarConfig, DerivedQuantities) {
+    const RadarConfig cfg;
+    EXPECT_NEAR(cfg.range_resolution_m(), 0.107, 0.001);
+    EXPECT_DOUBLE_EQ(cfg.frame_rate_hz(), 25.0);
+    EXPECT_NEAR(cfg.wavelength_m(), 0.0411, 0.0001);
+    EXPECT_EQ(cfg.n_bins(), 151u);
+    EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(RadarConfig, ValidateCatchesNonsense) {
+    RadarConfig cfg;
+    cfg.bin_spacing_m = 0.0;
+    EXPECT_THROW(cfg.validate(), blinkradar::ContractViolation);
+    cfg = RadarConfig{};
+    cfg.bandwidth_hz = 20e9;  // > 2 fc
+    EXPECT_THROW(cfg.validate(), blinkradar::ContractViolation);
+    cfg = RadarConfig{};
+    cfg.frame_period_s = -1.0;
+    EXPECT_THROW(cfg.validate(), blinkradar::ContractViolation);
+}
+
+}  // namespace
+}  // namespace blinkradar::radar

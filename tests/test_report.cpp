@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/contracts.hpp"
+#include "eval/report.hpp"
+
+namespace blinkradar::eval {
+namespace {
+
+TEST(Report, FmtFormatsWithPrecision) {
+    EXPECT_EQ(fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(fmt(95.5, 1), "95.5");
+    EXPECT_EQ(fmt(-2.0, 0), "-2");
+}
+
+TEST(Report, TablePrintsAlignedColumns) {
+    AsciiTable t({"name", "value"});
+    t.add_row({"alpha", "1"});
+    t.add_row({"very-long-name", "22"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    // Header, rule, two rows.
+    EXPECT_NE(out.find("| very-long-name |"), std::string::npos);
+    EXPECT_NE(out.find("|---"), std::string::npos);
+    // All lines equally wide.
+    std::istringstream lines(out);
+    std::string line;
+    std::size_t width = 0;
+    while (std::getline(lines, line)) {
+        if (width == 0) width = line.size();
+        EXPECT_EQ(line.size(), width);
+    }
+}
+
+TEST(Report, NumericRowHelper) {
+    AsciiTable t({"label", "a", "b"});
+    t.add_row("row", {1.234, 5.678}, 1);
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("1.2"), std::string::npos);
+    EXPECT_NE(os.str().find("5.7"), std::string::npos);
+}
+
+TEST(Report, RowArityEnforced) {
+    AsciiTable t({"a", "b"});
+    EXPECT_THROW(t.add_row({"only-one"}), blinkradar::ContractViolation);
+    EXPECT_THROW(t.add_row("label", {1.0, 2.0}),
+                 blinkradar::ContractViolation);
+}
+
+TEST(Report, BannerHasTitle) {
+    std::ostringstream os;
+    banner(os, "Fig. 13a");
+    EXPECT_NE(os.str().find("== Fig. 13a =="), std::string::npos);
+}
+
+TEST(Report, EmptyHeadersRejected) {
+    EXPECT_THROW(AsciiTable({}), blinkradar::ContractViolation);
+}
+
+}  // namespace
+}  // namespace blinkradar::eval

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "common/random.hpp"
+#include "dsp/fft.hpp"
+#include "physio/respiration.hpp"
+
+namespace blinkradar::physio {
+namespace {
+
+constexpr double kFs = 100.0;
+
+TEST(Respiration, ChestDisplacementWithinAmplitude) {
+    RespirationParams params;
+    params.chest_amplitude_m = 0.04;
+    const RespirationModel m(params, 60.0, kFs, Rng(1));
+    for (double t = 0.0; t < 60.0; t += 0.05) {
+        EXPECT_LE(std::abs(m.chest_displacement(t)), 0.021);
+    }
+}
+
+TEST(Respiration, HeadTracksChestPhaseWithSmallerAmplitude) {
+    RespirationParams params;
+    params.chest_amplitude_m = 0.04;
+    params.head_amplitude_m = 0.0015;
+    const RespirationModel m(params, 30.0, kFs, Rng(2));
+    for (double t = 1.0; t < 30.0; t += 0.21) {
+        const double chest = m.chest_displacement(t);
+        const double head = m.head_displacement(t);
+        // Same waveform, scaled by the amplitude ratio.
+        EXPECT_NEAR(head, chest * 0.0015 / 0.04, 1e-12);
+    }
+}
+
+TEST(Respiration, DominantFrequencyNearConfiguredRate) {
+    RespirationParams params;
+    params.rate_hz = 0.25;
+    params.rate_jitter = 0.02;
+    const RespirationModel m(params, 120.0, kFs, Rng(3));
+    dsp::RealSignal x(4096);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        x[i] = m.chest_displacement(static_cast<double>(i) / 25.0);
+    const dsp::RealSignal mag = dsp::magnitude_spectrum_real(x);
+    std::size_t peak = 1;  // skip DC
+    for (std::size_t k = 1; k < mag.size(); ++k)
+        if (mag[k] > mag[peak]) peak = k;
+    const double peak_hz = static_cast<double>(peak) * 25.0 / 4096.0;
+    EXPECT_NEAR(peak_hz, 0.25, 0.05);
+}
+
+TEST(Respiration, QuasiPeriodicNotExactlyPeriodic) {
+    RespirationParams params;
+    params.rate_jitter = 0.08;
+    const RespirationModel m(params, 120.0, kFs, Rng(4));
+    // Compare cycle-to-cycle: displacement at t and t + nominal period
+    // should drift apart over many cycles.
+    const double period = 1.0 / params.rate_hz;
+    double max_diff = 0.0;
+    for (int cycle = 1; cycle < 25; ++cycle) {
+        const double d = std::abs(m.chest_displacement(10.0) -
+                                  m.chest_displacement(10.0 + cycle * period));
+        max_diff = std::max(max_diff, d);
+    }
+    EXPECT_GT(max_diff, 0.002);
+}
+
+TEST(Respiration, DeterministicForSeed) {
+    const RespirationParams params;
+    const RespirationModel a(params, 20.0, kFs, Rng(9));
+    const RespirationModel b(params, 20.0, kFs, Rng(9));
+    for (double t = 0.0; t < 20.0; t += 0.37)
+        EXPECT_DOUBLE_EQ(a.chest_displacement(t), b.chest_displacement(t));
+}
+
+TEST(Respiration, InvalidParamsThrow) {
+    RespirationParams params;
+    params.rate_hz = 0.0;
+    EXPECT_THROW(RespirationModel(params, 10.0, kFs, Rng(1)),
+                 blinkradar::ContractViolation);
+    params = RespirationParams{};
+    EXPECT_THROW(RespirationModel(params, 0.0, kFs, Rng(1)),
+                 blinkradar::ContractViolation);
+    EXPECT_THROW(RespirationModel(params, 10.0, 0.5, Rng(1)),
+                 blinkradar::ContractViolation);
+}
+
+}  // namespace
+}  // namespace blinkradar::physio

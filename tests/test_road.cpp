@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "vehicle/road.hpp"
+
+namespace blinkradar::vehicle {
+namespace {
+
+TEST(Road, AllNineTypesEnumerated) {
+    EXPECT_EQ(all_road_types().size(), 9u);
+}
+
+TEST(Road, ClassGroupingMatchesPaperFig16b) {
+    EXPECT_EQ(road_class(RoadType::kSmoothHighway), RoadClass::kSmooth);
+    EXPECT_EQ(road_class(RoadType::kBumpyRoad), RoadClass::kBumpy);
+    EXPECT_EQ(road_class(RoadType::kUphill), RoadClass::kSlope);
+    EXPECT_EQ(road_class(RoadType::kDownhill), RoadClass::kSlope);
+    EXPECT_EQ(road_class(RoadType::kIntersection), RoadClass::kManeuver);
+    EXPECT_EQ(road_class(RoadType::kLeftTurn), RoadClass::kManeuver);
+    EXPECT_EQ(road_class(RoadType::kRightTurn), RoadClass::kManeuver);
+    EXPECT_EQ(road_class(RoadType::kRoundabout), RoadClass::kManeuver);
+    EXPECT_EQ(road_class(RoadType::kUTurn), RoadClass::kManeuver);
+}
+
+TEST(Road, BumpyHasMostVibrationEnergy) {
+    const auto smooth = vibration_spec(RoadType::kSmoothHighway);
+    const auto bumpy = vibration_spec(RoadType::kBumpyRoad);
+    EXPECT_GT(bumpy.continuous_rms_m, smooth.continuous_rms_m * 3.0);
+    EXPECT_GT(bumpy.bump_rate_per_min, 0.0);
+    EXPECT_DOUBLE_EQ(smooth.bump_rate_per_min, 0.0);
+}
+
+TEST(Road, ManeuversSwayMoreThanSlopes) {
+    const auto slope = vibration_spec(RoadType::kUphill);
+    const auto turn = vibration_spec(RoadType::kLeftTurn);
+    const auto uturn = vibration_spec(RoadType::kUTurn);
+    EXPECT_GT(turn.sway_amplitude_m, slope.sway_amplitude_m);
+    EXPECT_GT(uturn.sway_amplitude_m, turn.sway_amplitude_m);
+}
+
+TEST(Road, DisturbanceOrderingSmoothToBumpy) {
+    // The paper's Fig. 16b ordering: smooth disturbs least; bumpy most.
+    auto energy = [](RoadType t) {
+        const auto s = vibration_spec(t);
+        return s.continuous_rms_m + s.bump_rate_per_min * s.bump_amplitude_m +
+               0.1 * s.sway_amplitude_m;
+    };
+    EXPECT_LT(energy(RoadType::kSmoothHighway), energy(RoadType::kUphill));
+    EXPECT_LT(energy(RoadType::kUphill), energy(RoadType::kRoundabout));
+    EXPECT_LT(energy(RoadType::kRoundabout), energy(RoadType::kBumpyRoad));
+}
+
+TEST(Road, NamesAreUniqueAndNonEmpty) {
+    std::vector<std::string> names;
+    for (const RoadType t : all_road_types()) {
+        const std::string n = to_string(t);
+        EXPECT_FALSE(n.empty());
+        for (const auto& prev : names) EXPECT_NE(prev, n);
+        names.push_back(n);
+    }
+    EXPECT_EQ(to_string(RoadClass::kSmooth), "smooth");
+    EXPECT_EQ(to_string(RoadClass::kManeuver), "maneuver");
+}
+
+}  // namespace
+}  // namespace blinkradar::vehicle

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "common/random.hpp"
+#include "physio/driver_profile.hpp"
+#include "sim/scenario.hpp"
+
+namespace blinkradar::sim {
+namespace {
+
+ScenarioConfig base_config(std::uint64_t seed = 1) {
+    ScenarioConfig sc;
+    Rng rng(42);
+    sc.driver = physio::sample_participants(1, rng).front();
+    sc.duration_s = 20.0;
+    sc.seed = seed;
+    return sc;
+}
+
+TEST(Scenario, ProducesExpectedFrameCountAndTruth) {
+    const ScenarioConfig sc = base_config();
+    const SimulatedSession s = simulate_session(sc);
+    EXPECT_EQ(s.frames.size(), 500u);  // 20 s at 25 fps
+    EXPECT_GT(s.truth.blinks.size(), 2u);
+    for (const auto& b : s.truth.blinks) {
+        EXPECT_GE(b.start_s, 0.0);
+        EXPECT_LE(b.end_s(), sc.duration_s);
+    }
+}
+
+TEST(Scenario, DeterministicForSeed) {
+    const SimulatedSession a = simulate_session(base_config(7));
+    const SimulatedSession b = simulate_session(base_config(7));
+    ASSERT_EQ(a.frames.size(), b.frames.size());
+    for (std::size_t i = 0; i < a.frames.size(); i += 37)
+        for (std::size_t k = 0; k < a.frames[i].bins.size(); k += 11)
+            EXPECT_EQ(a.frames[i].bins[k], b.frames[i].bins[k]);
+    ASSERT_EQ(a.truth.blinks.size(), b.truth.blinks.size());
+}
+
+TEST(Scenario, DifferentSeedsDiffer) {
+    const SimulatedSession a = simulate_session(base_config(1));
+    const SimulatedSession b = simulate_session(base_config(2));
+    bool any_diff = a.truth.blinks.size() != b.truth.blinks.size();
+    if (!any_diff && !a.truth.blinks.empty())
+        any_diff = a.truth.blinks[0].start_s != b.truth.blinks[0].start_s;
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Scenario, FaceReturnDominatesEyeRegionBin) {
+    const ScenarioConfig sc = base_config(3);
+    const SimulatedSession s = simulate_session(sc);
+    const auto& cfg = s.radar;
+    const std::size_t face_bin =
+        static_cast<std::size_t>(0.44 / cfg.bin_spacing_m);
+    const std::size_t empty_bin =
+        static_cast<std::size_t>(1.3 / cfg.bin_spacing_m);
+    double face_p = 0.0, empty_p = 0.0;
+    for (const auto& f : s.frames) {
+        face_p += std::norm(f.bins[face_bin]);
+        empty_p += std::norm(f.bins[empty_bin]);
+    }
+    EXPECT_GT(face_p, 100.0 * empty_p);
+}
+
+TEST(Scenario, BlinkModulatesEyeBinAmplitude) {
+    ScenarioConfig sc = base_config(4);
+    sc.environment = Environment::kLaboratory;
+    sc.include_body_events = false;
+    sc.head_motion.shift_rate_per_min = 0.0;
+    sc.head_motion.drift_sigma_m = 0.0;
+    sc.driver.respiration.head_amplitude_m = 0.0;
+    sc.driver.heartbeat.head_amplitude_m = 0.0;
+    sc.radar.noise_sigma = 0.0;
+    sc.radar.phase_noise_rad = 0.0;
+    sc.alertness = physio::Alertness::kDrowsy;
+    sc.duration_s = 30.0;
+    const SimulatedSession s = simulate_session(sc);
+    const std::size_t eye_bin =
+        static_cast<std::size_t>(0.40 / s.radar.bin_spacing_m);
+
+    double open_amp = 0.0, closed_amp = 0.0;
+    std::size_t open_n = 0, closed_n = 0;
+    for (const auto& f : s.frames) {
+        const double c =
+            physio::eyelid_closure_at(s.truth.blinks, f.timestamp_s);
+        if (c > 0.95) {
+            closed_amp += std::abs(f.bins[eye_bin]);
+            ++closed_n;
+        } else if (c < 0.01) {
+            open_amp += std::abs(f.bins[eye_bin]);
+            ++open_n;
+        }
+    }
+    ASSERT_GT(open_n, 0u);
+    ASSERT_GT(closed_n, 0u);
+    // Closing the lid raises the eye-region amplitude (paper Fig. 9).
+    EXPECT_GT(closed_amp / closed_n, open_amp / open_n * 1.02);
+}
+
+TEST(Scenario, LaboratoryDisablesVehicleEffects) {
+    ScenarioConfig road = base_config(5);
+    ScenarioConfig lab = base_config(5);
+    lab.environment = Environment::kLaboratory;
+    const GroundTruth lab_truth = simulate_session(lab).truth;
+    for (const auto& e : lab_truth.body_events)
+        EXPECT_NE(e.kind, physio::BodyEventKind::kSteering);
+}
+
+TEST(Scenario, BodyEventsCanBeDisabled) {
+    ScenarioConfig sc = base_config(6);
+    sc.include_body_events = false;
+    EXPECT_TRUE(simulate_session(sc).truth.body_events.empty());
+}
+
+TEST(Scenario, GlassesAddAStaticLensPath) {
+    ScenarioConfig bare = base_config(8);
+    ScenarioConfig sunny = base_config(8);
+    sunny.driver.glasses = physio::Glasses::kSunglasses;
+    const SimulatedSession a = simulate_session(bare);
+    const SimulatedSession b = simulate_session(sunny);
+    const std::size_t lens_bin =
+        static_cast<std::size_t>(0.38 / a.radar.bin_spacing_m);
+    double bare_p = 0.0, sunny_p = 0.0;
+    for (std::size_t i = 0; i < a.frames.size(); ++i) {
+        bare_p += std::norm(a.frames[i].bins[lens_bin]);
+        sunny_p += std::norm(b.frames[i].bins[lens_bin]);
+    }
+    EXPECT_GT(sunny_p, bare_p);
+}
+
+TEST(Scenario, StreamingSessionMatchesBatch) {
+    const ScenarioConfig sc = base_config(9);
+    const SimulatedSession batch = simulate_session(sc);
+    StreamingSession stream = make_streaming_session(sc);
+    for (std::size_t i = 0; i < 100; ++i) {
+        const radar::RadarFrame f = stream.simulator->next();
+        for (std::size_t k = 0; k < f.bins.size(); k += 13)
+            EXPECT_EQ(f.bins[k], batch.frames[i].bins[k]);
+    }
+    EXPECT_EQ(stream.truth.blinks.size(), batch.truth.blinks.size());
+}
+
+TEST(Scenario, RejectsBadGeometry) {
+    ScenarioConfig sc = base_config(10);
+    sc.geometry.distance_m = 0.01;  // below the sanity floor
+    EXPECT_THROW(simulate_session(sc), blinkradar::ContractViolation);
+    sc = base_config(11);
+    sc.geometry.distance_m = 2.0;  // beyond the range window
+    EXPECT_THROW(simulate_session(sc), blinkradar::ContractViolation);
+}
+
+}  // namespace
+}  // namespace blinkradar::sim

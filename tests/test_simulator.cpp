@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "common/random.hpp"
+#include "common/units.hpp"
+#include "radar/simulator.hpp"
+
+namespace blinkradar::radar {
+namespace {
+
+RadarConfig quiet_config() {
+    RadarConfig cfg;
+    cfg.noise_sigma = 0.0;
+    cfg.phase_noise_rad = 0.0;
+    return cfg;
+}
+
+DynamicPath static_path(const std::string& name, Meters range, double amp,
+                        bool rolloff = true) {
+    return DynamicPath{name, [range](Seconds) { return range; },
+                       [amp](Seconds) { return amp; }, rolloff};
+}
+
+TEST(FrameSimulator, FrameHasConfiguredBinsAndTimestamps) {
+    const RadarConfig cfg = quiet_config();
+    FrameSimulator sim(cfg, {static_path("p", 0.4, 1.0)}, Rng(1));
+    const RadarFrame f0 = sim.next();
+    const RadarFrame f1 = sim.next();
+    EXPECT_EQ(f0.bins.size(), cfg.n_bins());
+    EXPECT_DOUBLE_EQ(f0.timestamp_s, 0.0);
+    EXPECT_DOUBLE_EQ(f1.timestamp_s, cfg.frame_period_s);
+}
+
+TEST(FrameSimulator, PathAppearsAtItsBinWithReferenceAmplitude) {
+    const RadarConfig cfg = quiet_config();
+    // At the reference range the roll-off is exactly 1.
+    FrameSimulator sim(cfg, {static_path("p", cfg.reference_range_m, 0.8)},
+                       Rng(1));
+    const RadarFrame f = sim.next();
+    const std::size_t bin = static_cast<std::size_t>(cfg.reference_range_m /
+                                                     cfg.bin_spacing_m);
+    EXPECT_NEAR(std::abs(f.bins[bin]), 0.8, 0.01);
+}
+
+TEST(FrameSimulator, PhaseFollowsMinus4PiFcROverC) {
+    const RadarConfig cfg = quiet_config();
+    FrameSimulator sim(cfg, {static_path("p", 0.4, 1.0)}, Rng(1));
+    const RadarFrame f = sim.next();
+    const std::size_t bin = static_cast<std::size_t>(0.4 / cfg.bin_spacing_m);
+    const double expected = std::remainder(
+        -2.0 * constants::kTwoPi * cfg.carrier_hz * 0.4 /
+            constants::kSpeedOfLight,
+        constants::kTwoPi);
+    EXPECT_NEAR(std::arg(f.bins[bin]), expected, 1e-9);
+}
+
+TEST(FrameSimulator, RadarEquationRollOff) {
+    const RadarConfig cfg = quiet_config();
+    FrameSimulator sim(cfg,
+                       {static_path("near", 0.4, 1.0),
+                        static_path("far", 0.8, 1.0)},
+                       Rng(1));
+    const RadarFrame f = sim.next();
+    const std::size_t near_bin = static_cast<std::size_t>(0.4 / cfg.bin_spacing_m);
+    const std::size_t far_bin = static_cast<std::size_t>(0.8 / cfg.bin_spacing_m);
+    // Amplitude ~ 1/R^2: doubling the range quarters the amplitude.
+    EXPECT_NEAR(std::abs(f.bins[far_bin]) / std::abs(f.bins[near_bin]), 0.25,
+                0.02);
+}
+
+TEST(FrameSimulator, NearFieldRollOffIsCapped) {
+    RadarConfig cfg = quiet_config();
+    cfg.min_rolloff_range_m = 0.15;
+    FrameSimulator sim(cfg,
+                       {static_path("close", 0.10, 1.0),
+                        static_path("cap", 0.15, 1.0)},
+                       Rng(1));
+    const RadarFrame f = sim.next();
+    const std::size_t b10 = static_cast<std::size_t>(0.10 / cfg.bin_spacing_m);
+    const std::size_t b15 = static_cast<std::size_t>(0.15 / cfg.bin_spacing_m);
+    // Both sit inside/at the cap: equal effective roll-off (the 0.10 m
+    // bin additionally collects PSF spill, so allow a loose tolerance).
+    EXPECT_NEAR(std::abs(f.bins[b10]), std::abs(f.bins[b15]),
+                0.3 * std::abs(f.bins[b15]));
+}
+
+TEST(FrameSimulator, NoRolloffFlagBypassesRadarEquation) {
+    const RadarConfig cfg = quiet_config();
+    FrameSimulator sim(cfg, {static_path("leak", 0.05, 2.0, false)}, Rng(1));
+    const RadarFrame f = sim.next();
+    const std::size_t bin = static_cast<std::size_t>(0.05 / cfg.bin_spacing_m);
+    EXPECT_NEAR(std::abs(f.bins[bin]), 2.0, 0.05);
+}
+
+TEST(FrameSimulator, MovingPathRotatesPhase) {
+    const RadarConfig cfg = quiet_config();
+    // 1 mm/s towards the radar.
+    DynamicPath moving{"m", [](Seconds t) { return 0.4 - 0.001 * t; },
+                       [](Seconds) { return 1.0; }};
+    FrameSimulator sim(cfg, {moving}, Rng(1));
+    const RadarFrame f0 = sim.next();
+    FrameSeries rest = sim.generate(1.0);
+    const std::size_t bin = static_cast<std::size_t>(0.4 / cfg.bin_spacing_m);
+    // After 1 s the path moved 1 mm => phase advanced 4 pi fc d / c.
+    const double dphi =
+        std::arg(rest.back().bins[bin] * std::conj(f0.bins[bin]));
+    const double expected = std::remainder(
+        2.0 * constants::kTwoPi * cfg.carrier_hz * 0.001 /
+            constants::kSpeedOfLight,
+        constants::kTwoPi);
+    EXPECT_NEAR(dphi, expected, 0.02);
+}
+
+TEST(FrameSimulator, ZeroAmplitudePathContributesNothing) {
+    const RadarConfig cfg = quiet_config();
+    FrameSimulator sim(cfg, {static_path("off", 0.4, 0.0)}, Rng(1));
+    const RadarFrame f = sim.next();
+    for (const auto& v : f.bins) EXPECT_DOUBLE_EQ(std::abs(v), 0.0);
+}
+
+TEST(FrameSimulator, NoiseMatchesConfiguredSigma) {
+    RadarConfig cfg = quiet_config();
+    cfg.noise_sigma = 0.01;
+    FrameSimulator sim(cfg, {static_path("p", 0.4, 0.0)}, Rng(7));
+    double acc = 0.0;
+    std::size_t n = 0;
+    for (int i = 0; i < 50; ++i) {
+        const RadarFrame f = sim.next();
+        for (const auto& v : f.bins) {
+            acc += std::norm(v);
+            ++n;
+        }
+    }
+    // E[|noise|^2] = 2 sigma^2.
+    EXPECT_NEAR(acc / static_cast<double>(n), 2.0 * 0.01 * 0.01, 2e-5);
+}
+
+TEST(FrameSimulator, DeterministicForSameSeed) {
+    const RadarConfig cfg = [] {
+        RadarConfig c;
+        c.noise_sigma = 0.01;
+        return c;
+    }();
+    FrameSimulator a(cfg, {static_path("p", 0.4, 1.0)}, Rng(5));
+    FrameSimulator b(cfg, {static_path("p", 0.4, 1.0)}, Rng(5));
+    for (int i = 0; i < 20; ++i) {
+        const RadarFrame fa = a.next();
+        const RadarFrame fb = b.next();
+        for (std::size_t k = 0; k < fa.bins.size(); ++k)
+            EXPECT_EQ(fa.bins[k], fb.bins[k]);
+    }
+}
+
+TEST(FrameSimulator, GenerateProducesRequestedDuration) {
+    const RadarConfig cfg = quiet_config();
+    FrameSimulator sim(cfg, {static_path("p", 0.4, 1.0)}, Rng(1));
+    const FrameSeries series = sim.generate(2.0);
+    EXPECT_EQ(series.size(), 50u);  // 2 s at 25 fps
+    EXPECT_EQ(sim.frames_produced(), 50u);
+}
+
+TEST(FrameSimulator, RejectsEmptySceneAndNullCallbacks) {
+    const RadarConfig cfg = quiet_config();
+    EXPECT_THROW(FrameSimulator(cfg, {}, Rng(1)),
+                 blinkradar::ContractViolation);
+    DynamicPath broken{"b", nullptr, [](Seconds) { return 1.0; }};
+    EXPECT_THROW(FrameSimulator(cfg, {broken}, Rng(1)),
+                 blinkradar::ContractViolation);
+}
+
+}  // namespace
+}  // namespace blinkradar::radar

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "common/random.hpp"
+#include "dsp/smoothing.hpp"
+#include "dsp/stats.hpp"
+
+namespace blinkradar::dsp {
+namespace {
+
+TEST(MovingAverage, FlatSignalIsUnchanged) {
+    const RealSignal x(50, 3.5);
+    const RealSignal y = moving_average(x, 7);
+    for (const double v : y) EXPECT_DOUBLE_EQ(v, 3.5);
+}
+
+TEST(MovingAverage, ReducesNoiseVariance) {
+    Rng rng(1);
+    RealSignal x(5000);
+    for (auto& v : x) v = rng.normal(0, 1);
+    const RealSignal y = moving_average(x, 9);
+    // A 9-point average divides white-noise variance by ~9.
+    EXPECT_LT(variance(y), variance(x) / 5.0);
+}
+
+TEST(MovingAverage, PreservesMeanOfLongSignal) {
+    Rng rng(2);
+    RealSignal x(2000);
+    for (auto& v : x) v = rng.normal(2.0, 1.0);
+    const RealSignal y = moving_average(x, 15);
+    EXPECT_NEAR(mean(y), mean(x), 0.02);
+}
+
+TEST(MovingAverage, EdgesUseShrunkWindows) {
+    const RealSignal x = {10.0, 0.0, 0.0, 0.0, 0.0};
+    const RealSignal y = moving_average(x, 3);
+    // First output averages x[0..1] only.
+    EXPECT_DOUBLE_EQ(y[0], 5.0);
+    EXPECT_DOUBLE_EQ(y[1], 10.0 / 3.0);
+}
+
+TEST(MovingAverage, WindowOneIsIdentity) {
+    const RealSignal x = {1.0, -2.0, 3.0};
+    const RealSignal y = moving_average(x, 1);
+    for (std::size_t i = 0; i < x.size(); ++i) EXPECT_DOUBLE_EQ(y[i], x[i]);
+}
+
+TEST(MovingAverage, ComplexVariantSmoothsBothComponents) {
+    ComplexSignal z(40);
+    for (std::size_t i = 0; i < z.size(); ++i)
+        z[i] = Complex(i % 2 ? 1.0 : -1.0, i % 2 ? -1.0 : 1.0);
+    const ComplexSignal s = moving_average(z, 8);
+    for (std::size_t i = 10; i < 30; ++i) {
+        EXPECT_LT(std::abs(s[i].real()), 0.2);
+        EXPECT_LT(std::abs(s[i].imag()), 0.2);
+    }
+}
+
+TEST(MedianFilter, RemovesImpulsesCompletely) {
+    RealSignal x(41, 1.0);
+    x[20] = 100.0;  // a single-sample spike
+    const RealSignal y = median_filter(x, 5);
+    for (const double v : y) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(MedianFilter, PreservesStepEdges) {
+    RealSignal x(40, 0.0);
+    for (std::size_t i = 20; i < 40; ++i) x[i] = 1.0;
+    const RealSignal y = median_filter(x, 5);
+    EXPECT_DOUBLE_EQ(y[10], 0.0);
+    EXPECT_DOUBLE_EQ(y[30], 1.0);
+    // The step stays a step (no ramp like a mean filter would create).
+    EXPECT_DOUBLE_EQ(y[19], 0.0);
+    EXPECT_DOUBLE_EQ(y[20], 1.0);
+}
+
+TEST(MedianFilter, RequiresOddWindow) {
+    const RealSignal x(10, 0.0);
+    EXPECT_THROW(median_filter(x, 4), blinkradar::ContractViolation);
+}
+
+TEST(ExponentialSmooth, AlphaOneIsIdentity) {
+    const RealSignal x = {1.0, 5.0, -2.0};
+    const RealSignal y = exponential_smooth(x, 1.0);
+    for (std::size_t i = 0; i < x.size(); ++i) EXPECT_DOUBLE_EQ(y[i], x[i]);
+}
+
+TEST(ExponentialSmooth, ConvergesToStepValue) {
+    RealSignal x(200, 1.0);
+    const RealSignal y = exponential_smooth(x, 0.1);
+    EXPECT_NEAR(y.back(), 1.0, 1e-6);
+}
+
+TEST(ExponentialSmooth, InvalidAlphaThrows) {
+    const RealSignal x(5, 0.0);
+    EXPECT_THROW(exponential_smooth(x, 0.0), blinkradar::ContractViolation);
+    EXPECT_THROW(exponential_smooth(x, 1.5), blinkradar::ContractViolation);
+}
+
+TEST(SavitzkyGolay, PreservesPolynomialsUpToOrder) {
+    // A quadratic is reproduced exactly by a quadratic SG filter
+    // (away from the renormalised edges).
+    RealSignal x(60);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        const double t = static_cast<double>(i);
+        x[i] = 0.5 * t * t - 3.0 * t + 2.0;
+    }
+    const RealSignal y = savitzky_golay(x, 11, 2);
+    for (std::size_t i = 6; i < 54; ++i) EXPECT_NEAR(y[i], x[i], 1e-8);
+}
+
+TEST(SavitzkyGolay, SmoothsNoiseButKeepsPeakBetterThanMean) {
+    // A narrow Gaussian bump with noise: SG should preserve the peak
+    // height better than a same-width moving average.
+    Rng rng(3);
+    RealSignal x(101);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        const double d = static_cast<double>(i) - 50.0;
+        x[i] = std::exp(-d * d / 18.0) + rng.normal(0, 0.02);
+    }
+    const RealSignal sg = savitzky_golay(x, 11, 3);
+    const RealSignal ma = moving_average(x, 11);
+    EXPECT_GT(sg[50], ma[50]);
+    EXPECT_NEAR(sg[50], 1.0, 0.1);
+}
+
+TEST(SavitzkyGolay, InvalidParamsThrow) {
+    const RealSignal x(30, 0.0);
+    EXPECT_THROW(savitzky_golay(x, 10, 2), blinkradar::ContractViolation);
+    EXPECT_THROW(savitzky_golay(x, 5, 5), blinkradar::ContractViolation);
+}
+
+}  // namespace
+}  // namespace blinkradar::dsp

@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "common/units.hpp"
+#include "dsp/spectrogram.hpp"
+
+namespace blinkradar::dsp {
+namespace {
+
+TEST(Spectrogram, SegmentCountMatchesHop) {
+    const RealSignal x(1000, 0.0);
+    const Spectrogram s = stft(x, 100.0, 128, 64);
+    // floor((1000 - 128) / 64) + 1 = 14 segments.
+    EXPECT_EQ(s.power.size(), 14u);
+    EXPECT_DOUBLE_EQ(s.hop_s, 0.64);
+    EXPECT_DOUBLE_EQ(s.bin_hz, 100.0 / 128.0);
+}
+
+TEST(Spectrogram, StationaryTonePeaksInItsBin) {
+    constexpr double kFs = 256.0;
+    constexpr double kTone = 32.0;
+    RealSignal x(2048);
+    for (std::size_t n = 0; n < x.size(); ++n)
+        x[n] = std::sin(constants::kTwoPi * kTone * n / kFs);
+    const Spectrogram s = stft(x, kFs, 256, 128);
+    for (const RealSignal& seg : s.power) {
+        std::size_t peak = 0;
+        for (std::size_t k = 0; k < seg.size(); ++k)
+            if (seg[k] > seg[peak]) peak = k;
+        EXPECT_NEAR(static_cast<double>(peak) * s.bin_hz, kTone, s.bin_hz);
+    }
+}
+
+TEST(Spectrogram, TracksFrequencyStep) {
+    constexpr double kFs = 256.0;
+    RealSignal x(4096);
+    for (std::size_t n = 0; n < x.size(); ++n) {
+        const double f = n < 2048 ? 20.0 : 80.0;
+        x[n] = std::sin(constants::kTwoPi * f * n / kFs);
+    }
+    const Spectrogram s = stft(x, kFs, 256, 256);
+    auto peak_hz = [&](const RealSignal& seg) {
+        std::size_t peak = 0;
+        for (std::size_t k = 0; k < seg.size(); ++k)
+            if (seg[k] > seg[peak]) peak = k;
+        return static_cast<double>(peak) * s.bin_hz;
+    };
+    EXPECT_NEAR(peak_hz(s.power.front()), 20.0, 2.0);
+    EXPECT_NEAR(peak_hz(s.power.back()), 80.0, 2.0);
+}
+
+TEST(Spectrogram, RejectsBadParameters) {
+    const RealSignal x(100, 0.0);
+    EXPECT_THROW(stft(x, 0.0, 32, 16), blinkradar::ContractViolation);
+    EXPECT_THROW(stft(x, 100.0, 2, 16), blinkradar::ContractViolation);
+    EXPECT_THROW(stft(x, 100.0, 32, 0), blinkradar::ContractViolation);
+    EXPECT_THROW(stft(RealSignal(10, 0.0), 100.0, 32, 16),
+                 blinkradar::ContractViolation);
+}
+
+}  // namespace
+}  // namespace blinkradar::dsp

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "common/random.hpp"
+#include "common/units.hpp"
+#include "core/viewing_position.hpp"
+
+namespace blinkradar::core {
+namespace {
+
+dsp::ComplexSignal arc(double cx, double cy, double r, double extent,
+                       std::size_t n, double noise, Rng& rng) {
+    dsp::ComplexSignal pts;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double a = extent * static_cast<double>(i) /
+                         static_cast<double>(n - 1);
+        pts.emplace_back(cx + r * std::cos(a) + rng.normal(0, noise),
+                         cy + r * std::sin(a) + rng.normal(0, noise));
+    }
+    return pts;
+}
+
+class FitMethods : public ::testing::TestWithParam<CircleFitMethod> {};
+
+TEST_P(FitMethods, RecoverCentreOfGenerousArc) {
+    Rng rng(1);
+    const auto pts = arc(0.5, -0.3, 1.2, 2.5, 150, 0.005, rng);
+    const ViewingPosition vp = ViewingPosition::fit(pts, GetParam());
+    ASSERT_TRUE(vp.valid());
+    EXPECT_NEAR(vp.center().real(), 0.5, 0.05);
+    EXPECT_NEAR(vp.center().imag(), -0.3, 0.05);
+    EXPECT_NEAR(vp.radius(), 1.2, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, FitMethods,
+                         ::testing::Values(CircleFitMethod::kPratt,
+                                           CircleFitMethod::kKasa,
+                                           CircleFitMethod::kTaubin));
+
+TEST(ViewingPosition, RelativeDistanceIsRadiusOnTheArc) {
+    Rng rng(2);
+    const auto pts = arc(0.0, 0.0, 1.0, 2.0, 200, 0.0, rng);
+    const ViewingPosition vp =
+        ViewingPosition::fit(pts, CircleFitMethod::kPratt);
+    ASSERT_TRUE(vp.valid());
+    for (std::size_t i = 0; i < pts.size(); i += 17)
+        EXPECT_NEAR(vp.relative_distance(pts[i]), 1.0, 1e-6);
+}
+
+TEST(ViewingPosition, RadialExcursionShowsUpInDistance) {
+    // This is the detection principle: a sample pushed radially off the
+    // arc changes d; a sample rotated along the arc does not.
+    Rng rng(3);
+    const auto pts = arc(0.0, 0.0, 1.0, 2.0, 200, 0.001, rng);
+    const ViewingPosition vp =
+        ViewingPosition::fit(pts, CircleFitMethod::kPratt);
+    ASSERT_TRUE(vp.valid());
+    const dsp::Complex rotated(std::cos(2.3), std::sin(2.3));  // off the fit window
+    const dsp::Complex radial(1.06 * std::cos(1.0), 1.06 * std::sin(1.0));
+    EXPECT_NEAR(vp.relative_distance(rotated), 1.0, 0.01);
+    EXPECT_NEAR(vp.relative_distance(radial), 1.06, 0.01);
+}
+
+TEST(ViewingPosition, InvalidOnDegenerateInput) {
+    const dsp::ComplexSignal line = {dsp::Complex(0, 0), dsp::Complex(1, 1),
+                                     dsp::Complex(2, 2), dsp::Complex(3, 3)};
+    const ViewingPosition vp =
+        ViewingPosition::fit(line, CircleFitMethod::kPratt);
+    EXPECT_FALSE(vp.valid());
+    EXPECT_THROW(vp.relative_distance(dsp::Complex(0, 0)),
+                 blinkradar::ContractViolation);
+}
+
+TEST(ViewingPosition, TrimmedFitIgnoresBlinkOutliers) {
+    Rng rng(4);
+    dsp::ComplexSignal pts = arc(0.0, 0.0, 1.0, 2.0, 200, 0.002, rng);
+    // Inject a "blink": 15% of samples pushed radially outward by 10%.
+    for (std::size_t i = 60; i < 90; ++i) pts[i] *= 1.10;
+    const ViewingPosition plain =
+        ViewingPosition::fit(pts, CircleFitMethod::kPratt);
+    const ViewingPosition trimmed =
+        ViewingPosition::fit_trimmed(pts, CircleFitMethod::kPratt, 0.2);
+    ASSERT_TRUE(plain.valid());
+    ASSERT_TRUE(trimmed.valid());
+    EXPECT_LT(std::abs(trimmed.radius() - 1.0),
+              std::abs(plain.radius() - 1.0) + 1e-9);
+    EXPECT_NEAR(trimmed.radius(), 1.0, 0.01);
+}
+
+TEST(ViewingPosition, TrimmedFitFallsBackOnTinyInputs) {
+    Rng rng(5);
+    const auto pts = arc(0.0, 0.0, 1.0, 2.0, 10, 0.001, rng);
+    const ViewingPosition vp =
+        ViewingPosition::fit_trimmed(pts, CircleFitMethod::kPratt);
+    EXPECT_TRUE(vp.valid());
+}
+
+TEST(ViewingPosition, FromCircleConstructsDirectly) {
+    const ViewingPosition vp =
+        ViewingPosition::from_circle(dsp::Complex(2.0, 3.0), 1.5);
+    EXPECT_TRUE(vp.valid());
+    EXPECT_DOUBLE_EQ(vp.radius(), 1.5);
+    EXPECT_NEAR(vp.relative_distance(dsp::Complex(2.0, 4.5)), 1.5, 1e-12);
+    EXPECT_THROW(ViewingPosition::from_circle(dsp::Complex(0, 0), 0.0),
+                 blinkradar::ContractViolation);
+}
+
+TEST(ViewingPosition, TrimFractionValidated) {
+    Rng rng(6);
+    const auto pts = arc(0.0, 0.0, 1.0, 2.0, 50, 0.001, rng);
+    EXPECT_THROW(
+        ViewingPosition::fit_trimmed(pts, CircleFitMethod::kPratt, 0.6),
+        blinkradar::ContractViolation);
+}
+
+}  // namespace
+}  // namespace blinkradar::core

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+#include "dsp/window.hpp"
+
+namespace blinkradar::dsp {
+namespace {
+
+class WindowShapes : public ::testing::TestWithParam<WindowType> {};
+
+TEST_P(WindowShapes, IsSymmetric) {
+    const RealSignal w = make_window(GetParam(), 33);
+    for (std::size_t i = 0; i < w.size(); ++i)
+        EXPECT_NEAR(w[i], w[w.size() - 1 - i], 1e-12);
+}
+
+TEST_P(WindowShapes, PeaksAtCenterWithValueOne) {
+    const RealSignal w = make_window(GetParam(), 31);
+    const double centre = w[15];
+    EXPECT_NEAR(centre, 1.0, 1e-9);
+    for (const double v : w) EXPECT_LE(v, centre + 1e-12);
+}
+
+TEST_P(WindowShapes, ValuesAreNonNegative) {
+    const RealSignal w = make_window(GetParam(), 64);
+    for (const double v : w) EXPECT_GE(v, -1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, WindowShapes,
+                         ::testing::Values(WindowType::kRectangular,
+                                           WindowType::kHamming,
+                                           WindowType::kHann,
+                                           WindowType::kBlackman));
+
+TEST(Window, RectangularIsAllOnes) {
+    const RealSignal w = make_window(WindowType::kRectangular, 10);
+    for (const double v : w) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(Window, HammingEndpointsAreClassic008) {
+    const RealSignal w = make_window(WindowType::kHamming, 27);
+    EXPECT_NEAR(w.front(), 0.08, 1e-12);
+    EXPECT_NEAR(w.back(), 0.08, 1e-12);
+}
+
+TEST(Window, HannEndpointsAreZero) {
+    const RealSignal w = make_window(WindowType::kHann, 27);
+    EXPECT_NEAR(w.front(), 0.0, 1e-12);
+    EXPECT_NEAR(w.back(), 0.0, 1e-12);
+}
+
+TEST(Window, SingleSampleWindowIsOne) {
+    const RealSignal w = make_window(WindowType::kHamming, 1);
+    ASSERT_EQ(w.size(), 1u);
+    EXPECT_DOUBLE_EQ(w[0], 1.0);
+}
+
+TEST(Window, ApplyMultipliesElementwise) {
+    const RealSignal sig = {2.0, 4.0, 6.0};
+    const RealSignal win = {0.5, 1.0, 0.25};
+    const RealSignal out = apply_window(sig, win);
+    EXPECT_DOUBLE_EQ(out[0], 1.0);
+    EXPECT_DOUBLE_EQ(out[1], 4.0);
+    EXPECT_DOUBLE_EQ(out[2], 1.5);
+}
+
+TEST(Window, ApplyRejectsSizeMismatch) {
+    const RealSignal sig = {1.0, 2.0};
+    const RealSignal win = {1.0};
+    EXPECT_THROW(apply_window(sig, win), blinkradar::ContractViolation);
+}
+
+TEST(Window, CoherentGainOfRectangularIsOne) {
+    const RealSignal w = make_window(WindowType::kRectangular, 16);
+    EXPECT_DOUBLE_EQ(coherent_gain(w), 1.0);
+}
+
+TEST(Window, CoherentGainOfHammingNearPoint54) {
+    const RealSignal w = make_window(WindowType::kHamming, 1001);
+    EXPECT_NEAR(coherent_gain(w), 0.54, 0.01);
+}
+
+}  // namespace
+}  // namespace blinkradar::dsp
