@@ -4,7 +4,10 @@
 //
 // Protocol mirrors Section VI-A: 12 participants, sessions both in the
 // lab and on the road, per-user drowsiness models trained on labelled
-// awake/drowsy recordings.
+// awake/drowsy recordings. All sessions are built up front and fanned
+// out over the shared thread pool via eval::run_sessions /
+// eval::run_drowsy_experiments; the batch results are bit-identical to
+// the old serial loops for any thread count.
 #include <cstdio>
 #include <iostream>
 #include <vector>
@@ -33,31 +36,40 @@ int main() {
     const auto drivers = benchutil::participants();
 
     eval::banner(std::cout, "Fig. 13a: CDF of eye-blink detection accuracy");
-    std::vector<double> blink_acc;
+    std::vector<sim::ScenarioConfig> blink_scenarios;
+    blink_scenarios.reserve(drivers.size() * 4);
     for (std::size_t i = 0; i < drivers.size(); ++i) {
         for (int session = 0; session < 4; ++session) {
             sim::ScenarioConfig sc =
                 benchutil::reference_scenario(drivers[i], 1000 + 17 * i + session);
             // Mirror the paper's mix of lab and road testing.
             if (session == 0) sc.environment = sim::Environment::kLaboratory;
-            blink_acc.push_back(eval::run_blink_session(sc).accuracy);
+            blink_scenarios.push_back(sc);
         }
     }
+    std::vector<double> blink_acc;
+    blink_acc.reserve(blink_scenarios.size());
+    for (const eval::SessionScore& s : eval::run_sessions(blink_scenarios))
+        blink_acc.push_back(s.accuracy);
     print_cdf(blink_acc, 95.5);
 
     eval::banner(std::cout, "Fig. 13b: CDF of drowsy-driving detection accuracy");
-    std::vector<double> drowsy_acc;
+    std::vector<sim::ScenarioConfig> drowsy_scenarios;
+    drowsy_scenarios.reserve(drivers.size() * 2);
     for (std::size_t i = 0; i < drivers.size(); ++i) {
         for (int repeat = 0; repeat < 2; ++repeat) {
-            sim::ScenarioConfig sc =
-                benchutil::reference_scenario(drivers[i], 3000 + 13 * i + repeat);
-            eval::DrowsyExperimentOptions options;
-            options.train_minutes_per_class = 4.0;
-            options.test_minutes_per_class = 6.0;
-            drowsy_acc.push_back(
-                eval::run_drowsy_experiment(sc, options).accuracy);
+            drowsy_scenarios.push_back(
+                benchutil::reference_scenario(drivers[i], 3000 + 13 * i + repeat));
         }
     }
+    eval::DrowsyExperimentOptions options;
+    options.train_minutes_per_class = 4.0;
+    options.test_minutes_per_class = 6.0;
+    std::vector<double> drowsy_acc;
+    drowsy_acc.reserve(drowsy_scenarios.size());
+    for (const eval::DrowsyScore& s :
+         eval::run_drowsy_experiments(drowsy_scenarios, options))
+        drowsy_acc.push_back(s.accuracy);
     print_cdf(drowsy_acc, 92.2);
 
     const double blink_median =

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdio>
+#include <span>
 #include <vector>
 
 #include "common/random.hpp"
@@ -48,6 +49,29 @@ inline double mean_accuracy(const sim::ScenarioConfig& scenario,
     double sum = 0.0;
     for (const double a : acc) sum += a;
     return sum / static_cast<double>(acc.size());
+}
+
+/// Mean blink-detection accuracy over a batch of scenarios (one session
+/// each), fanned out over the thread pool by eval::run_sessions.
+inline double mean_accuracy(std::span<const sim::ScenarioConfig> scenarios,
+                            const core::PipelineConfig& pipeline = {}) {
+    const std::vector<eval::SessionScore> scores =
+        eval::run_sessions(scenarios, pipeline);
+    double sum = 0.0;
+    for (const eval::SessionScore& s : scores) sum += s.accuracy;
+    return sum / static_cast<double>(scores.size());
+}
+
+/// Mean drowsy-experiment accuracy over a batch of scenarios.
+inline double mean_drowsy_accuracy(
+    std::span<const sim::ScenarioConfig> scenarios,
+    const eval::DrowsyExperimentOptions& options = {},
+    const core::PipelineConfig& pipeline = {}) {
+    const std::vector<eval::DrowsyScore> scores =
+        eval::run_drowsy_experiments(scenarios, options, pipeline);
+    double sum = 0.0;
+    for (const eval::DrowsyScore& s : scores) sum += s.accuracy;
+    return sum / static_cast<double>(scores.size());
 }
 
 }  // namespace blinkradar::benchutil

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Build the Release configuration and run the google-benchmark perf suite,
+# writing BENCH_perf.json (google-benchmark JSON format) into the repo
+# root. Figure-reproduction harnesses are not run here — they print paper
+# tables and take minutes; run them from build/bench/ directly.
+#
+# Usage: scripts/run_benches.sh [extra google-benchmark args...]
+#   BLINKRADAR_THREADS=N  pin the shared pool size for BM_BatchSessions.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${repo_root}/build-release"
+
+cmake --preset release -S "${repo_root}"
+cmake --build "${build_dir}" --target bench_perf_pipeline -j "$(nproc)"
+
+# A user-supplied --benchmark_out in "$@" comes later and wins.
+out="${repo_root}/BENCH_perf.json"
+for arg in "$@"; do
+    case "${arg}" in --benchmark_out=*) out="${arg#--benchmark_out=}" ;; esac
+done
+
+cd "${repo_root}"
+"${build_dir}/bench/bench_perf_pipeline" \
+    --benchmark_out="${repo_root}/BENCH_perf.json" \
+    --benchmark_out_format=json \
+    "$@"
+
+echo "wrote ${out}"

@@ -1,0 +1,97 @@
+// Fixed-capacity ring buffer for the per-frame hot path.
+//
+// The streaming pipeline keeps several bounded sliding windows (recent
+// frames, timestamps, waveform history, noise samples). std::deque models
+// them naturally but allocates/frees a block every few dozen pushes, which
+// shows up as steady-state churn in the 40 ms frame path. RingBuffer keeps
+// the same push_back/pop_front semantics over storage allocated exactly
+// once, so a warmed-up window performs zero heap allocations per frame.
+// Evicted slots are recycled, not destroyed: push_back() hands back a
+// reference to the slot so element types that own heap storage (e.g.
+// std::vector) can be refilled in place, reusing their capacity.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace blinkradar {
+
+template <typename T>
+class RingBuffer {
+public:
+    RingBuffer() = default;
+
+    /// A buffer holding at most `capacity` elements; pushing past the
+    /// capacity evicts the oldest element.
+    explicit RingBuffer(std::size_t capacity) { reset_capacity(capacity); }
+
+    /// Drop all elements and allocate storage for `capacity` slots. The
+    /// only allocating operation (slot payloads aside).
+    void reset_capacity(std::size_t capacity) {
+        BR_EXPECTS(capacity >= 1);
+        slots_.clear();
+        slots_.resize(capacity);
+        head_ = 0;
+        size_ = 0;
+    }
+
+    /// Append a copy of `value`, evicting the oldest element when full.
+    void push_back(const T& value) { emplace_slot() = value; }
+
+    /// Append by assigning into the recycled slot (element types with
+    /// their own capacity, e.g. std::vector, keep it across evictions).
+    /// Returns the slot so callers can also fill it in place.
+    T& emplace_slot() {
+        BR_EXPECTS(!slots_.empty());
+        const std::size_t idx = (head_ + size_) % slots_.size();
+        if (size_ == slots_.size()) {
+            head_ = (head_ + 1) % slots_.size();
+        } else {
+            ++size_;
+        }
+        return slots_[idx];
+    }
+
+    /// Remove the oldest element (its slot is recycled, not destroyed).
+    void pop_front() {
+        BR_EXPECTS(size_ >= 1);
+        head_ = (head_ + 1) % slots_.size();
+        --size_;
+    }
+
+    /// Forget all elements; capacity and slot payloads are kept.
+    void clear() noexcept {
+        head_ = 0;
+        size_ = 0;
+    }
+
+    /// Element access, index 0 = oldest.
+    T& operator[](std::size_t i) {
+        BR_EXPECTS(i < size_);
+        return slots_[(head_ + i) % slots_.size()];
+    }
+    const T& operator[](std::size_t i) const {
+        BR_EXPECTS(i < size_);
+        return slots_[(head_ + i) % slots_.size()];
+    }
+
+    T& front() { return (*this)[0]; }
+    const T& front() const { return (*this)[0]; }
+    T& back() { return (*this)[size_ - 1]; }
+    const T& back() const { return (*this)[size_ - 1]; }
+
+    std::size_t size() const noexcept { return size_; }
+    std::size_t capacity() const noexcept { return slots_.size(); }
+    bool empty() const noexcept { return size_ == 0; }
+    bool full() const noexcept { return size_ == slots_.size(); }
+
+private:
+    std::vector<T> slots_;
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
+};
+
+}  // namespace blinkradar

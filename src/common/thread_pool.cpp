@@ -1,0 +1,130 @@
+#include "common/thread_pool.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+
+#include "common/contracts.hpp"
+
+namespace blinkradar {
+
+ThreadPool::ThreadPool(std::size_t n_threads) {
+    BR_EXPECTS(n_threads >= 1);
+    threads_.reserve(n_threads);
+    for (std::size_t i = 0; i < n_threads; ++i)
+        threads_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+            if (stop_ && queue_.empty()) return;
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+    }
+}
+
+namespace {
+
+/// Shared state of one parallel_for: a claimable index range plus
+/// completion accounting. Heap-held via shared_ptr so stray helper tasks
+/// that run after the caller returned (possible when the caller drained
+/// the whole range itself) touch valid memory.
+struct ForState {
+    explicit ForState(std::size_t n_,
+                      const std::function<void(std::size_t)>& fn_)
+        : n(n_), fn(fn_) {}
+
+    const std::size_t n;
+    const std::function<void(std::size_t)>& fn;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;  // guarded by mutex
+    std::mutex mutex;
+    std::condition_variable cv;
+
+    // Claim and run indices until the range is exhausted. After the first
+    // failure remaining indices are claimed but skipped, so `done` still
+    // reaches n and the caller wakes.
+    void drain() {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n) return;
+            if (!failed.load(std::memory_order_acquire)) {
+                try {
+                    fn(i);
+                } catch (...) {
+                    const std::lock_guard<std::mutex> lock(mutex);
+                    if (!error) error = std::current_exception();
+                    failed.store(true, std::memory_order_release);
+                }
+            }
+            if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+                const std::lock_guard<std::mutex> lock(mutex);
+                cv.notify_all();
+            }
+        }
+    }
+};
+
+}  // namespace
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+    if (n == 0) return;
+    if (n == 1) {
+        fn(0);
+        return;
+    }
+    auto state = std::make_shared<ForState>(n, fn);
+    // One helper task per worker (capped by the range size); each drains
+    // the shared index range. Helpers that arrive after the range is
+    // exhausted return immediately.
+    const std::size_t helpers = std::min(threads_.size(), n - 1);
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        for (std::size_t h = 0; h < helpers; ++h)
+            queue_.emplace_back([state] { state->drain(); });
+    }
+    cv_.notify_all();
+    state->drain();  // the caller participates: nesting cannot deadlock
+    {
+        std::unique_lock<std::mutex> lock(state->mutex);
+        state->cv.wait(lock, [&] {
+            return state->done.load(std::memory_order_acquire) == n;
+        });
+        if (state->error) std::rethrow_exception(state->error);
+    }
+}
+
+ThreadPool& ThreadPool::shared() {
+    static ThreadPool pool(shared_size());
+    return pool;
+}
+
+std::size_t ThreadPool::shared_size() {
+    if (const char* env = std::getenv("BLINKRADAR_THREADS")) {
+        const long v = std::strtol(env, nullptr, 10);
+        if (v >= 1) return static_cast<std::size_t>(v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw >= 1 ? hw : 1;
+}
+
+}  // namespace blinkradar

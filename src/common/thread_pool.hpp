@@ -1,0 +1,76 @@
+// Fixed-size work-queue thread pool with deterministic parallel-for.
+//
+// Built for the batch experiment engine (eval::run_sessions and the
+// figure-reproduction harnesses): dozens of independent simulated sessions
+// whose results must be bit-identical to the old serial loops. Determinism
+// comes from the work decomposition, not from scheduling: every task is an
+// index into a pre-sized result array and derives all of its randomness
+// from its own per-index seed, so the thread count and interleaving cannot
+// influence any result, only the wall clock.
+//
+// parallel_for is nesting- and deadlock-safe: the calling thread always
+// participates in draining the index range, and workers that pick up a
+// nested parallel_for drain the inner range the same way, so progress
+// never depends on a free pool thread being available.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace blinkradar {
+
+class ThreadPool {
+public:
+    /// Spin up `n_threads` workers (>= 1). The pool size is fixed for the
+    /// pool's lifetime.
+    explicit ThreadPool(std::size_t n_threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    std::size_t size() const noexcept { return threads_.size(); }
+
+    /// Run fn(0) .. fn(n-1), distributing indices over the pool. The
+    /// calling thread participates, so this also works with zero free
+    /// workers and from inside another parallel_for. Results are
+    /// bit-identical to the serial loop for any thread count as long as
+    /// fn(i) depends only on i (the batch-engine contract). The first
+    /// exception thrown by any fn is rethrown on the calling thread after
+    /// the whole range has been claimed.
+    void parallel_for(std::size_t n,
+                      const std::function<void(std::size_t)>& fn);
+
+    /// parallel_for that collects fn(i) into a vector (slot i = fn(i)).
+    template <typename F>
+    auto parallel_map(std::size_t n, F&& fn)
+        -> std::vector<decltype(fn(std::size_t{}))> {
+        std::vector<decltype(fn(std::size_t{}))> out(n);
+        parallel_for(n, [&](std::size_t i) { out[i] = fn(i); });
+        return out;
+    }
+
+    /// Process-wide pool, sized from the BLINKRADAR_THREADS environment
+    /// variable when set (>= 1), otherwise std::thread::hardware_concurrency.
+    /// Constructed on first use; lives for the process.
+    static ThreadPool& shared();
+
+    /// The thread count shared() uses (exposed for diagnostics/benches).
+    static std::size_t shared_size();
+
+private:
+    void worker_loop();
+
+    std::vector<std::thread> threads_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+};
+
+}  // namespace blinkradar

@@ -9,6 +9,71 @@
 
 namespace blinkradar::core {
 
+void RollingBinVariance::reset(std::size_t n_bins) {
+    sum_i_.assign(n_bins, 0.0);
+    sum_q_.assign(n_bins, 0.0);
+    sum_sq_.assign(n_bins, 0.0);
+    count_ = 0;
+}
+
+void RollingBinVariance::clear() noexcept {
+    std::fill(sum_i_.begin(), sum_i_.end(), 0.0);
+    std::fill(sum_q_.begin(), sum_q_.end(), 0.0);
+    std::fill(sum_sq_.begin(), sum_sq_.end(), 0.0);
+    count_ = 0;
+}
+
+void RollingBinVariance::push(std::span<const dsp::Complex> frame) {
+    BR_EXPECTS(frame.size() == sum_sq_.size());
+    for (std::size_t b = 0; b < frame.size(); ++b) {
+        const double i = frame[b].real();
+        const double q = frame[b].imag();
+        sum_i_[b] += i;
+        sum_q_[b] += q;
+        sum_sq_[b] += i * i + q * q;
+    }
+    ++count_;
+}
+
+void RollingBinVariance::evict(std::span<const dsp::Complex> frame) {
+    BR_EXPECTS(frame.size() == sum_sq_.size());
+    BR_EXPECTS(count_ >= 1);
+    for (std::size_t b = 0; b < frame.size(); ++b) {
+        const double i = frame[b].real();
+        const double q = frame[b].imag();
+        sum_i_[b] -= i;
+        sum_q_[b] -= q;
+        sum_sq_[b] -= i * i + q * q;
+    }
+    --count_;
+}
+
+double RollingBinVariance::variance(std::size_t bin) const {
+    BR_EXPECTS(bin < sum_sq_.size());
+    if (count_ == 0) return 0.0;
+    const double n = static_cast<double>(count_);
+    const double mean_i = sum_i_[bin] / n;
+    const double mean_q = sum_q_[bin] / n;
+    // E[|z|^2] - |E[z]|^2; clamped because cancellation can leave a tiny
+    // negative residue when the window is nearly constant.
+    const double v =
+        sum_sq_[bin] / n - (mean_i * mean_i + mean_q * mean_q);
+    return v > 0.0 ? v : 0.0;
+}
+
+void RollingBinVariance::variances_into(std::vector<double>& out) const {
+    out.resize(sum_sq_.size());
+    for (std::size_t b = 0; b < sum_sq_.size(); ++b) out[b] = variance(b);
+}
+
+std::vector<const dsp::ComplexSignal*> make_frame_view(
+    const std::vector<dsp::ComplexSignal>& window) {
+    std::vector<const dsp::ComplexSignal*> view;
+    view.reserve(window.size());
+    for (const dsp::ComplexSignal& f : window) view.push_back(&f);
+    return view;
+}
+
 BinSelector::BinSelector(const radar::RadarConfig& radar,
                          const PipelineConfig& config)
     : config_(config) {
@@ -23,31 +88,53 @@ BinSelector::BinSelector(const radar::RadarConfig& radar,
     BR_ENSURES(min_bin_ < max_bin_);
 }
 
-std::vector<double> BinSelector::bin_variances(
-    const std::vector<dsp::ComplexSignal>& window) const {
+std::vector<double> BinSelector::bin_variances(FrameWindowView window) const {
     BR_EXPECTS(!window.empty());
-    const std::size_t n_bins = window.front().size();
-    for (const auto& f : window) BR_EXPECTS(f.size() == n_bins);
+    const std::size_t n_bins = window.front()->size();
+    for (const auto* f : window) BR_EXPECTS(f->size() == n_bins);
 
     std::vector<double> variances(n_bins, 0.0);
     dsp::ComplexSignal column(window.size());
     for (std::size_t b = 0; b < n_bins; ++b) {
-        for (std::size_t t = 0; t < window.size(); ++t) column[t] = window[t][b];
+        for (std::size_t t = 0; t < window.size(); ++t)
+            column[t] = (*window[t])[b];
         variances[b] = dsp::scatter_variance(column);
     }
     return variances;
 }
 
-std::optional<BinSelection> BinSelector::select(
+std::vector<double> BinSelector::bin_variances(
     const std::vector<dsp::ComplexSignal>& window) const {
+    return bin_variances(FrameWindowView(make_frame_view(window)));
+}
+
+std::optional<BinSelection> BinSelector::select(FrameWindowView window) const {
     BR_EXPECTS(window.size() >= 8);
     switch (config_.selection_mode) {
         case BinSelectionMode::kArcVariance:
-            return select_arc_variance(window);
+            return select_arc_variance(window, bin_variances(window));
         case BinSelectionMode::kMaxPower:
             return select_max_power(window);
     }
     return std::nullopt;
+}
+
+std::optional<BinSelection> BinSelector::select(
+    FrameWindowView window, std::span<const double> variances) const {
+    BR_EXPECTS(window.size() >= 8);
+    BR_EXPECTS(!window.empty() && variances.size() == window.front()->size());
+    switch (config_.selection_mode) {
+        case BinSelectionMode::kArcVariance:
+            return select_arc_variance(window, variances);
+        case BinSelectionMode::kMaxPower:
+            return select_max_power(window);
+    }
+    return std::nullopt;
+}
+
+std::optional<BinSelection> BinSelector::select(
+    const std::vector<dsp::ComplexSignal>& window) const {
+    return select(FrameWindowView(make_frame_view(window)));
 }
 
 namespace {
@@ -84,9 +171,7 @@ double angular_extent(const dsp::ComplexSignal& column,
 }  // namespace
 
 std::optional<BinSelection> BinSelector::select_arc_variance(
-    const std::vector<dsp::ComplexSignal>& window) const {
-    const std::vector<double> variances = bin_variances(window);
-
+    FrameWindowView window, std::span<const double> variances) const {
     // Significance gate: candidate bins must stand clearly above the
     // median bin variance (which is dominated by thermal noise).
     std::vector<double> in_range(variances.begin() + static_cast<std::ptrdiff_t>(min_bin_),
@@ -119,12 +204,13 @@ std::optional<BinSelection> BinSelector::select_arc_variance(
     return best_gated;
 }
 
-std::optional<BinSelection> BinSelector::score_bin(
-    const std::vector<dsp::ComplexSignal>& window, std::size_t bin) const {
+std::optional<BinSelection> BinSelector::score_bin(FrameWindowView window,
+                                                   std::size_t bin) const {
     BR_EXPECTS(!window.empty());
-    BR_EXPECTS(bin < window.front().size());
+    BR_EXPECTS(bin < window.front()->size());
     dsp::ComplexSignal column(window.size());
-    for (std::size_t t = 0; t < window.size(); ++t) column[t] = window[t][bin];
+    for (std::size_t t = 0; t < window.size(); ++t)
+        column[t] = (*window[t])[bin];
 
     const dsp::CircleFit fit = dsp::fit_circle_pratt(column);
     if (!fit.ok || fit.radius <= 0.0) return std::nullopt;
@@ -142,14 +228,19 @@ std::optional<BinSelection> BinSelector::score_bin(
     return BinSelection{bin, var, score, fit};
 }
 
+std::optional<BinSelection> BinSelector::score_bin(
+    const std::vector<dsp::ComplexSignal>& window, std::size_t bin) const {
+    return score_bin(FrameWindowView(make_frame_view(window)), bin);
+}
+
 std::optional<BinSelection> BinSelector::select_max_power(
-    const std::vector<dsp::ComplexSignal>& window) const {
-    const std::size_t n_bins = window.front().size();
+    FrameWindowView window) const {
+    const std::size_t n_bins = window.front()->size();
     std::size_t best_bin = min_bin_;
     double best_power = -1.0;
     for (std::size_t b = min_bin_; b <= max_bin_ && b < n_bins; ++b) {
         double acc = 0.0;
-        for (const auto& f : window) acc += std::norm(f[b]);
+        for (const auto* f : window) acc += std::norm((*f)[b]);
         if (acc > best_power) {
             best_power = acc;
             best_bin = b;
@@ -157,7 +248,7 @@ std::optional<BinSelection> BinSelector::select_max_power(
     }
     dsp::ComplexSignal column(window.size());
     for (std::size_t t = 0; t < window.size(); ++t)
-        column[t] = window[t][best_bin];
+        column[t] = (*window[t])[best_bin];
     BinSelection sel;
     sel.bin = best_bin;
     sel.variance = dsp::scatter_variance(column);

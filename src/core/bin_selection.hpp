@@ -15,6 +15,7 @@
 
 #include <cstddef>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "core/pipeline_config.hpp"
@@ -32,27 +33,88 @@ struct BinSelection {
     dsp::CircleFit fit;             ///< the candidate's arc fit
 };
 
+/// Non-owning view of a slow-time window of frames (outer index = slow
+/// time, inner = bins). A span of frame pointers rather than of frames so
+/// ring-buffer-backed windows can be viewed without copying frame data.
+using FrameWindowView = std::span<const dsp::ComplexSignal* const>;
+
+/// Incremental per-bin 2-D I/Q scatter variance over a sliding window.
+/// Maintains running sums of I, Q and |z|^2 per bin so that periodic bin
+/// reselection reads variances in O(bins) instead of recomputing
+/// O(bins * window) from scratch. push/evict cost O(bins) per frame; the
+/// caller owns the window policy (push the new frame, evict the frame
+/// that left the window). Matches the batch computation to within
+/// floating-point reassociation (~1e-12 relative).
+class RollingBinVariance {
+public:
+    RollingBinVariance() = default;
+    explicit RollingBinVariance(std::size_t n_bins) { reset(n_bins); }
+
+    /// Size for `n_bins` bins and forget all frames (allocates; every
+    /// later operation is allocation-free).
+    void reset(std::size_t n_bins);
+
+    /// Forget all frames, keeping the bin layout.
+    void clear() noexcept;
+
+    /// Add a frame to the window.
+    void push(std::span<const dsp::Complex> frame);
+
+    /// Remove a previously pushed frame (the caller passes the frame now
+    /// leaving the window — its values, not an index).
+    void evict(std::span<const dsp::Complex> frame);
+
+    /// Frames currently in the window.
+    std::size_t count() const noexcept { return count_; }
+    std::size_t n_bins() const noexcept { return sum_sq_.size(); }
+
+    /// Scatter variance var(I) + var(Q) of one bin (0 until 1+ frames).
+    double variance(std::size_t bin) const;
+
+    /// All per-bin variances, written into `out` (resized, capacity
+    /// reused).
+    void variances_into(std::vector<double>& out) const;
+
+private:
+    std::vector<double> sum_i_;
+    std::vector<double> sum_q_;
+    std::vector<double> sum_sq_;
+    std::size_t count_ = 0;
+};
+
 /// Selects the blink-carrying bin from a slow-time window of
-/// (background-subtracted) frames.
+/// (background-subtracted) frames. Stateless: const methods are safe to
+/// call from multiple threads.
 class BinSelector {
 public:
     BinSelector(const radar::RadarConfig& radar, const PipelineConfig& config);
 
-    /// Evaluate a window of frames (outer index = slow time, inner =
-    /// bins; all frames must share the bin count). Returns std::nullopt
-    /// when no bin shows significant dynamic content (e.g. an empty
-    /// seat).
+    /// Evaluate a window of frames (all frames must share the bin
+    /// count). Returns std::nullopt when no bin shows significant dynamic
+    /// content (e.g. an empty seat).
+    std::optional<BinSelection> select(FrameWindowView window) const;
+
+    /// Same, with per-bin variances already computed (e.g. by a
+    /// RollingBinVariance tracked alongside the window) so selection
+    /// skips the O(bins * window) recomputation.
+    std::optional<BinSelection> select(FrameWindowView window,
+                                       std::span<const double> variances) const;
+
+    /// Convenience overload for contiguous windows (tests/benches).
     std::optional<BinSelection> select(
         const std::vector<dsp::ComplexSignal>& window) const;
 
     /// Per-bin 2-D scatter variance over the window (exposed for the
     /// Fig. 10b bench and tests).
+    std::vector<double> bin_variances(FrameWindowView window) const;
     std::vector<double> bin_variances(
         const std::vector<dsp::ComplexSignal>& window) const;
 
     /// Score one bin under the arc criterion (variance, arc fit and
     /// thinness score). Returns std::nullopt when the bin's trajectory is
     /// not a clean partial arc. Used for switch hysteresis.
+    std::optional<BinSelection> score_bin(FrameWindowView window,
+                                          std::size_t bin) const;
     std::optional<BinSelection> score_bin(
         const std::vector<dsp::ComplexSignal>& window, std::size_t bin) const;
 
@@ -61,13 +123,17 @@ public:
 
 private:
     std::optional<BinSelection> select_arc_variance(
-        const std::vector<dsp::ComplexSignal>& window) const;
-    std::optional<BinSelection> select_max_power(
-        const std::vector<dsp::ComplexSignal>& window) const;
+        FrameWindowView window, std::span<const double> variances) const;
+    std::optional<BinSelection> select_max_power(FrameWindowView window) const;
 
     PipelineConfig config_;
     std::size_t min_bin_;
     std::size_t max_bin_;
 };
+
+/// Build the pointer view a contiguous window presents (helper for the
+/// convenience overloads; allocates, so not for the per-frame path).
+std::vector<const dsp::ComplexSignal*> make_frame_view(
+    const std::vector<dsp::ComplexSignal>& window);
 
 }  // namespace blinkradar::core

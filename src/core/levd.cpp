@@ -15,6 +15,11 @@ Levd::Levd(const PipelineConfig& config, double frame_rate_hz)
     noise_window_frames_ = static_cast<std::size_t>(
         config.noise_window_s * frame_rate_hz);
     BR_ENSURES(noise_window_frames_ >= 8);
+    // Storage sized once here; the per-sample path never allocates.
+    buffer_.reset_capacity(noise_window_frames_);
+    smooth_taps_.reset_capacity(3);
+    recent_.reserve(4);
+    diff_scratch_.reserve(noise_window_frames_);
 }
 
 void Levd::reset() {
@@ -32,8 +37,7 @@ void Levd::reset() {
 }
 
 void Levd::warm_up(Seconds t, double value) {
-    buffer_.push_back(Sample{t, value});
-    if (buffer_.size() > noise_window_frames_) buffer_.pop_front();
+    buffer_.push_back(Sample{t, value});  // ring evicts past the window
     update_noise_estimate();
 }
 
@@ -49,8 +53,8 @@ void Levd::update_noise_estimate() {
     const std::size_t lag = std::max<std::size_t>(
         1, static_cast<std::size_t>(0.15 * frame_rate_hz_));
     if (buffer_.size() <= lag + 1) return;
-    std::vector<double> diffs;
-    diffs.reserve(buffer_.size() - lag);
+    std::vector<double>& diffs = diff_scratch_;
+    diffs.clear();
     for (std::size_t i = lag; i < buffer_.size(); ++i)
         diffs.push_back(std::abs(buffer_[i].v - buffer_[i - lag].v));
     BR_ASSERT(!diffs.empty());
@@ -80,15 +84,14 @@ void Levd::update_noise_estimate() {
 std::optional<DetectedBlink> Levd::push(Seconds t, double value) {
     // 3-point smoothing kills single-sample noise extrema without
     // displacing blink bumps (5+ frames wide).
-    smooth_taps_.push_back(value);
-    if (smooth_taps_.size() > 3) smooth_taps_.pop_front();
+    smooth_taps_.push_back(value);  // 3-slot ring: oldest tap drops out
     double smoothed = 0.0;
-    for (const double v : smooth_taps_) smoothed += v;
+    for (std::size_t i = 0; i < smooth_taps_.size(); ++i)
+        smoothed += smooth_taps_[i];
     smoothed /= static_cast<double>(smooth_taps_.size());
 
     const Sample s{t, smoothed};
-    buffer_.push_back(s);
-    if (buffer_.size() > noise_window_frames_) buffer_.pop_front();
+    buffer_.push_back(s);  // ring evicts past the noise window
     if (++frames_since_sigma_ >= 5) {
         frames_since_sigma_ = 0;
         update_noise_estimate();
@@ -117,11 +120,12 @@ std::optional<DetectedBlink> Levd::on_local_max(const Sample& s) {
     // monotonic climb leaves no recent local minimum at all.
     const Sample* window_min = nullptr;
     const Sample* steep_ref = nullptr;  // newest sample ~0.25 s back
-    for (auto it = buffer_.rbegin(); it != buffer_.rend(); ++it) {
-        if (s.t - it->t > config_.max_rise_s) break;
-        if (it->t >= s.t) continue;
-        if (!window_min || it->v < window_min->v) window_min = &*it;
-        if (s.t - it->t >= 0.25 && !steep_ref) steep_ref = &*it;
+    for (std::size_t i = buffer_.size(); i-- > 0;) {  // newest to oldest
+        const Sample& past = buffer_[i];
+        if (s.t - past.t > config_.max_rise_s) break;
+        if (past.t >= s.t) continue;
+        if (!window_min || past.v < window_min->v) window_min = &past;
+        if (s.t - past.t >= 0.25 && !steep_ref) steep_ref = &past;
     }
     // Steepness: the eyelid closes within ~100-400 ms, so a genuine blink
     // climbs a large share of the threshold within the last quarter

@@ -11,10 +11,10 @@
 // bumps do not inflate their own threshold.
 #pragma once
 
-#include <deque>
 #include <optional>
 #include <vector>
 
+#include "common/ring_buffer.hpp"
 #include "common/units.hpp"
 #include "core/pipeline_config.hpp"
 
@@ -68,9 +68,10 @@ private:
     double frame_rate_hz_;
     std::size_t noise_window_frames_;
 
-    std::deque<Sample> buffer_;          ///< rolling noise-estimation window
+    RingBuffer<Sample> buffer_;          ///< rolling noise-estimation window
     std::vector<Sample> recent_;         ///< last 3 smoothed samples
-    std::deque<double> smooth_taps_;     ///< 3-point smoother state
+    RingBuffer<double> smooth_taps_;     ///< 3-point smoother state
+    std::vector<double> diff_scratch_;   ///< noise-estimate |lag-diff| pool
 
     double sigma_ = 0.0;
     double threshold_ = 0.0;

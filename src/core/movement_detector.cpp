@@ -16,6 +16,8 @@ MovementDetector::MovementDetector(const PipelineConfig& config,
     window_frames_ = static_cast<std::size_t>(
         config.movement_median_window_s * frame_rate_hz);
     BR_ENSURES(window_frames_ >= 8);
+    diffs_.reset_capacity(window_frames_);
+    median_scratch_.reserve(window_frames_);
 }
 
 void MovementDetector::reset() {
@@ -25,7 +27,9 @@ void MovementDetector::reset() {
 }
 
 double MovementDetector::median_difference() const {
-    std::vector<double> v(diffs_.begin(), diffs_.end());
+    std::vector<double>& v = median_scratch_;
+    v.clear();
+    for (std::size_t i = 0; i < diffs_.size(); ++i) v.push_back(diffs_[i]);
     const std::size_t mid = v.size() / 2;
     std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid),
                      v.end());
@@ -35,13 +39,13 @@ double MovementDetector::median_difference() const {
 bool MovementDetector::push(const dsp::ComplexSignal& frame) {
     BR_EXPECTS(!frame.empty());
     if (previous_.size() != frame.size()) {
-        previous_ = frame;
+        previous_.assign(frame.begin(), frame.end());
         return false;
     }
     double diff = 0.0;
     for (std::size_t b = 0; b < frame.size(); ++b)
         diff += std::norm(frame[b] - previous_[b]);
-    previous_ = frame;
+    previous_.assign(frame.begin(), frame.end());  // same size: no realloc
     last_diff_ = diff;
 
     bool triggered = false;
@@ -54,10 +58,7 @@ bool MovementDetector::push(const dsp::ComplexSignal& frame) {
     }
     // A triggered frame's difference is *not* pushed into the history —
     // one posture shift spans many frames and would poison the median.
-    if (!triggered) {
-        diffs_.push_back(diff);
-        if (diffs_.size() > window_frames_) diffs_.pop_front();
-    }
+    if (!triggered) diffs_.push_back(diff);  // ring evicts past the window
     return triggered;
 }
 

@@ -8,8 +8,9 @@
 // difference exceeds a large multiple of the rolling median.
 #pragma once
 
-#include <deque>
+#include <vector>
 
+#include "common/ring_buffer.hpp"
 #include "core/pipeline_config.hpp"
 #include "dsp/dsp_types.hpp"
 
@@ -37,7 +38,8 @@ private:
     PipelineConfig config_;
     std::size_t window_frames_;
     dsp::ComplexSignal previous_;
-    std::deque<double> diffs_;
+    RingBuffer<double> diffs_;
+    mutable std::vector<double> median_scratch_;
     double last_diff_ = 0.0;
 };
 

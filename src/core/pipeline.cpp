@@ -20,6 +20,24 @@ BlinkRadarPipeline::BlinkRadarPipeline(const radar::RadarConfig& radar,
     BR_EXPECTS(config.fit_window_frames >= 8);
     BR_EXPECTS(config.update_interval_frames >= 1);
     BR_EXPECTS(config.reselect_interval_frames >= 1);
+
+    // Size every bounded window and scratch buffer once, so the steady
+    // 40 ms frame path performs zero heap allocations (the per-frame
+    // vectors in window_ acquire their capacity on first fill and keep it
+    // as slots are recycled).
+    const std::size_t max_window =
+        std::max(config_.fit_window_frames, config_.cold_start_frames);
+    window_.reset_capacity(max_window);
+    window_times_.reset_capacity(max_window);
+    rolling_window_frames_ =
+        std::min(config_.selection_window_frames, max_window);
+    rolling_var_.reset(radar_.n_bins());
+    wave_history_.reset_capacity(std::max<std::size_t>(
+        16, static_cast<std::size_t>(4.0 * radar_.frame_rate_hz())));
+    view_scratch_.reserve(max_window);
+    var_scratch_.reserve(radar_.n_bins());
+    column_scratch_.reserve(max_window);
+    blinks_.reserve(256);
 }
 
 void BlinkRadarPipeline::restart() {
@@ -28,6 +46,7 @@ void BlinkRadarPipeline::restart() {
     levd_.reset();
     window_.clear();
     window_times_.clear();
+    rolling_var_.clear();
     selected_bin_.reset();
     viewing_.reset();
     frames_since_start_ = 0;
@@ -45,9 +64,10 @@ void BlinkRadarPipeline::restart() {
 
 void BlinkRadarPipeline::refit_viewing() {
     BR_ASSERT(selected_bin_.has_value());
-    dsp::ComplexSignal column;
-    column.reserve(window_.size());
-    for (const auto& f : window_) column.push_back(f[*selected_bin_]);
+    dsp::ComplexSignal& column = column_scratch_;
+    column.clear();
+    for (std::size_t i = 0; i < window_.size(); ++i)
+        column.push_back(window_[i][*selected_bin_]);
     const ViewingPosition fit =
         ViewingPosition::fit_trimmed(column, config_.fit_method);
     // Keep the previous viewing position if the new fit degenerated
@@ -78,18 +98,26 @@ bool BlinkRadarPipeline::reselect_bin() {
     // the window still contains the turbulent tail of the movement that
     // caused it, and waiting for that to age out of a long window would
     // stretch the recovery (and the consecutive-miss runs) several-fold.
+    // The window is passed as a view (no frame data is copied) and the
+    // per-bin variances come from the rolling tracker, which covers
+    // exactly these `take` frames by construction.
     const std::size_t take =
         std::min(window_.size(), config_.selection_window_frames);
-    const std::vector<dsp::ComplexSignal> snapshot(window_.end() - static_cast<std::ptrdiff_t>(take),
-                                                   window_.end());
-    const std::optional<BinSelection> sel = selector_.select(snapshot);
+    BR_ASSERT(rolling_var_.count() == take);
+    view_scratch_.clear();
+    for (std::size_t i = window_.size() - take; i < window_.size(); ++i)
+        view_scratch_.push_back(&window_[i]);
+    const FrameWindowView view(view_scratch_);
+    rolling_var_.variances_into(var_scratch_);
+    const std::optional<BinSelection> sel =
+        selector_.select(view, var_scratch_);
     if (!sel) return false;  // nothing arc-like in view: keep what we have
     if (selected_bin_ && *selected_bin_ == sel->bin) return false;
     if (selected_bin_) {
         // Hysteresis: only hop if the challenger clearly beats the
         // currently tracked bin under the same window.
         const std::optional<BinSelection> current =
-            selector_.score_bin(snapshot, *selected_bin_);
+            selector_.score_bin(view, *selected_bin_);
         if (current &&
             sel->score < config_.reselect_hysteresis * current->score)
             return false;
@@ -128,27 +156,28 @@ FrameResult BlinkRadarPipeline::process(const radar::RadarFrame& frame) {
     BR_EXPECTS(frame.bins.size() == radar_.n_bins());
     FrameResult result;
 
-    // 1. Noise reduction.
-    const radar::RadarFrame pre = preprocessor_.apply(frame);
+    // 1. Noise reduction (into per-pipeline scratch: no allocation).
+    preprocessor_.apply_into(frame, pre_frame_);
 
     // 2. Significant body movement => restart the whole detection process.
-    if (movement_.push(pre.bins)) {
+    if (movement_.push(pre_frame_.bins)) {
         restart();
         result.restarted = true;
         result.cold_start = true;
         return result;
     }
 
-    // 3. Background (static clutter) subtraction.
-    const dsp::ComplexSignal sub = background_.process(pre.bins);
-    window_.push_back(sub);
+    // 3. Background (static clutter) subtraction, written straight into
+    // the window ring's recycled slot. The rolling variance tracker
+    // follows the last rolling_window_frames_ frames: evict the frame
+    // about to leave that window *before* pushing (when the ring is full
+    // it may be the very slot the new frame overwrites).
+    if (rolling_var_.count() == rolling_window_frames_)
+        rolling_var_.evict(window_[window_.size() - rolling_window_frames_]);
+    dsp::ComplexSignal& sub = window_.emplace_slot();
+    background_.process_into(pre_frame_.bins, sub);
+    rolling_var_.push(sub);
     window_times_.push_back(frame.timestamp_s);
-    const std::size_t max_window =
-        std::max(config_.fit_window_frames, config_.cold_start_frames);
-    while (window_.size() > max_window) {
-        window_.pop_front();
-        window_times_.pop_front();
-    }
     ++frames_since_start_;
 
     // 4. Cold start: accumulate, then select the bin and fit the arc.
@@ -244,10 +273,7 @@ double BlinkRadarPipeline::compensated_distance(Seconds t,
     }
     prev_theta_raw_ = theta_raw;
 
-    wave_history_.push_back(WaveSample{t, d, theta_unwrapped_});
-    const std::size_t keep =
-        static_cast<std::size_t>(4.0 * radar_.frame_rate_hz());
-    while (wave_history_.size() > keep) wave_history_.pop_front();
+    wave_history_.push_back(WaveSample{t, d, theta_unwrapped_});  // ring
     if (!config_.motion_compensation) return d;
     if (wave_history_.size() < 16) return d;
 
@@ -263,10 +289,12 @@ double BlinkRadarPipeline::compensated_distance(Seconds t,
     double sd = 0, sd1 = 0, sd2 = 0;
     const double theta_mean = [this] {
         double acc = 0.0;
-        for (const WaveSample& w : wave_history_) acc += w.theta;
+        for (std::size_t i = 0; i < wave_history_.size(); ++i)
+            acc += wave_history_[i].theta;
         return acc / static_cast<double>(wave_history_.size());
     }();
-    for (const WaveSample& w : wave_history_) {
+    for (std::size_t i = 0; i < wave_history_.size(); ++i) {
+        const WaveSample& w = wave_history_[i];
         const double x = w.theta - theta_mean;
         const double x2 = x * x;
         s0 += 1.0;
@@ -313,7 +341,8 @@ bool BlinkRadarPipeline::motion_artifact_veto(
     const Seconds hi = blink.peak_s + blink.duration_s;
     double sd = 0.0, st = 0.0, sdd = 0.0, stt = 0.0, sdt = 0.0;
     std::size_t n = 0;
-    for (const WaveSample& w : wave_history_) {
+    for (std::size_t i = 0; i < wave_history_.size(); ++i) {
+        const WaveSample& w = wave_history_[i];
         if (w.t < lo || w.t > hi) continue;
         sd += w.d;
         st += w.theta;

@@ -9,10 +9,10 @@
 // a full restart whenever a significant body movement is detected.
 #pragma once
 
-#include <deque>
 #include <optional>
 #include <vector>
 
+#include "common/ring_buffer.hpp"
 #include "core/bin_selection.hpp"
 #include "core/levd.hpp"
 #include "core/movement_detector.hpp"
@@ -91,8 +91,20 @@ private:
     /// that component (see pipeline.cpp for the physics).
     double compensated_distance(Seconds t, dsp::Complex sample);
 
-    std::deque<dsp::ComplexSignal> window_;  ///< recent subtracted frames
-    std::deque<Seconds> window_times_;       ///< their timestamps
+    RingBuffer<dsp::ComplexSignal> window_;  ///< recent subtracted frames
+    RingBuffer<Seconds> window_times_;       ///< their timestamps
+
+    /// Incremental per-bin variance over the last selection_window_frames
+    /// frames of window_, so periodic reselection reads variances in
+    /// O(bins) instead of recomputing O(bins * window).
+    RollingBinVariance rolling_var_;
+    std::size_t rolling_window_frames_ = 0;  ///< its window length
+
+    // Steady-state scratch (sized once; reused every frame/reselect).
+    radar::RadarFrame pre_frame_;                       ///< preprocessed frame
+    std::vector<const dsp::ComplexSignal*> view_scratch_;  ///< reselect view
+    std::vector<double> var_scratch_;                   ///< rolling variances
+    dsp::ComplexSignal column_scratch_;                 ///< refit column
 
     /// Recent (t, d, theta) triples for the motion-artifact veto.
     struct WaveSample {
@@ -100,7 +112,7 @@ private:
         double d = 0.0;      ///< relative distance
         double theta = 0.0;  ///< unwrapped angle around the viewing centre
     };
-    std::deque<WaveSample> wave_history_;
+    RingBuffer<WaveSample> wave_history_;
     double theta_unwrapped_ = 0.0;
     bool have_theta_ = false;
     double prev_theta_raw_ = 0.0;

@@ -16,26 +16,41 @@ Preprocessor::Preprocessor(const PipelineConfig& config)
 }
 
 radar::RadarFrame Preprocessor::apply(const radar::RadarFrame& frame) const {
-    BR_EXPECTS(!frame.bins.empty());
     radar::RadarFrame out;
+    apply_into(frame, out);
+    return out;
+}
+
+void Preprocessor::apply_into(const radar::RadarFrame& frame,
+                              radar::RadarFrame& out) const {
+    BR_EXPECTS(!frame.bins.empty());
+    BR_EXPECTS(&frame != &out);
     out.timestamp_s = frame.timestamp_s;
 
     // FIR low-pass along fast time with group-delay compensation.
-    const dsp::ComplexSignal filtered = fir_.filter(frame.bins);
+    fir_.filter_into(frame.bins, filtered_);
     const std::size_t gd = static_cast<std::size_t>(fir_.group_delay_samples());
-    dsp::ComplexSignal aligned(frame.bins.size(), dsp::Complex(0.0, 0.0));
-    for (std::size_t b = 0; b + gd < filtered.size(); ++b)
-        aligned[b] = filtered[b + gd];
+    const std::size_t n = frame.bins.size();
+    aligned_.resize(n);
+    std::size_t b = 0;
+    for (; b + gd < n; ++b) aligned_[b] = filtered_[b + gd];
+    // The shift leaves no filtered samples for the last `gd` bins. Hold
+    // them at the nearest filtered value instead of zeroing: a hard zero
+    // edge is a fake clutter step that the movement detector and the
+    // smoothing stage would otherwise see every frame.
+    const dsp::Complex edge =
+        b > 0 ? aligned_[b - 1] : dsp::Complex(0.0, 0.0);
+    for (; b < n; ++b) aligned_[b] = edge;
 
     // Smoothing (moving-average) stage of the cascade.
-    out.bins = dsp::moving_average(aligned, smooth_window_);
-    return out;
+    dsp::moving_average_into(aligned_, smooth_window_, out.bins, prefix_);
 }
 
 radar::FrameSeries Preprocessor::apply(const radar::FrameSeries& series) const {
     radar::FrameSeries out;
-    out.reserve(series.size());
-    for (const radar::RadarFrame& f : series) out.push_back(apply(f));
+    out.resize(series.size());
+    for (std::size_t i = 0; i < series.size(); ++i)
+        apply_into(series[i], out[i]);
     return out;
 }
 

@@ -14,7 +14,11 @@
 
 namespace blinkradar::core {
 
-/// Stateless per-frame noise-reduction stage.
+/// Per-frame noise-reduction stage. Logically stateless (the output
+/// depends only on the input frame), but it reuses internal scratch
+/// buffers across calls so a warmed-up instance performs zero heap
+/// allocations per frame — therefore one instance must not be shared
+/// between threads (each pipeline owns its own).
 class Preprocessor {
 public:
     explicit Preprocessor(const PipelineConfig& config);
@@ -22,6 +26,11 @@ public:
     /// Apply the cascading filter to one frame (returns a new frame; the
     /// FIR group delay is compensated so range bins stay calibrated).
     radar::RadarFrame apply(const radar::RadarFrame& frame) const;
+
+    /// Allocation-free variant: writes into `out`, reusing its capacity.
+    /// `out` must not be the input frame.
+    void apply_into(const radar::RadarFrame& frame,
+                    radar::RadarFrame& out) const;
 
     /// Apply to a whole series (convenience for batch analysis).
     radar::FrameSeries apply(const radar::FrameSeries& series) const;
@@ -32,6 +41,11 @@ public:
 private:
     dsp::FirFilter fir_;
     std::size_t smooth_window_;
+
+    // Scratch reused across frames (see class comment re: thread safety).
+    mutable dsp::ComplexSignal filtered_;
+    mutable dsp::ComplexSignal aligned_;
+    mutable dsp::ComplexSignal prefix_;
 };
 
 }  // namespace blinkradar::core

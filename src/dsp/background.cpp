@@ -11,19 +11,26 @@ LoopbackFilter::LoopbackFilter(std::size_t n_bins, double alpha)
 }
 
 ComplexSignal LoopbackFilter::process(std::span<const Complex> frame) {
+    ComplexSignal out;
+    process_into(frame, out);
+    return out;
+}
+
+void LoopbackFilter::process_into(std::span<const Complex> frame,
+                                  ComplexSignal& out) {
     BR_EXPECTS(frame.size() == background_.size());
+    BR_EXPECTS(frame.data() != out.data());
     if (!primed_) {
         // Seed the background with the first frame so start-up output is
         // clutter-free immediately instead of after ~1/alpha frames.
         for (std::size_t b = 0; b < frame.size(); ++b) background_[b] = frame[b];
         primed_ = true;
     }
-    ComplexSignal out(frame.size());
+    out.resize(frame.size());
     for (std::size_t b = 0; b < frame.size(); ++b) {
         out[b] = frame[b] - background_[b];
         background_[b] = (1.0 - alpha_) * background_[b] + alpha_ * frame[b];
     }
-    return out;
 }
 
 void LoopbackFilter::reset() noexcept { primed_ = false; }

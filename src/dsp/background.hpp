@@ -30,6 +30,10 @@ public:
     /// `frame.size()` must equal `n_bins()`.
     ComplexSignal process(std::span<const Complex> frame);
 
+    /// Allocation-free variant: writes the subtracted frame into `out`
+    /// (resized, reusing capacity; must not alias the input).
+    void process_into(std::span<const Complex> frame, ComplexSignal& out);
+
     /// Current background estimate (one complex value per bin).
     const ComplexSignal& background() const noexcept { return background_; }
 

@@ -78,7 +78,21 @@ FirFilter FirFilter::band_pass(std::size_t order, double low_hz, double high_hz,
 }
 
 RealSignal FirFilter::filter(std::span<const double> input) const {
-    RealSignal out(input.size(), 0.0);
+    RealSignal out;
+    filter_into(input, out);
+    return out;
+}
+
+ComplexSignal FirFilter::filter(std::span<const Complex> input) const {
+    ComplexSignal out;
+    filter_into(input, out);
+    return out;
+}
+
+void FirFilter::filter_into(std::span<const double> input,
+                            RealSignal& out) const {
+    BR_EXPECTS(input.empty() || input.data() != out.data());
+    out.resize(input.size());
     const std::size_t n_taps = taps_.size();
     for (std::size_t n = 0; n < input.size(); ++n) {
         double acc = 0.0;
@@ -86,11 +100,12 @@ RealSignal FirFilter::filter(std::span<const double> input) const {
         for (std::size_t k = 0; k <= k_max; ++k) acc += taps_[k] * input[n - k];
         out[n] = acc;
     }
-    return out;
 }
 
-ComplexSignal FirFilter::filter(std::span<const Complex> input) const {
-    ComplexSignal out(input.size(), Complex(0.0, 0.0));
+void FirFilter::filter_into(std::span<const Complex> input,
+                            ComplexSignal& out) const {
+    BR_EXPECTS(input.empty() || input.data() != out.data());
+    out.resize(input.size());
     const std::size_t n_taps = taps_.size();
     for (std::size_t n = 0; n < input.size(); ++n) {
         Complex acc(0.0, 0.0);
@@ -98,7 +113,6 @@ ComplexSignal FirFilter::filter(std::span<const Complex> input) const {
         for (std::size_t k = 0; k <= k_max; ++k) acc += taps_[k] * input[n - k];
         out[n] = acc;
     }
-    return out;
 }
 
 RealSignal FirFilter::filtfilt(std::span<const double> input) const {

@@ -47,6 +47,12 @@ public:
     /// Same, element-wise on a complex signal (taps are real).
     ComplexSignal filter(std::span<const Complex> input) const;
 
+    /// Allocation-free variants for the per-frame hot path: `out` is
+    /// resized to the input length (reusing its capacity) and must not
+    /// alias the input. Results are bit-identical to filter().
+    void filter_into(std::span<const double> input, RealSignal& out) const;
+    void filter_into(std::span<const Complex> input, ComplexSignal& out) const;
+
     /// Zero-phase filtering: forward pass, reverse, forward pass, reverse.
     /// Doubles the magnitude response in dB but removes the group delay;
     /// used where waveform timing matters (blink event localisation).

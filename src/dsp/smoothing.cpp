@@ -46,12 +46,22 @@ std::vector<double> solve_linear(std::vector<double> a, std::vector<double> b,
 
 }  // namespace
 
-RealSignal moving_average(std::span<const double> input, std::size_t window) {
+namespace {
+
+// Shared implementation: prefix sums give O(n) evaluation independent of
+// window size. Works for double and Complex alike (complex addition and
+// complex/double division act component-wise, so the complex result is
+// bit-identical to smoothing I and Q separately).
+template <typename T>
+void moving_average_impl(std::span<const T> input, std::size_t window,
+                         std::vector<T>& out, std::vector<T>& prefix) {
     BR_EXPECTS(window >= 1);
+    BR_EXPECTS(input.empty() || (input.data() != out.data() &&
+                                 input.data() != prefix.data()));
     const std::size_t half = window / 2;
-    RealSignal out(input.size(), 0.0);
-    // Prefix sums give O(n) evaluation independent of window size.
-    std::vector<double> prefix(input.size() + 1, 0.0);
+    out.resize(input.size());
+    prefix.resize(input.size() + 1);
+    prefix[0] = T{};
     for (std::size_t i = 0; i < input.size(); ++i)
         prefix[i + 1] = prefix[i] + input[i];
     for (std::size_t i = 0; i < input.size(); ++i) {
@@ -59,23 +69,31 @@ RealSignal moving_average(std::span<const double> input, std::size_t window) {
         const std::size_t hi = std::min(i + half, input.size() - 1);
         out[i] = (prefix[hi + 1] - prefix[lo]) / static_cast<double>(hi - lo + 1);
     }
+}
+
+}  // namespace
+
+RealSignal moving_average(std::span<const double> input, std::size_t window) {
+    RealSignal out, prefix;
+    moving_average_impl(input, window, out, prefix);
     return out;
 }
 
 ComplexSignal moving_average(std::span<const Complex> input,
                              std::size_t window) {
-    BR_EXPECTS(window >= 1);
-    RealSignal re(input.size()), im(input.size());
-    for (std::size_t i = 0; i < input.size(); ++i) {
-        re[i] = input[i].real();
-        im[i] = input[i].imag();
-    }
-    const RealSignal re_s = moving_average(re, window);
-    const RealSignal im_s = moving_average(im, window);
-    ComplexSignal out(input.size());
-    for (std::size_t i = 0; i < input.size(); ++i)
-        out[i] = Complex(re_s[i], im_s[i]);
+    ComplexSignal out, prefix;
+    moving_average_impl(input, window, out, prefix);
     return out;
+}
+
+void moving_average_into(std::span<const double> input, std::size_t window,
+                         RealSignal& out, RealSignal& prefix) {
+    moving_average_impl(input, window, out, prefix);
+}
+
+void moving_average_into(std::span<const Complex> input, std::size_t window,
+                         ComplexSignal& out, ComplexSignal& prefix) {
+    moving_average_impl(input, window, out, prefix);
 }
 
 RealSignal median_filter(std::span<const double> input, std::size_t window) {

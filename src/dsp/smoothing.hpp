@@ -21,6 +21,14 @@ RealSignal moving_average(std::span<const double> input, std::size_t window);
 ComplexSignal moving_average(std::span<const Complex> input,
                              std::size_t window);
 
+/// Allocation-free variants for the per-frame hot path: `out` and the
+/// caller-owned `prefix` scratch are resized (reusing capacity); neither
+/// may alias the input. Results are bit-identical to moving_average().
+void moving_average_into(std::span<const double> input, std::size_t window,
+                         RealSignal& out, RealSignal& prefix);
+void moving_average_into(std::span<const Complex> input, std::size_t window,
+                         ComplexSignal& out, ComplexSignal& prefix);
+
 /// Centred running median with an odd window size.
 RealSignal median_filter(std::span<const double> input, std::size_t window);
 

@@ -1,6 +1,7 @@
 #include "eval/experiment.hpp"
 
 #include "common/contracts.hpp"
+#include "common/thread_pool.hpp"
 
 namespace blinkradar::eval {
 
@@ -16,17 +17,36 @@ SessionScore run_blink_session(const sim::ScenarioConfig& scenario,
     return score;
 }
 
+std::vector<SessionScore> run_sessions(
+    std::span<const sim::ScenarioConfig> scenarios,
+    const core::PipelineConfig& pipeline) {
+    // Deterministic fan-out: task i touches only scenarios[i] (whose seed
+    // fully determines the simulated session) and result slot i, so the
+    // output cannot depend on thread count or scheduling.
+    return ThreadPool::shared().parallel_map(
+        scenarios.size(), [&](std::size_t i) {
+            return run_blink_session(scenarios[i], pipeline);
+        });
+}
+
+std::vector<SessionScore> run_sessions(const sim::ScenarioConfig& scenario,
+                                       std::size_t repetitions,
+                                       const core::PipelineConfig& pipeline) {
+    BR_EXPECTS(repetitions >= 1);
+    std::vector<sim::ScenarioConfig> scenarios(repetitions, scenario);
+    for (std::size_t r = 0; r < repetitions; ++r)
+        scenarios[r].seed = scenario.seed + r;
+    return run_sessions(scenarios, pipeline);
+}
+
 std::vector<double> repeated_accuracies(const sim::ScenarioConfig& scenario,
                                         std::size_t repetitions,
                                         const core::PipelineConfig& pipeline) {
-    BR_EXPECTS(repetitions >= 1);
+    const std::vector<SessionScore> scores =
+        run_sessions(scenario, repetitions, pipeline);
     std::vector<double> accuracies;
-    accuracies.reserve(repetitions);
-    sim::ScenarioConfig cfg = scenario;
-    for (std::size_t r = 0; r < repetitions; ++r) {
-        cfg.seed = scenario.seed + r;
-        accuracies.push_back(run_blink_session(cfg, pipeline).accuracy);
-    }
+    accuracies.reserve(scores.size());
+    for (const SessionScore& s : scores) accuracies.push_back(s.accuracy);
     return accuracies;
 }
 
@@ -59,29 +79,38 @@ DrowsyScore run_drowsy_experiment(sim::ScenarioConfig scenario,
     BR_EXPECTS(options.train_minutes_per_class >= 1.0);
     BR_EXPECTS(options.test_minutes_per_class >= 1.0);
 
-    // Training: one labelled recording per class (different seeds so the
-    // test drive is new data).
-    const std::vector<double> train_awake = session_window_rates(
-        scenario, physio::Alertness::kAwake, options.train_minutes_per_class,
-        options.window_s, options.long_blink_min_s, options.min_strength,
-        scenario.seed * 7919 + 1, pipeline);
-    const std::vector<double> train_drowsy = session_window_rates(
-        scenario, physio::Alertness::kDrowsy, options.train_minutes_per_class,
-        options.window_s, options.long_blink_min_s, options.min_strength,
-        scenario.seed * 7919 + 2, pipeline);
+    // The four recordings (train/test x awake/drowsy) are independent —
+    // each simulates from its own derived seed — so they fan out over the
+    // pool. parallel_for is nesting-safe, so this also holds inside
+    // run_drowsy_experiments' outer fan-out.
+    const struct {
+        physio::Alertness state;
+        Seconds minutes;
+        std::uint64_t seed;
+    } recordings[] = {
+        {physio::Alertness::kAwake, options.train_minutes_per_class,
+         scenario.seed * 7919 + 1},
+        {physio::Alertness::kDrowsy, options.train_minutes_per_class,
+         scenario.seed * 7919 + 2},
+        {physio::Alertness::kAwake, options.test_minutes_per_class,
+         scenario.seed * 7919 + 3},
+        {physio::Alertness::kDrowsy, options.test_minutes_per_class,
+         scenario.seed * 7919 + 4},
+    };
+    const std::vector<std::vector<double>> rates =
+        ThreadPool::shared().parallel_map(4, [&](std::size_t i) {
+            return session_window_rates(
+                scenario, recordings[i].state, recordings[i].minutes,
+                options.window_s, options.long_blink_min_s,
+                options.min_strength, recordings[i].seed, pipeline);
+        });
+    const std::vector<double>& train_awake = rates[0];
+    const std::vector<double>& train_drowsy = rates[1];
+    const std::vector<double>& test_awake = rates[2];
+    const std::vector<double>& test_drowsy = rates[3];
 
     core::DrowsinessDetector detector;
     detector.train(train_awake, train_drowsy);
-
-    // Test: held-out windows of both classes.
-    const std::vector<double> test_awake = session_window_rates(
-        scenario, physio::Alertness::kAwake, options.test_minutes_per_class,
-        options.window_s, options.long_blink_min_s, options.min_strength,
-        scenario.seed * 7919 + 3, pipeline);
-    const std::vector<double> test_drowsy = session_window_rates(
-        scenario, physio::Alertness::kDrowsy, options.test_minutes_per_class,
-        options.window_s, options.long_blink_min_s, options.min_strength,
-        scenario.seed * 7919 + 4, pipeline);
 
     std::size_t correct = 0;
     for (const double r : test_awake)
@@ -99,18 +128,25 @@ DrowsyScore run_drowsy_experiment(sim::ScenarioConfig scenario,
     return score;
 }
 
+std::vector<DrowsyScore> run_drowsy_experiments(
+    std::span<const sim::ScenarioConfig> scenarios,
+    const DrowsyExperimentOptions& options,
+    const core::PipelineConfig& pipeline) {
+    return ThreadPool::shared().parallel_map(
+        scenarios.size(), [&](std::size_t i) {
+            return run_drowsy_experiment(scenarios[i], options, pipeline);
+        });
+}
+
 std::vector<bool> accumulate_truth_hits(const sim::ScenarioConfig& scenario,
                                         std::size_t repetitions,
                                         const core::PipelineConfig& pipeline) {
-    BR_EXPECTS(repetitions >= 1);
+    const std::vector<SessionScore> scores =
+        run_sessions(scenario, repetitions, pipeline);
     std::vector<bool> hits;
-    sim::ScenarioConfig cfg = scenario;
-    for (std::size_t r = 0; r < repetitions; ++r) {
-        cfg.seed = scenario.seed + r;
-        const SessionScore score = run_blink_session(cfg, pipeline);
+    for (const SessionScore& score : scores)
         hits.insert(hits.end(), score.match.truth_hit.begin(),
                     score.match.truth_hit.end());
-    }
     return hits;
 }
 

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "core/drowsy.hpp"
@@ -24,6 +25,21 @@ struct SessionScore {
 /// Simulate a session and run the pipeline over it.
 SessionScore run_blink_session(const sim::ScenarioConfig& scenario,
                                const core::PipelineConfig& pipeline = {});
+
+/// Batch engine: score every scenario, fanned out over the shared thread
+/// pool. Sessions are independent (each simulates from its own
+/// scenario.seed), so results are bit-identical to calling
+/// run_blink_session serially in order — for any thread count. Result i
+/// corresponds to scenarios[i].
+std::vector<SessionScore> run_sessions(
+    std::span<const sim::ScenarioConfig> scenarios,
+    const core::PipelineConfig& pipeline = {});
+
+/// Batch engine, repetition form: run `repetitions` sessions with derived
+/// seeds (seed, seed+1, ...). Deterministic as above.
+std::vector<SessionScore> run_sessions(const sim::ScenarioConfig& scenario,
+                                       std::size_t repetitions,
+                                       const core::PipelineConfig& pipeline = {});
 
 /// Run `repetitions` sessions with different seeds (seed, seed+1, ...)
 /// and return the per-session accuracies.
@@ -59,6 +75,15 @@ struct DrowsyExperimentOptions {
 DrowsyScore run_drowsy_experiment(sim::ScenarioConfig scenario,
                                   const DrowsyExperimentOptions& options = {},
                                   const core::PipelineConfig& pipeline = {});
+
+/// Batch engine for the drowsy protocol: one experiment per scenario,
+/// fanned out over the shared thread pool (and each experiment's four
+/// train/test recordings fan out in turn). Bit-identical to the serial
+/// loop; result i corresponds to scenarios[i].
+std::vector<DrowsyScore> run_drowsy_experiments(
+    std::span<const sim::ScenarioConfig> scenarios,
+    const DrowsyExperimentOptions& options = {},
+    const core::PipelineConfig& pipeline = {});
 
 /// Accumulate per-truth-blink hit flags across many sessions (for the
 /// Fig. 15a missed-run statistics).

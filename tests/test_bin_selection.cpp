@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/contracts.hpp"
@@ -110,6 +111,66 @@ TEST(BinSelector, ScoreBinRejectsNoiseBin) {
     // A pure-noise bin: either the fit degenerates or the radius-
     // plausibility gate rejects it.
     EXPECT_FALSE(sel.score_bin(window, 100).has_value());
+}
+
+TEST(RollingBinVariance, MatchesBatchVariancesOverSlidingWindow) {
+    // The incremental tracker must agree with the batch computation
+    // (BinSelector::bin_variances) to 1e-9 at every step of a sliding
+    // window with interleaved pushes and evictions.
+    Rng rng(8);
+    const std::size_t n_bins = 151;
+    const std::size_t total_frames = 120;
+    const std::size_t window_len = 40;
+    const auto frames = make_window(total_frames, n_bins, 40, 62, 0.02, rng);
+
+    const BinSelector sel(config(), PipelineConfig{});
+    RollingBinVariance rolling(n_bins);
+    std::vector<double> got;
+    for (std::size_t t = 0; t < total_frames; ++t) {
+        if (rolling.count() == window_len) rolling.evict(frames[t - window_len]);
+        rolling.push(frames[t]);
+        ASSERT_EQ(rolling.count(), std::min(t + 1, window_len));
+        if (t + 1 < 8) continue;  // batch path needs a few frames
+        const std::size_t first = t + 1 - rolling.count();
+        const std::vector<dsp::ComplexSignal> window(
+            frames.begin() + static_cast<std::ptrdiff_t>(first),
+            frames.begin() + static_cast<std::ptrdiff_t>(t + 1));
+        const auto batch = sel.bin_variances(window);
+        rolling.variances_into(got);
+        ASSERT_EQ(got.size(), batch.size());
+        for (std::size_t b = 0; b < n_bins; ++b) {
+            EXPECT_NEAR(got[b], batch[b], 1e-9)
+                << "frame " << t << ", bin " << b;
+            EXPECT_NEAR(rolling.variance(b), batch[b], 1e-9);
+        }
+    }
+}
+
+TEST(RollingBinVariance, ClearKeepsLayoutAndZeroesState) {
+    RollingBinVariance rolling(8);
+    dsp::ComplexSignal frame(8, dsp::Complex(1.0, -2.0));
+    rolling.push(frame);
+    rolling.push(frame);
+    EXPECT_EQ(rolling.count(), 2u);
+    rolling.clear();
+    EXPECT_EQ(rolling.count(), 0u);
+    EXPECT_EQ(rolling.n_bins(), 8u);
+    EXPECT_EQ(rolling.variance(3), 0.0);
+}
+
+TEST(RollingBinVariance, SelectWithPrecomputedVariancesMatchesPlainSelect) {
+    Rng rng(9);
+    const auto window = make_window(100, 151, 40, 62, 0.002, rng);
+    const BinSelector sel(config(), PipelineConfig{});
+    const auto variances = sel.bin_variances(window);
+    const auto view = make_frame_view(window);
+    const auto plain = sel.select(window);
+    const auto precomputed =
+        sel.select(FrameWindowView(view), std::span<const double>(variances));
+    ASSERT_TRUE(plain.has_value());
+    ASSERT_TRUE(precomputed.has_value());
+    EXPECT_EQ(plain->bin, precomputed->bin);
+    EXPECT_EQ(plain->score, precomputed->score);
 }
 
 TEST(BinSelector, RejectsTinyWindows) {

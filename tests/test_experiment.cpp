@@ -63,6 +63,47 @@ TEST(Experiment, DrowsyClassifierBeatsChanceAtReferenceConditions) {
     EXPECT_GT(total / 3.0, 0.6);
 }
 
+TEST(Experiment, RunSessionsMatchesSerialCalls) {
+    // The batch engine fans out over the shared thread pool but must be
+    // bit-identical to the serial loop (each session seeds only from its
+    // own scenario).
+    std::vector<sim::ScenarioConfig> scenarios = {scenario(21), scenario(22),
+                                                  scenario(23)};
+    const auto batch = run_sessions(scenarios);
+    ASSERT_EQ(batch.size(), scenarios.size());
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+        const SessionScore ref = run_blink_session(scenarios[i]);
+        EXPECT_EQ(batch[i].accuracy, ref.accuracy);
+        EXPECT_EQ(batch[i].restarts, ref.restarts);
+        EXPECT_EQ(batch[i].match.detected, ref.match.detected);
+    }
+}
+
+TEST(Experiment, RunSessionsRepetitionFormMatchesRepeatedAccuracies) {
+    const sim::ScenarioConfig base = scenario(24);
+    const auto sessions = run_sessions(base, 3);
+    const auto accs = repeated_accuracies(base, 3);
+    ASSERT_EQ(sessions.size(), 3u);
+    ASSERT_EQ(accs.size(), 3u);
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_EQ(sessions[i].accuracy, accs[i]);
+}
+
+TEST(Experiment, RunDrowsyExperimentsMatchesSingleCalls) {
+    std::vector<sim::ScenarioConfig> scenarios = {scenario(25), scenario(26)};
+    eval::DrowsyExperimentOptions opt;
+    opt.train_minutes_per_class = 2.0;
+    opt.test_minutes_per_class = 2.0;
+    const auto batch = run_drowsy_experiments(scenarios, opt);
+    ASSERT_EQ(batch.size(), 2u);
+    for (std::size_t i = 0; i < 2; ++i) {
+        const DrowsyScore ref = run_drowsy_experiment(scenarios[i], opt);
+        EXPECT_EQ(batch[i].accuracy, ref.accuracy);
+        EXPECT_EQ(batch[i].threshold_rate, ref.threshold_rate);
+        EXPECT_EQ(batch[i].windows, ref.windows);
+    }
+}
+
 TEST(Experiment, AccumulateTruthHitsConcatenates) {
     const auto hits = accumulate_truth_hits(scenario(5), 2);
     const SessionScore one = run_blink_session(scenario(5));

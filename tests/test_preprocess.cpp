@@ -110,6 +110,41 @@ TEST(Preprocessor, ConfigurableFirOrderMatters) {
     EXPECT_LT(es, ew);
 }
 
+TEST(Preprocessor, HoldsTrailingBinsAfterGroupDelayAlignment) {
+    // Compensating the FIR group delay shifts the filtered profile left by
+    // fir_order/2 bins. The trailing bins have no filtered samples to take;
+    // they must hold the nearest (last) filtered value rather than snap to
+    // zero, which would fabricate a sharp falling edge at the far end of
+    // every frame.
+    PipelineConfig cfg;
+    cfg.smooth_window_bins = 1;  // isolate the delay alignment
+    const Preprocessor pre{cfg};
+    radar::RadarFrame f;
+    f.bins.assign(151, dsp::Complex(1.0, 0.5));
+    const radar::RadarFrame g = pre.apply(f);
+    ASSERT_EQ(g.bins.size(), f.bins.size());
+    const std::size_t gd = cfg.fir_order / 2;
+    ASSERT_GT(gd, 0u);
+    const dsp::Complex edge = g.bins[g.bins.size() - gd - 1];
+    EXPECT_GT(std::abs(edge), 0.5);  // constant input: edge is far from 0
+    for (std::size_t b = g.bins.size() - gd; b < g.bins.size(); ++b) {
+        EXPECT_EQ(g.bins[b], edge) << "bin " << b;
+    }
+}
+
+TEST(Preprocessor, ApplyIntoMatchesApply) {
+    Rng rng(6);
+    const Preprocessor pre{PipelineConfig{}};
+    const radar::RadarFrame f = noisy_frame(1.0, 0.03, 151, 40, rng);
+    const radar::RadarFrame copy = pre.apply(f);
+    radar::RadarFrame out;
+    pre.apply_into(f, out);
+    ASSERT_EQ(out.bins.size(), copy.bins.size());
+    EXPECT_DOUBLE_EQ(out.timestamp_s, copy.timestamp_s);
+    for (std::size_t b = 0; b < out.bins.size(); ++b)
+        EXPECT_EQ(out.bins[b], copy.bins[b]);
+}
+
 TEST(Preprocessor, RejectsEmptyFrame) {
     const Preprocessor pre{PipelineConfig{}};
     radar::RadarFrame empty;

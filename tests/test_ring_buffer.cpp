@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/ring_buffer.hpp"
+
+namespace blinkradar {
+namespace {
+
+TEST(RingBuffer, PushesAndIndexesOldestFirst) {
+    RingBuffer<int> ring;
+    ring.reset_capacity(3);
+    EXPECT_TRUE(ring.empty());
+    EXPECT_EQ(ring.capacity(), 3u);
+    ring.push_back(1);
+    ring.push_back(2);
+    EXPECT_EQ(ring.size(), 2u);
+    EXPECT_EQ(ring[0], 1);
+    EXPECT_EQ(ring[1], 2);
+    EXPECT_EQ(ring.front(), 1);
+    EXPECT_EQ(ring.back(), 2);
+}
+
+TEST(RingBuffer, EvictsOldestWhenFull) {
+    RingBuffer<int> ring;
+    ring.reset_capacity(3);
+    for (int v = 1; v <= 5; ++v) ring.push_back(v);
+    EXPECT_TRUE(ring.full());
+    EXPECT_EQ(ring.size(), 3u);
+    EXPECT_EQ(ring[0], 3);
+    EXPECT_EQ(ring[1], 4);
+    EXPECT_EQ(ring[2], 5);
+}
+
+TEST(RingBuffer, PopFrontShrinksFromTheOldest) {
+    RingBuffer<int> ring;
+    ring.reset_capacity(4);
+    for (int v = 0; v < 4; ++v) ring.push_back(v);
+    ring.pop_front();
+    EXPECT_EQ(ring.size(), 3u);
+    EXPECT_EQ(ring.front(), 1);
+    ring.push_back(9);  // wraps into the recycled slot
+    EXPECT_EQ(ring.back(), 9);
+    EXPECT_EQ(ring.front(), 1);
+}
+
+TEST(RingBuffer, EmplaceSlotRecyclesPayloadCapacity) {
+    RingBuffer<std::vector<double>> ring;
+    ring.reset_capacity(2);
+    ring.emplace_slot().assign(100, 1.0);
+    ring.emplace_slot().assign(100, 2.0);
+    // Overwrites the oldest slot; its vector keeps its 100-element buffer.
+    std::vector<double>& slot = ring.emplace_slot();
+    EXPECT_GE(slot.capacity(), 100u);
+    EXPECT_EQ(ring.size(), 2u);
+    EXPECT_EQ(ring[0][0], 2.0);  // oldest is now the second push
+}
+
+TEST(RingBuffer, ClearKeepsCapacityAndPayloads) {
+    RingBuffer<std::vector<int>> ring;
+    ring.reset_capacity(2);
+    ring.emplace_slot().assign(50, 7);
+    ring.clear();
+    EXPECT_TRUE(ring.empty());
+    EXPECT_EQ(ring.capacity(), 2u);
+    // The slot's heap buffer survives a clear (allocation-free refill).
+    EXPECT_GE(ring.emplace_slot().capacity(), 50u);
+}
+
+TEST(RingBuffer, WrapsIndexingAcrossManyEvictions) {
+    RingBuffer<int> ring;
+    ring.reset_capacity(7);
+    for (int v = 0; v < 1000; ++v) ring.push_back(v);
+    for (std::size_t i = 0; i < ring.size(); ++i)
+        EXPECT_EQ(ring[i], 993 + static_cast<int>(i));
+}
+
+}  // namespace
+}  // namespace blinkradar
