@@ -1,6 +1,7 @@
 #include "common/thread_pool.hpp"
 
 #include <atomic>
+#include <cerrno>
 #include <cstdlib>
 #include <exception>
 #include <memory>
@@ -118,13 +119,25 @@ ThreadPool& ThreadPool::shared() {
     return pool;
 }
 
+std::size_t ThreadPool::parse_thread_count(const char* text,
+                                           std::size_t fallback) noexcept {
+    if (text == nullptr || *text == '\0') return fallback;
+    errno = 0;
+    char* end = nullptr;
+    const long v = std::strtol(text, &end, 10);
+    if (end == text) return fallback;       // no digits at all
+    while (*end == ' ' || *end == '\t') ++end;
+    if (*end != '\0') return fallback;      // trailing garbage ("8abc")
+    if (errno == ERANGE) return fallback;   // out of long's range
+    if (v < 1 || static_cast<unsigned long>(v) > kMaxThreads)
+        return fallback;                    // zero, negative, or absurd
+    return static_cast<std::size_t>(v);
+}
+
 std::size_t ThreadPool::shared_size() {
-    if (const char* env = std::getenv("BLINKRADAR_THREADS")) {
-        const long v = std::strtol(env, nullptr, 10);
-        if (v >= 1) return static_cast<std::size_t>(v);
-    }
     const unsigned hw = std::thread::hardware_concurrency();
-    return hw >= 1 ? hw : 1;
+    const std::size_t fallback = hw >= 1 ? hw : 1;
+    return parse_thread_count(std::getenv("BLINKRADAR_THREADS"), fallback);
 }
 
 }  // namespace blinkradar

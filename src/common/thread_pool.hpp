@@ -63,6 +63,18 @@ public:
     /// The thread count shared() uses (exposed for diagnostics/benches).
     static std::size_t shared_size();
 
+    /// Hard cap on a BLINKRADAR_THREADS override; larger requests are
+    /// treated as misconfiguration and fall back to `fallback`.
+    static constexpr std::size_t kMaxThreads = 512;
+
+    /// Parse a BLINKRADAR_THREADS-style value. Returns the parsed count
+    /// when `text` is a whole positive integer within [1, kMaxThreads];
+    /// on null, empty, non-numeric, trailing-garbage, zero, negative,
+    /// overflowing, or absurdly large input returns `fallback` instead
+    /// (exposed for tests).
+    static std::size_t parse_thread_count(const char* text,
+                                          std::size_t fallback) noexcept;
+
 private:
     void worker_loop();
 

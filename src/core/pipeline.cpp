@@ -11,6 +11,7 @@ BlinkRadarPipeline::BlinkRadarPipeline(const radar::RadarConfig& radar,
     : radar_(radar),
       config_(config),
       preprocessor_(config),
+      guard_(radar, config.guard),
       background_(radar.n_bins(), config.background_alpha),
       movement_(config, radar.frame_rate_hz()),
       selector_(radar, config),
@@ -40,7 +41,7 @@ BlinkRadarPipeline::BlinkRadarPipeline(const radar::RadarConfig& radar,
     blinks_.reserve(256);
 }
 
-void BlinkRadarPipeline::restart() {
+void BlinkRadarPipeline::reset_detection_state() {
     background_.reset();
     movement_.reset();
     levd_.reset();
@@ -59,6 +60,10 @@ void BlinkRadarPipeline::restart() {
     theta_unwrapped_ = 0.0;
     have_theta_ = false;
     prev_theta_raw_ = 0.0;
+}
+
+void BlinkRadarPipeline::restart() {
+    reset_detection_state();
     ++restarts_;
 }
 
@@ -153,7 +158,45 @@ double BlinkRadarPipeline::waveform_value(const dsp::Complex& sample) {
 }
 
 FrameResult BlinkRadarPipeline::process(const radar::RadarFrame& frame) {
-    BR_EXPECTS(frame.bins.size() == radar_.n_bins());
+    if (!config_.guard.enabled) {
+        // Unguarded contract: the caller promises well-formed frames. A
+        // bin-count mismatch is a checked error, never an out-of-bounds
+        // read further down the chain.
+        BR_EXPECTS(frame.bins.size() == radar_.n_bins());
+        return process_validated(frame);
+    }
+
+    const GuardDecision decision = guard_.admit(frame);
+    FrameResult result;
+    result.quality = decision.verdict;
+    result.repaired_samples = decision.repaired_samples;
+    result.bridged_frames = decision.bridged_frames;
+    if (decision.warm_restart) {
+        // The stream recovered from signal loss: the held baseline and
+        // fitted viewing position are stale, so re-converge from scratch
+        // (warm restarts are counted by the guard, not in restarts()).
+        reset_detection_state();
+    }
+    if (decision.verdict == FrameVerdict::kQuarantined) {
+        result.cold_start = !selected_bin_.has_value();
+        result.health = guard_.health();
+        return result;
+    }
+    for (const radar::RadarFrame& admitted : decision.frames) {
+        const FrameResult r = process_validated(admitted);
+        if (r.blink) result.blink = r.blink;
+        result.restarted |= r.restarted;
+        result.cold_start = r.cold_start;
+        result.waveform_value = r.waveform_value;
+    }
+    if (!result.cold_start) guard_.notify_converged();
+    result.health = guard_.health();
+    return result;
+}
+
+FrameResult BlinkRadarPipeline::process_validated(
+    const radar::RadarFrame& frame) {
+    BR_ASSERT(frame.bins.size() == radar_.n_bins());
     FrameResult result;
 
     // 1. Noise reduction (into per-pipeline scratch: no allocation).

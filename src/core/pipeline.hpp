@@ -14,6 +14,7 @@
 
 #include "common/ring_buffer.hpp"
 #include "core/bin_selection.hpp"
+#include "core/frame_guard.hpp"
 #include "core/levd.hpp"
 #include "core/movement_detector.hpp"
 #include "core/pipeline_config.hpp"
@@ -31,6 +32,13 @@ struct FrameResult {
     bool restarted = false;             ///< a large movement reset the pipe
     bool cold_start = false;            ///< still initialising, no output
     double waveform_value = 0.0;        ///< current d(t) (diagnostics)
+
+    // Robustness surface (populated by the frame guard; on a clean
+    // stream: health == kOk, quality == kClean, counters zero).
+    HealthState health = HealthState::kOk;          ///< current health
+    FrameVerdict quality = FrameVerdict::kClean;    ///< this frame's fate
+    std::uint32_t repaired_samples = 0;  ///< non-finite samples fixed
+    std::uint32_t bridged_frames = 0;    ///< gap-fill frames synthesised
 };
 
 /// Streaming BlinkRadar pipeline. Feed frames in order; blinks come out.
@@ -39,7 +47,12 @@ public:
     BlinkRadarPipeline(const radar::RadarConfig& radar,
                        PipelineConfig config = {});
 
-    /// Process the next frame.
+    /// Process the next frame. With the frame guard enabled (the
+    /// default) any sensor output is accepted: corrupt frames are
+    /// quarantined or repaired, dropped-frame gaps are bridged, and the
+    /// result's health/quality fields report what happened. With the
+    /// guard disabled the caller must feed well-formed frames (checked:
+    /// a bin-count mismatch throws ContractViolation).
     FrameResult process(const radar::RadarFrame& frame);
 
     /// All blinks detected so far.
@@ -63,10 +76,20 @@ public:
     /// Current LEVD threshold (diagnostics).
     double levd_threshold() const noexcept { return levd_.threshold(); }
 
+    /// Current sensor/pipeline health (kOk with the guard disabled).
+    HealthState health() const noexcept { return guard_.health(); }
+
+    /// Frame-guard counters: quarantines, repairs, bridged gaps, signal
+    /// losses, warm restarts.
+    const GuardStats& guard_stats() const noexcept { return guard_.stats(); }
+
     const PipelineConfig& config() const noexcept { return config_; }
     const radar::RadarConfig& radar_config() const noexcept { return radar_; }
 
 private:
+    /// The detection chain behind the guard (the pre-guard process()).
+    FrameResult process_validated(const radar::RadarFrame& frame);
+    void reset_detection_state();
     void restart();
     double waveform_value(const dsp::Complex& sample);
     void refit_viewing();
@@ -76,6 +99,7 @@ private:
     PipelineConfig config_;
 
     Preprocessor preprocessor_;
+    FrameGuard guard_;
     dsp::LoopbackFilter background_;
     MovementDetector movement_;
     BinSelector selector_;

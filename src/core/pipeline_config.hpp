@@ -41,6 +41,34 @@ enum class WaveformMode {
     kPhase,
 };
 
+/// Front-end frame validation and graceful degradation. The guard sits
+/// between the sensor and the detection chain: it quarantines structurally
+/// broken frames (wrong bin count, non-finite samples or timestamps,
+/// out-of-order/duplicate timestamps), bridges short frame-drop gaps by
+/// sample-hold using the real timestamps, and drives the
+/// OK -> DEGRADED -> SIGNAL_LOST -> recovering health state machine.
+/// With a clean input stream it is a pure pass-through: the pipeline's
+/// output is bit-identical to running with the guard disabled.
+struct FrameGuardConfig {
+    bool enabled = true;
+    /// A timestamp advance beyond this many nominal frame periods is a
+    /// gap (dropped frames); shorter irregularities pass through.
+    double gap_tolerance_periods = 1.6;
+    /// Longest gap bridged by sample-hold; anything longer is treated as
+    /// signal loss and recovered from via a warm restart.
+    Seconds max_bridge_gap_s = 0.6;
+    /// Largest fraction of a frame's samples repairable (non-finite ->
+    /// sample-hold) before the whole frame is quarantined instead.
+    double max_repair_fraction = 0.25;
+    /// Rolling window for the fault-rate estimate behind DEGRADED.
+    Seconds health_window_s = 4.0;
+    /// Fault fraction (quarantined/repaired/bridged frames over the
+    /// window) at which health degrades; recovers below half this rate.
+    double degraded_fault_rate = 0.03;
+    /// Consecutive quarantined frames before health drops to SIGNAL_LOST.
+    std::size_t lost_after_quarantines = 12;
+};
+
 /// Pipeline configuration; defaults follow the paper.
 struct PipelineConfig {
     // --- Noise reduction (Section IV-B1) ---
@@ -115,6 +143,9 @@ struct PipelineConfig {
     // --- Restart on large body movement (Section IV-E) ---
     double movement_threshold_factor = 120.0; ///< x rolling median frame diff
     Seconds movement_median_window_s = 4.0;
+
+    // --- Frame guard / graceful degradation (reproduction extension) ---
+    FrameGuardConfig guard;
 };
 
 }  // namespace blinkradar::core

@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/frame_guard.hpp"
+#include "radar/config.hpp"
+
+namespace blinkradar::core {
+namespace {
+
+radar::RadarFrame make_frame(Seconds t, std::size_t n_bins,
+                             double value = 0.01) {
+    radar::RadarFrame f;
+    f.timestamp_s = t;
+    f.bins.assign(n_bins, dsp::Complex(value, -value));
+    return f;
+}
+
+class FrameGuardTest : public ::testing::Test {
+protected:
+    radar::RadarConfig radar_;
+    std::size_t n_bins_ = 0;
+
+    void SetUp() override { n_bins_ = radar_.n_bins(); }
+
+    FrameGuard make_guard(FrameGuardConfig config = {}) {
+        return FrameGuard(radar_, config);
+    }
+};
+
+TEST_F(FrameGuardTest, CleanStreamPassesThroughUntouched) {
+    FrameGuard guard = make_guard();
+    for (int i = 0; i < 200; ++i) {
+        const radar::RadarFrame f = make_frame(0.040 * i, n_bins_);
+        const GuardDecision d = guard.admit(f);
+        EXPECT_EQ(d.verdict, FrameVerdict::kClean);
+        ASSERT_EQ(d.frames.size(), 1u);
+        // Zero-copy: the span points straight at the caller's frame.
+        EXPECT_EQ(d.frames.data(), &f);
+        EXPECT_FALSE(d.warm_restart);
+    }
+    EXPECT_EQ(guard.health(), HealthState::kOk);
+    EXPECT_EQ(guard.stats().frames_quarantined, 0u);
+    EXPECT_EQ(guard.fault_rate(), 0.0);
+}
+
+TEST_F(FrameGuardTest, WrongBinCountIsQuarantined) {
+    FrameGuard guard = make_guard();
+    guard.admit(make_frame(0.0, n_bins_));
+    const GuardDecision d = guard.admit(make_frame(0.040, n_bins_ / 2));
+    EXPECT_EQ(d.verdict, FrameVerdict::kQuarantined);
+    EXPECT_TRUE(d.frames.empty());
+    EXPECT_EQ(guard.stats().frames_quarantined, 1u);
+}
+
+TEST_F(FrameGuardTest, NonMonotonicTimestampsAreQuarantined) {
+    FrameGuard guard = make_guard();
+    guard.admit(make_frame(1.000, n_bins_));
+    // Exact duplicate timestamp and an out-of-order frame both rejected.
+    EXPECT_EQ(guard.admit(make_frame(1.000, n_bins_)).verdict,
+              FrameVerdict::kQuarantined);
+    EXPECT_EQ(guard.admit(make_frame(0.960, n_bins_)).verdict,
+              FrameVerdict::kQuarantined);
+    // Time moving forward again is accepted.
+    EXPECT_EQ(guard.admit(make_frame(1.040, n_bins_)).verdict,
+              FrameVerdict::kClean);
+}
+
+TEST_F(FrameGuardTest, NonFiniteTimestampIsQuarantined) {
+    FrameGuard guard = make_guard();
+    radar::RadarFrame f = make_frame(0.0, n_bins_);
+    f.timestamp_s = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_EQ(guard.admit(f).verdict, FrameVerdict::kQuarantined);
+}
+
+TEST_F(FrameGuardTest, IsolatedNanSamplesAreRepairedBySampleHold) {
+    FrameGuard guard = make_guard();
+    guard.admit(make_frame(0.0, n_bins_, 0.02));
+    radar::RadarFrame f = make_frame(0.040, n_bins_, 0.03);
+    f.bins[5] = dsp::Complex(std::numeric_limits<double>::quiet_NaN(), 0.0);
+    f.bins[9] = dsp::Complex(0.0, std::numeric_limits<double>::infinity());
+    const GuardDecision d = guard.admit(f);
+    EXPECT_EQ(d.verdict, FrameVerdict::kRepaired);
+    EXPECT_EQ(d.repaired_samples, 2u);
+    ASSERT_EQ(d.frames.size(), 1u);
+    // Repaired samples hold the previous frame's value; the rest pass.
+    EXPECT_EQ(d.frames[0].bins[5], dsp::Complex(0.02, -0.02));
+    EXPECT_EQ(d.frames[0].bins[9], dsp::Complex(0.02, -0.02));
+    EXPECT_EQ(d.frames[0].bins[0], dsp::Complex(0.03, -0.03));
+    for (const dsp::Complex& s : d.frames[0].bins) {
+        EXPECT_TRUE(std::isfinite(s.real()));
+        EXPECT_TRUE(std::isfinite(s.imag()));
+    }
+    EXPECT_EQ(guard.stats().samples_repaired, 2u);
+}
+
+TEST_F(FrameGuardTest, MostlyNanFrameIsQuarantinedWhole) {
+    FrameGuard guard = make_guard();
+    guard.admit(make_frame(0.0, n_bins_));
+    radar::RadarFrame f = make_frame(0.040, n_bins_);
+    for (std::size_t b = 0; b < f.bins.size() / 2; ++b)
+        f.bins[b] =
+            dsp::Complex(std::numeric_limits<double>::quiet_NaN(), 0.0);
+    EXPECT_EQ(guard.admit(f).verdict, FrameVerdict::kQuarantined);
+}
+
+TEST_F(FrameGuardTest, ShortGapIsBridgedWithHeldFrames) {
+    FrameGuard guard = make_guard();
+    guard.admit(make_frame(0.000, n_bins_, 0.05));
+    guard.admit(make_frame(0.040, n_bins_, 0.06));
+    // Three frames went missing: 0.080, 0.120, 0.160 -> next at 0.200.
+    const GuardDecision d = guard.admit(make_frame(0.200, n_bins_, 0.07));
+    EXPECT_EQ(d.verdict, FrameVerdict::kBridged);
+    EXPECT_EQ(d.bridged_frames, 3u);
+    ASSERT_EQ(d.frames.size(), 4u);
+    // Held frames carry the last good samples, timestamps spaced across
+    // the real gap, strictly increasing into the real frame.
+    Seconds prev = 0.040;
+    for (std::size_t i = 0; i + 1 < d.frames.size(); ++i) {
+        EXPECT_EQ(d.frames[i].bins[0], dsp::Complex(0.06, -0.06));
+        EXPECT_GT(d.frames[i].timestamp_s, prev);
+        prev = d.frames[i].timestamp_s;
+    }
+    EXPECT_EQ(d.frames.back().timestamp_s, 0.200);
+    EXPECT_EQ(d.frames.back().bins[0], dsp::Complex(0.07, -0.07));
+    EXPECT_EQ(guard.stats().gaps_bridged, 1u);
+    EXPECT_EQ(guard.stats().frames_bridged, 3u);
+}
+
+TEST_F(FrameGuardTest, LongGapTriggersWarmRestartAndRecovering) {
+    FrameGuardConfig config;
+    config.max_bridge_gap_s = 0.5;
+    FrameGuard guard = make_guard(config);
+    guard.admit(make_frame(0.000, n_bins_));
+    guard.admit(make_frame(0.040, n_bins_));
+    const GuardDecision d = guard.admit(make_frame(2.0, n_bins_));
+    EXPECT_TRUE(d.warm_restart);
+    EXPECT_EQ(d.bridged_frames, 0u);  // too stale to bridge honestly
+    ASSERT_EQ(d.frames.size(), 1u);
+    EXPECT_EQ(guard.health(), HealthState::kRecovering);
+    EXPECT_EQ(guard.stats().signal_lost_events, 1u);
+    EXPECT_EQ(guard.stats().warm_restarts, 1u);
+    // Downstream reports convergence -> back to OK.
+    guard.notify_converged();
+    EXPECT_EQ(guard.health(), HealthState::kOk);
+}
+
+TEST_F(FrameGuardTest, SustainedFaultsDegradeThenRecover) {
+    FrameGuard guard = make_guard();
+    Seconds t = 0.0;
+    const auto feed_clean = [&](int n) {
+        for (int i = 0; i < n; ++i) {
+            guard.admit(make_frame(t, n_bins_));
+            t += 0.040;
+        }
+    };
+    feed_clean(100);
+    ASSERT_EQ(guard.health(), HealthState::kOk);
+    // A stretch with ~20% short frames pushes the fault rate over the
+    // degraded threshold without losing the signal.
+    for (int i = 0; i < 50; ++i) {
+        guard.admit(make_frame(t, i % 5 == 0 ? n_bins_ / 3 : n_bins_));
+        t += 0.040;
+    }
+    EXPECT_EQ(guard.health(), HealthState::kDegraded);
+    // Once the stream cleans up the window drains and health recovers.
+    feed_clean(200);
+    EXPECT_EQ(guard.health(), HealthState::kOk);
+}
+
+TEST_F(FrameGuardTest, ConsecutiveQuarantinesMeanSignalLost) {
+    FrameGuardConfig config;
+    config.lost_after_quarantines = 5;
+    FrameGuard guard = make_guard(config);
+    guard.admit(make_frame(0.0, n_bins_));
+    for (int i = 0; i < 6; ++i)
+        guard.admit(make_frame(0.040 * (i + 1), 3));  // wrong bin count
+    EXPECT_EQ(guard.health(), HealthState::kSignalLost);
+    EXPECT_EQ(guard.stats().signal_lost_events, 1u);
+    // First valid frame flips to RECOVERING and requests a warm restart.
+    const GuardDecision d = guard.admit(make_frame(0.32, n_bins_));
+    EXPECT_TRUE(d.warm_restart);
+    EXPECT_EQ(guard.health(), HealthState::kRecovering);
+    guard.notify_converged();
+    // The fault window is still hot, so convergence lands in DEGRADED,
+    // not OK — and drains to OK as clean frames continue.
+    EXPECT_EQ(guard.health(), HealthState::kDegraded);
+    for (int i = 0; i < 300; ++i)
+        guard.admit(make_frame(0.36 + 0.040 * i, n_bins_));
+    EXPECT_EQ(guard.health(), HealthState::kOk);
+}
+
+TEST_F(FrameGuardTest, ResetClearsHistoryAndHealth) {
+    FrameGuard guard = make_guard();
+    guard.admit(make_frame(5.0, n_bins_));
+    for (int i = 0; i < 20; ++i) guard.admit(make_frame(5.0, n_bins_));
+    ASSERT_NE(guard.health(), HealthState::kOk);
+    guard.reset();
+    EXPECT_EQ(guard.health(), HealthState::kOk);
+    EXPECT_EQ(guard.fault_rate(), 0.0);
+    // Timestamps may restart from zero after a reset.
+    EXPECT_EQ(guard.admit(make_frame(0.0, n_bins_)).verdict,
+              FrameVerdict::kClean);
+}
+
+}  // namespace
+}  // namespace blinkradar::core

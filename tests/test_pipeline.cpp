@@ -158,11 +158,20 @@ TEST(Pipeline, WaveformModesProduceDifferentDetectors) {
 }
 
 TEST(Pipeline, RejectsWrongBinCount) {
+    // With the frame guard disabled a bin-count mismatch is a checked
+    // error; with the guard on (default) it is quarantined, not thrown.
     radar::RadarConfig cfg;
-    BlinkRadarPipeline pipe(cfg);
     radar::RadarFrame bad;
     bad.bins.assign(10, dsp::Complex(0, 0));
-    EXPECT_THROW(pipe.process(bad), blinkradar::ContractViolation);
+
+    PipelineConfig unguarded;
+    unguarded.guard.enabled = false;
+    BlinkRadarPipeline strict(cfg, unguarded);
+    EXPECT_THROW(strict.process(bad), blinkradar::ContractViolation);
+
+    BlinkRadarPipeline guarded(cfg);
+    EXPECT_EQ(guarded.process(bad).quality, FrameVerdict::kQuarantined);
+    EXPECT_EQ(guarded.guard_stats().frames_quarantined, 1u);
 }
 
 TEST(Pipeline, RejectsBadConfig) {

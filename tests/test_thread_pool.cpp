@@ -111,6 +111,29 @@ TEST(ThreadPool, SharedPoolHonoursEnvironmentOverride) {
     EXPECT_EQ(ThreadPool::shared().size(), ThreadPool::shared_size());
 }
 
+TEST(ThreadPool, ParseThreadCountAcceptsPlainIntegers) {
+    EXPECT_EQ(ThreadPool::parse_thread_count("8", 4), 8u);
+    EXPECT_EQ(ThreadPool::parse_thread_count("1", 4), 1u);
+    EXPECT_EQ(ThreadPool::parse_thread_count("  16 ", 4), 16u);
+    EXPECT_EQ(ThreadPool::parse_thread_count("512", 4), 512u);
+}
+
+TEST(ThreadPool, ParseThreadCountFallsBackOnGarbage) {
+    // Non-numeric, zero, negative, trailing junk, empty, unset, absurdly
+    // large: all fall back to the supplied default instead of crashing or
+    // spawning a bogus pool.
+    EXPECT_EQ(ThreadPool::parse_thread_count(nullptr, 4), 4u);
+    EXPECT_EQ(ThreadPool::parse_thread_count("", 4), 4u);
+    EXPECT_EQ(ThreadPool::parse_thread_count("   ", 4), 4u);
+    EXPECT_EQ(ThreadPool::parse_thread_count("abc", 4), 4u);
+    EXPECT_EQ(ThreadPool::parse_thread_count("8abc", 4), 4u);
+    EXPECT_EQ(ThreadPool::parse_thread_count("0", 4), 4u);
+    EXPECT_EQ(ThreadPool::parse_thread_count("-3", 4), 4u);
+    EXPECT_EQ(ThreadPool::parse_thread_count("513", 4), 4u);
+    EXPECT_EQ(ThreadPool::parse_thread_count("99999999999999999999", 4), 4u);
+    EXPECT_EQ(ThreadPool::parse_thread_count("3.5", 4), 4u);
+}
+
 // --- Determinism of the batch experiment engine (the real contract) ---
 
 sim::ScenarioConfig scenario(std::uint64_t seed) {
