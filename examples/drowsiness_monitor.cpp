@@ -2,11 +2,19 @@
 // model from labelled awake/drowsy recordings, then monitors a drive in
 // which the driver fatigues halfway through, raising an alarm whenever a
 // one-minute window classifies as drowsy.
+//
+// The monitoring legs run through an instrumented pipeline: a metrics
+// summary (frames, blinks, stage latencies) prints at the end, and
+// setting BLINKRADAR_TRACE=/path/to/trace.jsonl additionally streams one
+// JSON record per radar frame to that file.
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "core/drowsy.hpp"
 #include "core/pipeline.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "physio/driver_profile.hpp"
 #include "sim/scenario.hpp"
 
@@ -15,14 +23,32 @@ using namespace blinkradar;
 namespace {
 
 /// Run the pipeline over a recorded session and return long-blink window
-/// rates (the drowsiness feature; see core/drowsy.hpp).
+/// rates (the drowsiness feature; see core/drowsy.hpp). `metrics` /
+/// `trace` (optional) instrument the run.
 std::vector<double> recorded_rates(const sim::ScenarioConfig& scenario,
-                                   Seconds window_s) {
+                                   Seconds window_s,
+                                   obs::MetricsRegistry* metrics = nullptr,
+                                   obs::TraceSink* trace = nullptr) {
     const sim::SimulatedSession session = sim::simulate_session(scenario);
-    const core::BatchResult result =
-        core::detect_blinks(session.frames, session.radar);
-    return core::window_blink_rates(result.blinks, scenario.duration_s,
+    core::BlinkRadarPipeline pipeline(session.radar, core::PipelineConfig{},
+                                      metrics, trace);
+    for (const radar::RadarFrame& f : session.frames) pipeline.process(f);
+    return core::window_blink_rates(pipeline.blinks(), scenario.duration_s,
                                     window_s, /*min_duration_s=*/0.75);
+}
+
+/// Print the monitor's observability roll-up.
+void print_metrics_summary(const obs::MetricsRegistry& registry) {
+    std::printf("\nPipeline metrics (monitoring legs):\n");
+    for (const auto& [name, c] : registry.counters())
+        if (c.value() > 0)
+            std::printf("  %-32s %llu\n", name.c_str(),
+                        static_cast<unsigned long long>(c.value()));
+    std::printf("  stage latencies (mean / p99 us):\n");
+    for (const auto& [name, h] : registry.histograms())
+        if (h.count() > 0)
+            std::printf("  %-32s %8.2f / %8.2f\n", name.c_str(),
+                        h.mean_ns() / 1e3, h.quantile_ns(0.99) / 1e3);
 }
 
 }  // namespace
@@ -62,6 +88,13 @@ int main() {
                 "after %.0f min)...\n",
                 2 * kHalf / 60.0, kHalf / 60.0);
 
+    // Observability: roll up both monitoring legs into one registry;
+    // BLINKRADAR_TRACE (if set) gets the per-frame JSONL stream.
+    obs::MetricsRegistry registry;
+    const std::unique_ptr<obs::TraceSink> trace = obs::TraceSink::from_env();
+    if (trace)
+        std::printf("  (tracing frames to %s)\n", trace->path().c_str());
+
     int alarms_first_half = 0, alarms_second_half = 0;
     auto monitor_half = [&](physio::Alertness state, std::uint64_t seed,
                             Seconds t_offset, int& alarms) {
@@ -69,7 +102,8 @@ int main() {
         leg.alertness = state;
         leg.duration_s = kHalf;
         leg.seed = seed;
-        const std::vector<double> rates = recorded_rates(leg, kWindow);
+        const std::vector<double> rates =
+            recorded_rates(leg, kWindow, &registry, trace.get());
         for (std::size_t w = 0; w < rates.size(); ++w) {
             const core::DrowsinessLabel label = detector.classify(rates[w]);
             const bool drowsy = label == core::DrowsinessLabel::kDrowsy;
@@ -85,5 +119,9 @@ int main() {
 
     std::printf("\nAlarms: %d in the alert half, %d in the drowsy half.\n",
                 alarms_first_half, alarms_second_half);
+    print_metrics_summary(registry);
+    if (trace)
+        std::printf("Trace: %zu frames written to %s\n",
+                    trace->lines_written(), trace->path().c_str());
     return 0;
 }

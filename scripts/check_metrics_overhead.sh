@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# Enforce the observability overhead budget: the instrumented per-frame
+# pipeline (BM_PipelinePerFrameMetrics) must run within MAX_OVERHEAD_PCT
+# (default 2%) of the uninstrumented baseline (BM_PipelinePerFrame).
+#
+# Builds the Release preset and measures the overhead with two layers of
+# noise rejection, one per noise source:
+#   - within a run, repetition i of each bench executes in the same
+#     interleaving round (back-to-back, near-identical host state), so
+#     the median of *paired* per-repetition differences cancels slow
+#     frequency/thermal/scheduler drift and discards preempted rounds;
+#   - across runs, the gate pins the memory layout (setarch -R, when the
+#     host allows it) so every process is bit-comparable, repeats the
+#     whole benchmark RUNS times, and takes the *minimum* run estimate:
+#     with layout pinned, what cross-run noise remains (scheduler steal,
+#     frequency ramps) only ever slows a run down, so the fastest run's
+#     paired median is the cleanest estimate of the true overhead.
+# Comparing whole-run aggregates from one process (median or even
+# minimum per side) is several times noisier on shared hosts.
+#
+# Usage: scripts/check_metrics_overhead.sh
+#   MAX_OVERHEAD_PCT=5   loosen the budget (noisy CI hosts)
+#   REPETITIONS=31       more pairs per run
+#   RUNS=5               more runs for a stabler cross-run minimum
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${repo_root}/build-release"
+max_pct="${MAX_OVERHEAD_PCT:-2}"
+reps="${REPETITIONS:-21}"
+runs="${RUNS:-3}"
+outdir="$(mktemp -d /tmp/br_metrics_overhead.XXXXXX)"
+trap 'rm -rf "${outdir}"' EXIT
+
+cmake --preset release -S "${repo_root}" >/dev/null
+cmake --build "${build_dir}" --target bench_perf_pipeline -j "$(nproc)"
+
+cd "${repo_root}"
+# Address-space randomisation gives every process a different memory
+# layout, which biases a whole run by up to ~2% either way — the largest
+# noise source left once repetitions are paired. Pin the layout when the
+# host allows it.
+launcher=()
+if setarch "$(uname -m)" -R true 2>/dev/null; then
+    launcher=(setarch "$(uname -m)" -R)
+fi
+for ((run = 0; run < runs; ++run)); do
+    "${launcher[@]}" "${build_dir}/bench/bench_perf_pipeline" \
+        --benchmark_filter='^BM_PipelinePerFrame(Metrics)?$' \
+        --benchmark_repetitions="${reps}" \
+        --benchmark_min_time=0.1 \
+        --benchmark_enable_random_interleaving=true \
+        --benchmark_out="${outdir}/run${run}.json" \
+        --benchmark_out_format=json
+done
+
+python3 - "${outdir}" "${max_pct}" <<'EOF'
+import glob
+import json
+import statistics
+import sys
+
+max_pct = float(sys.argv[2])
+run_deltas = []
+run_scales = []
+for path in sorted(glob.glob(sys.argv[1] + "/run*.json")):
+    with open(path) as f:
+        report = json.load(f)
+    times = {}
+    for bench in report["benchmarks"]:
+        if bench.get("run_type") == "iteration":
+            times.setdefault(bench["run_name"], {})[
+                bench["repetition_index"]] = bench["cpu_time"]
+    base = times.get("BM_PipelinePerFrame", {})
+    instrumented = times.get("BM_PipelinePerFrameMetrics", {})
+    pairs = sorted(set(base) & set(instrumented))
+    if not pairs:
+        sys.exit("missing benchmark repetitions in " + path)
+    run_deltas.append(statistics.median(
+        instrumented[i] - base[i] for i in pairs))
+    run_scales.append(statistics.median(base[i] for i in pairs))
+
+delta = min(run_deltas)
+scale = run_scales[run_deltas.index(delta)]
+overhead_pct = 100.0 * delta / scale
+
+print("per-run overhead deltas: "
+      + ", ".join(f"{d:+.1f}" for d in run_deltas) + " ns")
+print(f"per-frame:         {scale:10.1f} ns (best run's baseline)")
+print(f"metrics overhead:  {delta:+10.1f} ns (best run's paired median)")
+print(f"overhead:          {overhead_pct:+10.2f} %  (budget {max_pct:.1f} %)")
+if overhead_pct > max_pct:
+    sys.exit(f"FAIL: metrics overhead {overhead_pct:.2f}% exceeds "
+             f"{max_pct:.1f}% budget")
+print("OK: metrics overhead within budget")
+EOF

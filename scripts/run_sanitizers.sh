@@ -1,21 +1,28 @@
 #!/usr/bin/env bash
-# Build the asan preset (-fsanitize=address,undefined) and run the whole
-# test suite under it. Memory errors and UB abort the run
-# (-fno-sanitize-recover=all), so a green exit means the fault-injection
-# and frame-guard paths survived the adversarial tests clean.
+# Build the sanitizer presets and run the whole test suite under each.
+# Memory errors and UB abort the run (-fno-sanitize-recover=all), so a
+# green exit means the fault-injection and frame-guard paths survived the
+# adversarial tests clean.
+#
+# Two passes: the combined asan build (address+undefined) first, then the
+# standalone ubsan build, whose lighter instrumentation catches UB that
+# ASan's shadow memory can mask and keeps timing-sensitive code realistic.
 #
 # Usage: scripts/run_sanitizers.sh [ctest args...]
 #   e.g. scripts/run_sanitizers.sh -R FrameGuard
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
-build_dir="${repo_root}/build-asan"
-
-cmake --preset asan -S "${repo_root}"
-cmake --build "${build_dir}" -j "$(nproc)"
 
 export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}"
 
-ctest --test-dir "${build_dir}" -j "$(nproc)" --output-on-failure "$@"
-echo "sanitizer suite clean"
+for preset in asan ubsan; do
+  build_dir="${repo_root}/build-${preset}"
+  echo "=== ${preset} ==="
+  cmake --preset "${preset}" -S "${repo_root}"
+  cmake --build "${build_dir}" -j "$(nproc)"
+  ctest --test-dir "${build_dir}" -j "$(nproc)" --output-on-failure "$@"
+done
+
+echo "sanitizer suites clean"

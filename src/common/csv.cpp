@@ -1,19 +1,55 @@
 #include "common/csv.hpp"
 
+#include <charconv>
+#include <locale>
 #include <stdexcept>
+#include <string_view>
+#include <system_error>
 
 #include "common/contracts.hpp"
 
 namespace blinkradar {
 
+namespace {
+
+/// Shortest decimal representation that round-trips to the same double
+/// (std::to_chars general form), so CSV dumps survive re-parsing exactly.
+std::string format_cell(double value) {
+    char buf[32];
+    const std::to_chars_result r =
+        std::to_chars(buf, buf + sizeof(buf), value);
+    BR_ASSERT(r.ec == std::errc{});
+    return std::string(buf, r.ptr);
+}
+
+/// RFC 4180 quoting: cells containing a comma, quote, or newline are
+/// wrapped in double quotes with embedded quotes doubled.
+void write_cell(std::ostream& out, std::string_view cell) {
+    if (cell.find_first_of(",\"\r\n") == std::string_view::npos) {
+        out << cell;
+        return;
+    }
+    out << '"';
+    for (const char c : cell) {
+        if (c == '"') out << '"';
+        out << c;
+    }
+    out << '"';
+}
+
+}  // namespace
+
 CsvWriter::CsvWriter(const std::string& path,
                      const std::vector<std::string>& columns)
     : out_(path), n_columns_(columns.size()) {
     if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+    // The classic locale guarantees '.' decimal points and no thousands
+    // grouping regardless of the process environment.
+    out_.imbue(std::locale::classic());
     BR_EXPECTS(!columns.empty());
     for (std::size_t i = 0; i < columns.size(); ++i) {
         if (i != 0) out_ << ',';
-        out_ << columns[i];
+        write_cell(out_, columns[i]);
     }
     out_ << '\n';
 }
@@ -22,7 +58,7 @@ void CsvWriter::row(const std::vector<double>& values) {
     BR_EXPECTS(values.size() == n_columns_);
     for (std::size_t i = 0; i < values.size(); ++i) {
         if (i != 0) out_ << ',';
-        out_ << values[i];
+        out_ << format_cell(values[i]);
     }
     out_ << '\n';
     ++rows_;
@@ -32,7 +68,7 @@ void CsvWriter::row(const std::vector<std::string>& cells) {
     BR_EXPECTS(cells.size() == n_columns_);
     for (std::size_t i = 0; i < cells.size(); ++i) {
         if (i != 0) out_ << ',';
-        out_ << cells[i];
+        write_cell(out_, cells[i]);
     }
     out_ << '\n';
     ++rows_;

@@ -1,6 +1,7 @@
 // Minimal CSV writer used by the examples and benches to dump traces for
-// external plotting. Not a general-purpose CSV library: values are numbers
-// or simple unquoted strings.
+// external plotting. Doubles are written with shortest round-trip
+// precision in the classic "C" locale; string cells containing commas,
+// quotes, or newlines are quoted per RFC 4180.
 #pragma once
 
 #include <fstream>

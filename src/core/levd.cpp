@@ -12,9 +12,18 @@ Levd::Levd(const PipelineConfig& config, double frame_rate_hz)
     BR_EXPECTS(frame_rate_hz > 0.0);
     BR_EXPECTS(config.threshold_sigma > 0.0);
     BR_EXPECTS(config.noise_window_s > 0.0);
+    // Round (not truncate): a 7.99-frame window is an 8-frame window,
+    // not a contract violation.
     noise_window_frames_ = static_cast<std::size_t>(
-        config.noise_window_s * frame_rate_hz);
-    BR_ENSURES(noise_window_frames_ >= 8);
+        std::llround(config.noise_window_s * frame_rate_hz));
+    if (noise_window_frames_ < 8) {
+        throw ContractViolation(
+            "Levd: noise_window_s * frame_rate_hz must give at least 8 "
+            "frames; got noise_window_s=" +
+            std::to_string(config.noise_window_s) +
+            " * frame_rate_hz=" + std::to_string(frame_rate_hz) + " -> " +
+            std::to_string(noise_window_frames_) + " frames");
+    }
     // Storage sized once here; the per-sample path never allocates.
     buffer_.reset_capacity(noise_window_frames_);
     smooth_taps_.reset_capacity(3);

@@ -1,13 +1,95 @@
 #include "core/pipeline.hpp"
 
 #include <cmath>
+#include <cstdio>
 
 #include "common/contracts.hpp"
+#include "obs/stage_timer.hpp"
 
 namespace blinkradar::core {
 
+const char* to_string(PipelineStage stage) noexcept {
+    switch (stage) {
+        case PipelineStage::kGuard: return "guard";
+        case PipelineStage::kPreprocess: return "preprocess";
+        case PipelineStage::kMovement: return "movement";
+        case PipelineStage::kBackground: return "background";
+        case PipelineStage::kBinSelection: return "bin_selection";
+        case PipelineStage::kViewingFit: return "viewing_fit";
+        case PipelineStage::kWaveform: return "waveform";
+        case PipelineStage::kLevd: return "levd";
+        case PipelineStage::kFrameTotal: return "frame_total";
+    }
+    return "?";
+}
+
+double PhaseWaveform::push(const dsp::Complex& sample) {
+    const double amp = std::abs(sample);
+    // Seed the running mean from the first sample with measurable
+    // amplitude (a zero first sample must not freeze the scale at 0);
+    // track with a slow EMA afterwards.
+    amp_mean_ = amp_mean_ == 0.0 ? amp : 0.98 * amp_mean_ + 0.02 * amp;
+    if (std::abs(prev_) > 0.0) {
+        const dsp::Complex rot = sample * std::conj(prev_);
+        // Scale the *increment* by the amplitude now: amplitude drift
+        // then bends the waveform slowly instead of rescaling (stepping)
+        // everything already accumulated.
+        if (std::abs(rot) > 0.0) value_ += std::arg(rot) * amp_mean_;
+    }
+    prev_ = sample;
+    return value_;
+}
+
+void PhaseWaveform::reset() noexcept {
+    prev_ = dsp::Complex(0.0, 0.0);
+    value_ = 0.0;
+    amp_mean_ = 0.0;
+}
+
+BlinkRadarPipeline::Instrumentation::Instrumentation(
+    obs::MetricsRegistry* external, obs::TraceSink* trace_sink)
+    : trace(trace_sink) {
+    if (external == nullptr)  // trace-only pipeline: private registry
+        owned_registry = std::make_unique<obs::MetricsRegistry>();
+    obs::MetricsRegistry& registry =
+        external != nullptr ? *external : *owned_registry;
+    // One-time registration (and clock calibration): the frame path
+    // after this touches only the returned handles.
+    obs::detail::calibrate_clock();
+    for (std::size_t s = 0; s < kNumPipelineStages; ++s)
+        stage[s] = &registry.histogram(
+            std::string("stage.") +
+            to_string(static_cast<PipelineStage>(s)));
+    frames = &registry.counter("pipeline.frames");
+    blinks = &registry.counter("pipeline.blinks");
+    restarts = &registry.counter("pipeline.restarts");
+    cold_start_frames = &registry.counter("pipeline.cold_start_frames");
+    reselect_attempts = &registry.counter("pipeline.reselect.attempts");
+    reselect_switches = &registry.counter("pipeline.reselect.switches");
+    refits = &registry.counter("pipeline.refits");
+    guard_quarantined = &registry.counter("guard.frames_quarantined");
+    guard_samples_repaired = &registry.counter("guard.samples_repaired");
+    guard_frames_bridged = &registry.counter("guard.frames_bridged");
+    guard_gaps_bridged = &registry.counter("guard.gaps_bridged");
+    guard_signal_lost = &registry.counter("guard.signal_lost_events");
+    guard_warm_restarts = &registry.counter("guard.warm_restarts");
+    const char* health_names[] = {"guard.health.entered_ok",
+                                  "guard.health.entered_degraded",
+                                  "guard.health.entered_signal_lost",
+                                  "guard.health.entered_recovering"};
+    for (std::size_t s = 0; s < health_entered.size(); ++s)
+        health_entered[s] = &registry.counter(health_names[s]);
+    fault_rate = &registry.gauge("guard.fault_rate");
+    levd_threshold = &registry.gauge("levd.threshold");
+    levd_sigma = &registry.gauge("levd.noise_sigma");
+    selected_bin = &registry.gauge("pipeline.selected_bin");
+    trace_line.reserve(512);
+}
+
 BlinkRadarPipeline::BlinkRadarPipeline(const radar::RadarConfig& radar,
-                                       PipelineConfig config)
+                                       PipelineConfig config,
+                                       obs::MetricsRegistry* metrics,
+                                       obs::TraceSink* trace)
     : radar_(radar),
       config_(config),
       preprocessor_(config),
@@ -39,6 +121,13 @@ BlinkRadarPipeline::BlinkRadarPipeline(const radar::RadarConfig& radar,
     var_scratch_.reserve(radar_.n_bins());
     column_scratch_.reserve(max_window);
     blinks_.reserve(256);
+
+    // Observability attaches last: all registration (and the one-time
+    // clock calibration) happens here, never on the frame path. A trace
+    // sink without a registry gets a private one so stage durations are
+    // still measured for the trace records.
+    if (metrics != nullptr || trace != nullptr)
+        instr_ = std::make_unique<Instrumentation>(metrics, trace);
 }
 
 void BlinkRadarPipeline::reset_detection_state() {
@@ -53,9 +142,7 @@ void BlinkRadarPipeline::reset_detection_state() {
     frames_since_start_ = 0;
     frames_since_fit_ = 0;
     frames_since_reselect_ = 0;
-    cumulative_phase_ = 0.0;
-    amp_mean_ = 0.0;
-    prev_sample_ = dsp::Complex(0.0, 0.0);
+    phase_wave_.reset();
     wave_history_.clear();
     theta_unwrapped_ = 0.0;
     have_theta_ = false;
@@ -69,6 +156,9 @@ void BlinkRadarPipeline::restart() {
 
 void BlinkRadarPipeline::refit_viewing() {
     BR_ASSERT(selected_bin_.has_value());
+    const obs::StageTimer timer(stage_hist(PipelineStage::kViewingFit),
+                                stage_ns(PipelineStage::kViewingFit));
+    if (instr_) instr_->refits->inc();
     dsp::ComplexSignal& column = column_scratch_;
     column.clear();
     for (std::size_t i = 0; i < window_.size(); ++i)
@@ -99,6 +189,9 @@ void BlinkRadarPipeline::refit_viewing() {
 }
 
 bool BlinkRadarPipeline::reselect_bin() {
+    const obs::StageTimer timer(stage_hist(PipelineStage::kBinSelection),
+                                stage_ns(PipelineStage::kBinSelection));
+    if (instr_) instr_->reselect_attempts->inc();
     // Select over the most recent frames only: after a restart the head of
     // the window still contains the turbulent tail of the movement that
     // caused it, and waiting for that to age out of a long window would
@@ -128,6 +221,7 @@ bool BlinkRadarPipeline::reselect_bin() {
             return false;
     }
     selected_bin_ = sel->bin;
+    if (instr_) instr_->reselect_switches->inc();  // reselection churn
     return true;
 }
 
@@ -138,26 +232,34 @@ double BlinkRadarPipeline::waveform_value(const dsp::Complex& sample) {
             return viewing_->relative_distance(sample);
         case WaveformMode::kAmplitude:
             return std::abs(sample);
-        case WaveformMode::kPhase: {
-            // Unwrapped phase progression, scaled by the running mean
-            // amplitude so the LEVD threshold lives in the same units as
-            // the other modes.
-            const double amp = std::abs(sample);
-            amp_mean_ = amp_mean_ == 0.0 ? amp
-                                         : 0.98 * amp_mean_ + 0.02 * amp;
-            if (std::abs(prev_sample_) > 0.0) {
-                const dsp::Complex rot = sample * std::conj(prev_sample_);
-                if (std::abs(rot) > 0.0)
-                    cumulative_phase_ += std::arg(rot);
-            }
-            prev_sample_ = sample;
-            return cumulative_phase_ * amp_mean_;
-        }
+        case WaveformMode::kPhase:
+            // Unwrapped phase progression with amplitude-scaled
+            // increments (see PhaseWaveform) so the LEVD threshold lives
+            // in the same units as the other modes.
+            return phase_wave_.push(sample);
     }
     return 0.0;
 }
 
 FrameResult BlinkRadarPipeline::process(const radar::RadarFrame& frame) {
+    const HealthState health_before = guard_.health();
+    if (instr_) {
+        instr_->detailed_frame =
+            instr_->trace != nullptr ||
+            (instr_->frame_index & (kStageSampleFrames - 1)) == 0;
+    }
+    FrameResult result;
+    {
+        const obs::StageTimer total(stage_hist(PipelineStage::kFrameTotal),
+                                    stage_ns(PipelineStage::kFrameTotal));
+        result = process_guarded(frame);
+    }
+    if (instr_) observe_frame(frame, result, health_before);
+    return result;
+}
+
+FrameResult BlinkRadarPipeline::process_guarded(
+    const radar::RadarFrame& frame) {
     if (!config_.guard.enabled) {
         // Unguarded contract: the caller promises well-formed frames. A
         // bin-count mismatch is a checked error, never an out-of-bounds
@@ -166,7 +268,12 @@ FrameResult BlinkRadarPipeline::process(const radar::RadarFrame& frame) {
         return process_validated(frame);
     }
 
-    const GuardDecision decision = guard_.admit(frame);
+    GuardDecision decision;
+    {
+        const obs::StageTimer timer(stage_hist(PipelineStage::kGuard),
+                                    stage_ns(PipelineStage::kGuard));
+        decision = guard_.admit(frame);
+    }
     FrameResult result;
     result.quality = decision.verdict;
     result.repaired_samples = decision.repaired_samples;
@@ -200,10 +307,20 @@ FrameResult BlinkRadarPipeline::process_validated(
     FrameResult result;
 
     // 1. Noise reduction (into per-pipeline scratch: no allocation).
-    preprocessor_.apply_into(frame, pre_frame_);
+    {
+        const obs::StageTimer timer(stage_hist(PipelineStage::kPreprocess),
+                                    stage_ns(PipelineStage::kPreprocess));
+        preprocessor_.apply_into(frame, pre_frame_);
+    }
 
     // 2. Significant body movement => restart the whole detection process.
-    if (movement_.push(pre_frame_.bins)) {
+    bool moved = false;
+    {
+        const obs::StageTimer timer(stage_hist(PipelineStage::kMovement),
+                                    stage_ns(PipelineStage::kMovement));
+        moved = movement_.push(pre_frame_.bins);
+    }
+    if (moved) {
         restart();
         result.restarted = true;
         result.cold_start = true;
@@ -215,12 +332,17 @@ FrameResult BlinkRadarPipeline::process_validated(
     // follows the last rolling_window_frames_ frames: evict the frame
     // about to leave that window *before* pushing (when the ring is full
     // it may be the very slot the new frame overwrites).
-    if (rolling_var_.count() == rolling_window_frames_)
-        rolling_var_.evict(window_[window_.size() - rolling_window_frames_]);
-    dsp::ComplexSignal& sub = window_.emplace_slot();
-    background_.process_into(pre_frame_.bins, sub);
-    rolling_var_.push(sub);
-    window_times_.push_back(frame.timestamp_s);
+    {
+        const obs::StageTimer timer(stage_hist(PipelineStage::kBackground),
+                                    stage_ns(PipelineStage::kBackground));
+        if (rolling_var_.count() == rolling_window_frames_)
+            rolling_var_.evict(
+                window_[window_.size() - rolling_window_frames_]);
+        dsp::ComplexSignal& sub = window_.emplace_slot();
+        background_.process_into(pre_frame_.bins, sub);
+        rolling_var_.push(sub);
+        window_times_.push_back(frame.timestamp_s);
+    }
     ++frames_since_start_;
 
     // 4. Cold start: accumulate, then select the bin and fit the arc.
@@ -246,6 +368,8 @@ FrameResult BlinkRadarPipeline::process_validated(
         // detection is live immediately — the 2 s cold start is the only
         // dead time, exactly as the paper describes.
         if (config_.waveform_mode == WaveformMode::kArcDistance) {
+            const obs::StageTimer timer(stage_hist(PipelineStage::kLevd),
+                                        stage_ns(PipelineStage::kLevd));
             for (std::size_t i = 0; i + 1 < window_.size(); ++i) {
                 levd_.warm_up(window_times_[i],
                               compensated_distance(
@@ -268,8 +392,7 @@ FrameResult BlinkRadarPipeline::process_validated(
             // the one-off baseline step within a couple of seconds, which
             // costs far less than rebuilding the threshold from scratch.
             refit_viewing();
-            cumulative_phase_ = 0.0;
-            prev_sample_ = dsp::Complex(0.0, 0.0);
+            phase_wave_.reset();
         }
     }
 
@@ -283,15 +406,25 @@ FrameResult BlinkRadarPipeline::process_validated(
     // maintains the d/theta history the motion-artifact veto inspects;
     // with motion_compensation off it returns the raw distance.)
     const dsp::Complex sample = window_.back()[*selected_bin_];
-    const double d = config_.waveform_mode == WaveformMode::kArcDistance
-                         ? compensated_distance(frame.timestamp_s, sample)
-                         : waveform_value(sample);
+    double d = 0.0;
+    {
+        const obs::StageTimer timer(stage_hist(PipelineStage::kWaveform),
+                                    stage_ns(PipelineStage::kWaveform));
+        d = config_.waveform_mode == WaveformMode::kArcDistance
+                ? compensated_distance(frame.timestamp_s, sample)
+                : waveform_value(sample);
+    }
     result.waveform_value = d;
 
-    std::optional<DetectedBlink> blink = levd_.push(frame.timestamp_s, d);
-    if (blink && config_.waveform_mode == WaveformMode::kArcDistance &&
-        motion_artifact_veto(*blink)) {
-        blink.reset();
+    std::optional<DetectedBlink> blink;
+    {
+        const obs::StageTimer timer(stage_hist(PipelineStage::kLevd),
+                                    stage_ns(PipelineStage::kLevd));
+        blink = levd_.push(frame.timestamp_s, d);
+        if (blink && config_.waveform_mode == WaveformMode::kArcDistance &&
+            motion_artifact_veto(*blink)) {
+            blink.reset();
+        }
     }
     result.blink = blink;
     if (result.blink) blinks_.push_back(*result.blink);
@@ -404,10 +537,119 @@ bool BlinkRadarPipeline::motion_artifact_veto(
     return std::abs(corr) > config_.motion_veto_correlation;
 }
 
+namespace {
+
+/// Append `v` to `out` with %.9g formatting (locale-independent enough
+/// for diagnostics; the exporter uses round-trip formatting instead).
+void append_double(std::string& out, double v) {
+    char buf[32];
+    const int n = std::snprintf(buf, sizeof(buf), "%.9g", v);
+    out.append(buf, static_cast<std::size_t>(n > 0 ? n : 0));
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+    char buf[24];
+    const int n = std::snprintf(buf, sizeof(buf), "%llu",
+                                static_cast<unsigned long long>(v));
+    out.append(buf, static_cast<std::size_t>(n > 0 ? n : 0));
+}
+
+}  // namespace
+
+void BlinkRadarPipeline::observe_frame(const radar::RadarFrame& frame,
+                                       const FrameResult& result,
+                                       HealthState before) {
+    Instrumentation& in = *instr_;
+    in.frames->inc();
+    if (result.blink) in.blinks->inc();
+    if (result.restarted) in.restarts->inc();
+    if (result.cold_start) in.cold_start_frames->inc();
+
+    // Guard counters mirror GuardStats incrementally (per-frame deltas),
+    // so a merged batch roll-up sums cleanly across sessions. The
+    // mirrored fields only move on fault events, so the overwhelmingly
+    // common clean frame pays a contiguous compare instead of six
+    // read-modify-writes on scattered counter nodes.
+    const GuardStats& gs = guard_.stats();
+    const GuardStats& pg = in.prev_guard;
+    if (gs.frames_quarantined != pg.frames_quarantined ||
+        gs.samples_repaired != pg.samples_repaired ||
+        gs.frames_bridged != pg.frames_bridged ||
+        gs.gaps_bridged != pg.gaps_bridged ||
+        gs.signal_lost_events != pg.signal_lost_events ||
+        gs.warm_restarts != pg.warm_restarts) {
+        in.guard_quarantined->inc(gs.frames_quarantined -
+                                  pg.frames_quarantined);
+        in.guard_samples_repaired->inc(gs.samples_repaired -
+                                       pg.samples_repaired);
+        in.guard_frames_bridged->inc(gs.frames_bridged -
+                                     pg.frames_bridged);
+        in.guard_gaps_bridged->inc(gs.gaps_bridged - pg.gaps_bridged);
+        in.guard_signal_lost->inc(gs.signal_lost_events -
+                                  pg.signal_lost_events);
+        in.guard_warm_restarts->inc(gs.warm_restarts - pg.warm_restarts);
+        in.prev_guard = gs;
+    }
+
+    const HealthState after = guard_.health();
+    if (after != before)
+        in.health_entered[static_cast<std::size_t>(after)]->inc();
+    // Gauges are last-written snapshots; refreshing them on sampled
+    // frames only (every frame when tracing) is indistinguishable at
+    // snapshot time and keeps the steady-state frame cost down.
+    if (in.detailed_frame) {
+        in.fault_rate->set(guard_.fault_rate());
+        in.levd_threshold->set(levd_.threshold());
+        in.levd_sigma->set(levd_.noise_sigma());
+        in.selected_bin->set(
+            selected_bin_ ? static_cast<double>(*selected_bin_) : -1.0);
+    }
+
+    if (in.trace != nullptr) {
+        // One JSONL record per frame, built by appending into the reused
+        // (pre-reserved) line buffer — no temporaries, so steady-state
+        // tracing never allocates; the only cost beyond formatting is the
+        // sink's write.
+        std::string& line = in.trace_line;
+        line.clear();
+        line += "{\"frame\": ";
+        append_u64(line, in.frame_index);
+        line += ", \"t\": ";
+        append_double(line, frame.timestamp_s);
+        line += ", \"verdict\": \"";
+        line += to_string(result.quality);
+        line += "\", \"health\": \"";
+        line += to_string(after);
+        line += "\", \"cold_start\": ";
+        line += result.cold_start ? "true" : "false";
+        line += ", \"restarted\": ";
+        line += result.restarted ? "true" : "false";
+        line += ", \"blink\": ";
+        line += result.blink ? "true" : "false";
+        line += ", \"wave\": ";
+        append_double(line, result.waveform_value);
+        line += ", \"stages_ns\": {";
+        for (std::size_t s = 0; s < kNumPipelineStages; ++s) {
+            if (s != 0) line += ", ";
+            line += '"';
+            line += to_string(static_cast<PipelineStage>(s));
+            line += "\": ";
+            append_u64(line, in.last_ns[s]);
+        }
+        line += "}}";
+        in.trace->write_line(line);
+        // Stages skipped next frame must not show stale durations; only
+        // the trace reads last_ns, so the wipe is trace-gated too.
+        in.last_ns.fill(0);
+    }
+    ++in.frame_index;
+}
+
 BatchResult detect_blinks(const radar::FrameSeries& series,
                           const radar::RadarConfig& radar,
-                          const PipelineConfig& config) {
-    BlinkRadarPipeline pipeline(radar, config);
+                          const PipelineConfig& config,
+                          obs::MetricsRegistry* metrics) {
+    BlinkRadarPipeline pipeline(radar, config, metrics);
     for (const radar::RadarFrame& f : series) pipeline.process(f);
     return BatchResult{pipeline.blinks(), pipeline.restarts()};
 }

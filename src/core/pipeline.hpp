@@ -9,6 +9,9 @@
 // a full restart whenever a significant body movement is detected.
 #pragma once
 
+#include <array>
+#include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -21,10 +24,51 @@
 #include "core/preprocess.hpp"
 #include "core/viewing_position.hpp"
 #include "dsp/background.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "radar/config.hpp"
 #include "radar/frame.hpp"
 
 namespace blinkradar::core {
+
+/// Pipeline stages instrumented by the observability layer; indexes the
+/// per-stage latency histograms and the per-frame trace durations.
+enum class PipelineStage : std::size_t {
+    kGuard,         ///< FrameGuard::admit
+    kPreprocess,    ///< FIR + smoothing noise reduction
+    kMovement,      ///< large-body-movement check
+    kBackground,    ///< clutter subtraction + window bookkeeping
+    kBinSelection,  ///< arc-variance bin (re)selection
+    kViewingFit,    ///< viewing-position circle fit
+    kWaveform,      ///< relative-distance / phase waveform
+    kLevd,          ///< local-extreme-value blink detection
+    kFrameTotal,    ///< whole process() call
+};
+constexpr std::size_t kNumPipelineStages = 9;
+const char* to_string(PipelineStage stage) noexcept;
+
+/// Phase-mode waveform accumulator (WaveformMode::kPhase): unwrapped
+/// phase progression with *each increment* scaled by the running mean
+/// amplitude at accumulation time, so the waveform lives in the same
+/// units as the other modes. Scaling increments (not the accumulated
+/// total) keeps amplitude drift from retroactively rescaling history —
+/// the total-scaling variant stepped the baseline whenever the running
+/// mean moved, faking LEVD extrema. A zero-amplitude first sample does
+/// not freeze the scale: the mean seeds from the first sample with
+/// measurable amplitude.
+class PhaseWaveform {
+public:
+    /// Feed one I/Q sample; returns the accumulated scaled phase.
+    double push(const dsp::Complex& sample);
+
+    /// Forget all state (pipeline restart or bin switch).
+    void reset() noexcept;
+
+private:
+    dsp::Complex prev_{0.0, 0.0};
+    double value_ = 0.0;
+    double amp_mean_ = 0.0;
+};
 
 /// Per-frame output of the streaming pipeline.
 struct FrameResult {
@@ -44,8 +88,20 @@ struct FrameResult {
 /// Streaming BlinkRadar pipeline. Feed frames in order; blinks come out.
 class BlinkRadarPipeline {
 public:
+    /// `metrics` (optional) attaches the observability layer: every
+    /// stage is timed into latency histograms (duty-cycled, see
+    /// kStageSampleFrames) and guard health / reselection / restart
+    /// events become exact per-frame counters, all registered in the
+    /// given registry at construction time (the frame path never
+    /// allocates or does string work). `trace` (optional, see obs::TraceSink::from_env
+    /// and BLINKRADAR_TRACE) additionally emits one JSONL record per
+    /// frame; stage durations in the trace require `metrics` too.
+    /// Both pointers must outlive the pipeline. Instrumentation only
+    /// observes: output is bit-identical with metrics on, off, or absent.
     BlinkRadarPipeline(const radar::RadarConfig& radar,
-                       PipelineConfig config = {});
+                       PipelineConfig config = {},
+                       obs::MetricsRegistry* metrics = nullptr,
+                       obs::TraceSink* trace = nullptr);
 
     /// Process the next frame. With the frame guard enabled (the
     /// default) any sensor output is accepted: corrupt frames are
@@ -54,6 +110,16 @@ public:
     /// guard disabled the caller must feed well-formed frames (checked:
     /// a bin-count mismatch throws ContractViolation).
     FrameResult process(const radar::RadarFrame& frame);
+
+    /// Stage-latency sampling period: the observability layer times the
+    /// pipeline stages on 1 frame in kStageSampleFrames (deterministic
+    /// in the frame index; every frame while a trace sink is attached).
+    /// Counters stay exact on every frame — only the latency histograms
+    /// are duty-cycled. Rationale: a timestamp read costs ~65-95 ns
+    /// under a hypervisor, so even the single whole-frame span timed on
+    /// every frame would eat the entire <2 % overhead budget of a ~8.5 us
+    /// frame (measured; see scripts/check_metrics_overhead.sh).
+    static constexpr std::uint64_t kStageSampleFrames = 16;
 
     /// All blinks detected so far.
     const std::vector<DetectedBlink>& blinks() const noexcept {
@@ -87,6 +153,8 @@ public:
     const radar::RadarConfig& radar_config() const noexcept { return radar_; }
 
 private:
+    /// process() minus the whole-frame span and trace bookkeeping.
+    FrameResult process_guarded(const radar::RadarFrame& frame);
     /// The detection chain behind the guard (the pre-guard process()).
     FrameResult process_validated(const radar::RadarFrame& frame);
     void reset_detection_state();
@@ -94,6 +162,75 @@ private:
     double waveform_value(const dsp::Complex& sample);
     void refit_viewing();
     bool reselect_bin();
+
+    /// Handles into the metrics registry, registered once at
+    /// construction (names in DESIGN.md section 10). Absent when the
+    /// pipeline runs uninstrumented; every hot-path touch point is a
+    /// single null check then plain integer/double stores.
+    struct Instrumentation {
+        Instrumentation(obs::MetricsRegistry* external,
+                        obs::TraceSink* trace_sink);
+
+        /// Backing registry for trace-only pipelines (stage durations
+        /// still need histograms); null when an external one is used.
+        std::unique_ptr<obs::MetricsRegistry> owned_registry;
+
+        std::array<obs::LatencyHistogram*, kNumPipelineStages> stage{};
+        obs::Counter* frames = nullptr;
+        obs::Counter* blinks = nullptr;
+        obs::Counter* restarts = nullptr;
+        obs::Counter* cold_start_frames = nullptr;
+        obs::Counter* reselect_attempts = nullptr;
+        obs::Counter* reselect_switches = nullptr;
+        obs::Counter* refits = nullptr;
+        obs::Counter* guard_quarantined = nullptr;
+        obs::Counter* guard_samples_repaired = nullptr;
+        obs::Counter* guard_frames_bridged = nullptr;
+        obs::Counter* guard_gaps_bridged = nullptr;
+        obs::Counter* guard_signal_lost = nullptr;
+        obs::Counter* guard_warm_restarts = nullptr;
+        /// Indexed by HealthState: transitions *into* each state.
+        std::array<obs::Counter*, 4> health_entered{};
+        obs::Gauge* fault_rate = nullptr;
+        obs::Gauge* levd_threshold = nullptr;
+        obs::Gauge* levd_sigma = nullptr;
+        obs::Gauge* selected_bin = nullptr;
+
+        /// Per-frame stage durations (trace scratch, ns).
+        std::array<std::uint64_t, kNumPipelineStages> last_ns{};
+        GuardStats prev_guard{};  ///< last counters, for per-frame deltas
+        std::uint64_t frame_index = 0;
+        bool detailed_frame = true;  ///< time sampled stages this frame?
+        obs::TraceSink* trace = nullptr;
+        std::string trace_line;  ///< reused JSONL buffer (no steady alloc)
+    };
+
+    /// True for the stages whose spans are duty-cycled (see
+    /// kStageSampleFrames). The rare, expensive stages are timed on
+    /// every occurrence: they run a handful of times per minute and take
+    /// tens of microseconds, so sampling would starve their histograms
+    /// while saving nothing.
+    static constexpr bool sampled_stage(PipelineStage s) noexcept {
+        return s != PipelineStage::kBinSelection &&
+               s != PipelineStage::kViewingFit;
+    }
+
+    /// Histogram / trace-slot accessors; null (span disabled) when
+    /// uninstrumented or when the stage is sampled out this frame.
+    obs::LatencyHistogram* stage_hist(PipelineStage s) noexcept {
+        if (instr_ == nullptr) return nullptr;
+        if (!instr_->detailed_frame && sampled_stage(s)) return nullptr;
+        return instr_->stage[static_cast<std::size_t>(s)];
+    }
+    std::uint64_t* stage_ns(PipelineStage s) noexcept {
+        return instr_ ? &instr_->last_ns[static_cast<std::size_t>(s)]
+                      : nullptr;
+    }
+
+    /// Post-frame bookkeeping: counters, gauges, health transitions,
+    /// and the optional trace record. Only called when instrumented.
+    void observe_frame(const radar::RadarFrame& frame,
+                       const FrameResult& result, HealthState before);
 
     radar::RadarConfig radar_;
     PipelineConfig config_;
@@ -149,10 +286,9 @@ private:
     std::size_t frames_since_reselect_ = 0;
     std::size_t restarts_ = 0;
 
-    // Phase-baseline state (WaveformMode::kPhase).
-    dsp::Complex prev_sample_{0.0, 0.0};
-    double cumulative_phase_ = 0.0;
-    double amp_mean_ = 0.0;
+    PhaseWaveform phase_wave_;  ///< WaveformMode::kPhase accumulator
+
+    std::unique_ptr<Instrumentation> instr_;  ///< null when uninstrumented
 };
 
 /// Batch result of running the pipeline over a recorded series.
@@ -162,8 +298,10 @@ struct BatchResult {
 };
 
 /// Convenience: run the streaming pipeline over a whole frame series.
+/// `metrics` (optional) instruments the run as in the pipeline ctor.
 BatchResult detect_blinks(const radar::FrameSeries& series,
                           const radar::RadarConfig& radar,
-                          const PipelineConfig& config = {});
+                          const PipelineConfig& config = {},
+                          obs::MetricsRegistry* metrics = nullptr);
 
 }  // namespace blinkradar::core

@@ -6,10 +6,11 @@
 namespace blinkradar::eval {
 
 SessionScore run_blink_session(const sim::ScenarioConfig& scenario,
-                               const core::PipelineConfig& pipeline) {
+                               const core::PipelineConfig& pipeline,
+                               obs::MetricsRegistry* metrics) {
     const sim::SimulatedSession session = sim::simulate_session(scenario);
     const core::BatchResult result =
-        core::detect_blinks(session.frames, session.radar, pipeline);
+        core::detect_blinks(session.frames, session.radar, pipeline, metrics);
     SessionScore score;
     score.match = match_blinks(session.truth.blinks, result.blinks);
     score.restarts = result.restarts;
@@ -19,24 +20,42 @@ SessionScore run_blink_session(const sim::ScenarioConfig& scenario,
 
 std::vector<SessionScore> run_sessions(
     std::span<const sim::ScenarioConfig> scenarios,
-    const core::PipelineConfig& pipeline) {
+    const core::PipelineConfig& pipeline, obs::MetricsRegistry* rollup) {
     // Deterministic fan-out: task i touches only scenarios[i] (whose seed
     // fully determines the simulated session) and result slot i, so the
-    // output cannot depend on thread count or scheduling.
-    return ThreadPool::shared().parallel_map(
+    // output cannot depend on thread count or scheduling. With a rollup
+    // each task instruments into a private registry (slot i again) and
+    // the merge below runs serially in index order, keeping the
+    // aggregate deterministic too.
+    struct ScoredSession {
+        SessionScore score;
+        obs::MetricsRegistry metrics;
+    };
+    std::vector<ScoredSession> scored = ThreadPool::shared().parallel_map(
         scenarios.size(), [&](std::size_t i) {
-            return run_blink_session(scenarios[i], pipeline);
+            ScoredSession s;
+            s.score = run_blink_session(scenarios[i], pipeline,
+                                        rollup ? &s.metrics : nullptr);
+            return s;
         });
+    std::vector<SessionScore> scores;
+    scores.reserve(scored.size());
+    for (ScoredSession& s : scored) {
+        if (rollup != nullptr) rollup->merge_from(s.metrics);
+        scores.push_back(std::move(s.score));
+    }
+    return scores;
 }
 
 std::vector<SessionScore> run_sessions(const sim::ScenarioConfig& scenario,
                                        std::size_t repetitions,
-                                       const core::PipelineConfig& pipeline) {
+                                       const core::PipelineConfig& pipeline,
+                                       obs::MetricsRegistry* rollup) {
     BR_EXPECTS(repetitions >= 1);
     std::vector<sim::ScenarioConfig> scenarios(repetitions, scenario);
     for (std::size_t r = 0; r < repetitions; ++r)
         scenarios[r].seed = scenario.seed + r;
-    return run_sessions(scenarios, pipeline);
+    return run_sessions(scenarios, pipeline, rollup);
 }
 
 std::vector<double> repeated_accuracies(const sim::ScenarioConfig& scenario,

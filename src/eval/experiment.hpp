@@ -22,24 +22,34 @@ struct SessionScore {
     double accuracy = 0.0;
 };
 
-/// Simulate a session and run the pipeline over it.
+/// Simulate a session and run the pipeline over it. `metrics` (optional)
+/// instruments the pipeline run (see BlinkRadarPipeline's ctor).
 SessionScore run_blink_session(const sim::ScenarioConfig& scenario,
-                               const core::PipelineConfig& pipeline = {});
+                               const core::PipelineConfig& pipeline = {},
+                               obs::MetricsRegistry* metrics = nullptr);
 
 /// Batch engine: score every scenario, fanned out over the shared thread
 /// pool. Sessions are independent (each simulates from its own
 /// scenario.seed), so results are bit-identical to calling
 /// run_blink_session serially in order — for any thread count. Result i
 /// corresponds to scenarios[i].
+///
+/// `rollup` (optional) aggregates observability metrics across the whole
+/// batch: each session runs against its own private registry (no locks on
+/// the frame path) and the per-session registries are merged into
+/// `rollup` in session-index order after the fan-out, so the aggregate is
+/// deterministic for any thread count.
 std::vector<SessionScore> run_sessions(
     std::span<const sim::ScenarioConfig> scenarios,
-    const core::PipelineConfig& pipeline = {});
+    const core::PipelineConfig& pipeline = {},
+    obs::MetricsRegistry* rollup = nullptr);
 
 /// Batch engine, repetition form: run `repetitions` sessions with derived
 /// seeds (seed, seed+1, ...). Deterministic as above.
 std::vector<SessionScore> run_sessions(const sim::ScenarioConfig& scenario,
                                        std::size_t repetitions,
-                                       const core::PipelineConfig& pipeline = {});
+                                       const core::PipelineConfig& pipeline = {},
+                                       obs::MetricsRegistry* rollup = nullptr);
 
 /// Run `repetitions` sessions with different seeds (seed, seed+1, ...)
 /// and return the per-session accuracies.

@@ -1,0 +1,25 @@
+#include "obs/trace.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace blinkradar::obs {
+
+TraceSink::TraceSink(const std::string& path) : path_(path), out_(path) {
+    if (!out_)
+        throw std::runtime_error("TraceSink: cannot open " + path);
+}
+
+std::unique_ptr<TraceSink> TraceSink::from_env() {
+    const char* path = std::getenv("BLINKRADAR_TRACE");
+    if (path == nullptr || *path == '\0') return nullptr;
+    return std::make_unique<TraceSink>(path);
+}
+
+void TraceSink::write_line(std::string_view line) {
+    out_.write(line.data(), static_cast<std::streamsize>(line.size()));
+    out_.put('\n');
+    ++lines_;
+}
+
+}  // namespace blinkradar::obs

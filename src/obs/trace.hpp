@@ -1,0 +1,43 @@
+// Per-frame trace stream (JSONL), gated by the BLINKRADAR_TRACE
+// environment variable.
+//
+// Tracing is the expensive, opt-in tier of the observability layer: one
+// JSON line per processed frame (stage durations, guard verdict, health,
+// waveform value). The pipeline reuses one line buffer so steady-state
+// tracing does not allocate, but the formatting + I/O cost is real —
+// never enable it while benchmarking the hot path.
+//
+// A sink belongs to one pipeline / one thread (same ownership rule as
+// MetricsRegistry).
+#pragma once
+
+#include <fstream>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace blinkradar::obs {
+
+class TraceSink {
+public:
+    /// Open `path` for writing (truncating). Throws std::runtime_error
+    /// if the file cannot be opened.
+    explicit TraceSink(const std::string& path);
+
+    /// Returns a sink writing to $BLINKRADAR_TRACE when that variable is
+    /// set and non-empty, nullptr otherwise.
+    static std::unique_ptr<TraceSink> from_env();
+
+    /// Append one JSONL record (the newline is added here).
+    void write_line(std::string_view line);
+
+    const std::string& path() const noexcept { return path_; }
+    std::size_t lines_written() const noexcept { return lines_; }
+
+private:
+    std::string path_;
+    std::ofstream out_;
+    std::size_t lines_ = 0;
+};
+
+}  // namespace blinkradar::obs

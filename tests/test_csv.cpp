@@ -41,6 +41,37 @@ TEST_F(CsvTest, WritesStringCells) {
     EXPECT_EQ(read_all(path_), "name,score\nalpha,1.5\n");
 }
 
+TEST_F(CsvTest, DoublesRoundTripExactly) {
+    // Values chosen to break 6-significant-digit formatting: a full-
+    // precision irrational, a timestamp with many integral digits, a
+    // tiny value, and a negative with a long tail.
+    const std::vector<double> values = {0.1234567890123456, 1691234567.891,
+                                        5e-300, -2.0 / 3.0};
+    {
+        CsvWriter csv(path_, {"a", "b", "c", "d"});
+        csv.row(values);
+    }
+    std::ifstream in(path_);
+    std::string header, line;
+    ASSERT_TRUE(std::getline(in, header));
+    ASSERT_TRUE(std::getline(in, line));
+    std::istringstream cells(line);
+    std::string cell;
+    for (const double expected : values) {
+        ASSERT_TRUE(std::getline(cells, cell, ','));
+        EXPECT_EQ(std::stod(cell), expected) << "cell: " << cell;
+    }
+}
+
+TEST_F(CsvTest, QuotesCellsWithSeparatorsAndQuotes) {
+    {
+        CsvWriter csv(path_, {"plain", "with,comma"});
+        csv.row(std::vector<std::string>{"say \"hi\"", "two\nlines"});
+    }
+    EXPECT_EQ(read_all(path_),
+              "plain,\"with,comma\"\n\"say \"\"hi\"\"\",\"two\nlines\"\n");
+}
+
 TEST_F(CsvTest, RejectsWrongArity) {
     CsvWriter csv(path_, {"a", "b", "c"});
     EXPECT_THROW(csv.row(std::vector<double>{1.0}), ContractViolation);

@@ -186,5 +186,27 @@ TEST(Levd, InvalidConfigThrows) {
     EXPECT_THROW(Levd(PipelineConfig{}, 0.0), blinkradar::ContractViolation);
 }
 
+TEST(Levd, NoiseWindowRoundsToNearestFrame) {
+    // 4 s * 1.9 Hz = 7.6 frames: rounds to 8, so the config is valid.
+    // The original truncating conversion chopped it to 7 and then failed
+    // an opaque postcondition (`noise_window_frames_ >= 8`).
+    EXPECT_NO_THROW(Levd(PipelineConfig{}, 1.9));
+    // Just under the rounding boundary (7.4 -> 7): still rejected, but
+    // with a diagnosable error naming both inputs.
+    PipelineConfig pc;
+    pc.noise_window_s = 1.0;
+    try {
+        Levd levd(pc, 7.4);
+        FAIL() << "expected ContractViolation";
+    } catch (const blinkradar::ContractViolation& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("noise_window_s"), std::string::npos) << what;
+        EXPECT_NE(what.find("frame_rate_hz"), std::string::npos) << what;
+        EXPECT_NE(what.find("7.4"), std::string::npos) << what;
+    }
+    // And just over it (7.6 -> 8): accepted.
+    EXPECT_NO_THROW(Levd(pc, 7.6));
+}
+
 }  // namespace
 }  // namespace blinkradar::core

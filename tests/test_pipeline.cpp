@@ -1,12 +1,17 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <utility>
 
 #include "common/contracts.hpp"
 #include "common/random.hpp"
 #include "core/pipeline.hpp"
 #include "eval/metrics.hpp"
 #include "physio/driver_profile.hpp"
+#include "radar/impairments.hpp"
 #include "sim/scenario.hpp"
 
 namespace blinkradar::core {
@@ -179,6 +184,134 @@ TEST(Pipeline, RejectsBadConfig) {
     PipelineConfig pc;
     pc.cold_start_frames = 2;
     EXPECT_THROW(BlinkRadarPipeline(cfg, pc), blinkradar::ContractViolation);
+}
+
+TEST(Pipeline, MetricsInstrumentationIsObservationOnly) {
+    // The observability layer must never change detection: run the same
+    // impaired stream (so guard repair/bridge/quarantine paths all fire)
+    // with and without a registry and demand bit-identical results.
+    const sim::SimulatedSession s =
+        simulate_session(reference_scenario(12, 60.0));
+    radar::FaultInjectorConfig fc;
+    fc.drop_rate = 0.02;
+    fc.nan_rate = 0.02;
+    fc.saturation_rate = 0.01;
+    radar::FaultInjector injector(fc, 99);
+    const radar::FrameSeries impaired = injector.apply(s.frames);
+
+    BlinkRadarPipeline plain(s.radar);
+    obs::MetricsRegistry registry;
+    BlinkRadarPipeline instrumented(s.radar, PipelineConfig{}, &registry);
+    for (const auto& f : impaired) {
+        const FrameResult a = plain.process(f);
+        const FrameResult b = instrumented.process(f);
+        ASSERT_EQ(a.waveform_value, b.waveform_value) << "t=" << f.timestamp_s;
+        ASSERT_EQ(a.quality, b.quality);
+        ASSERT_EQ(a.health, b.health);
+        ASSERT_EQ(a.blink.has_value(), b.blink.has_value());
+    }
+    ASSERT_EQ(plain.blinks().size(), instrumented.blinks().size());
+    for (std::size_t i = 0; i < plain.blinks().size(); ++i)
+        EXPECT_EQ(plain.blinks()[i].peak_s, instrumented.blinks()[i].peak_s);
+
+    // And the registry saw the run: counters are exact per frame, stage
+    // latency histograms are duty-cycled 1-in-kStageSampleFrames
+    // (deterministic in the frame index), guard counters mirror
+    // GuardStats.
+    EXPECT_EQ(registry.counter("pipeline.frames").value(), impaired.size());
+    EXPECT_EQ(registry.counter("pipeline.blinks").value(),
+              instrumented.blinks().size());
+    const std::size_t sampled =
+        (impaired.size() + BlinkRadarPipeline::kStageSampleFrames - 1) /
+        BlinkRadarPipeline::kStageSampleFrames;
+    EXPECT_EQ(registry.histogram("stage.frame_total").count(), sampled);
+    EXPECT_GT(registry.histogram("stage.preprocess").count(), 0u);
+    EXPECT_EQ(registry.counter("guard.frames_quarantined").value(),
+              instrumented.guard_stats().frames_quarantined);
+    EXPECT_EQ(registry.counter("guard.samples_repaired").value(),
+              instrumented.guard_stats().samples_repaired);
+}
+
+TEST(Pipeline, TraceSinkStreamsOneRecordPerFrame) {
+    const sim::SimulatedSession s =
+        simulate_session(reference_scenario(13, 10.0));
+    const std::string path = ::testing::TempDir() + "br_trace_test.jsonl";
+    obs::MetricsRegistry registry;
+    {
+        obs::TraceSink sink(path);
+        BlinkRadarPipeline pipe(s.radar, PipelineConfig{}, &registry, &sink);
+        for (const auto& f : s.frames) pipe.process(f);
+        EXPECT_EQ(sink.lines_written(), s.frames.size());
+    }
+    std::ifstream in(path);
+    std::string line;
+    std::size_t lines = 0;
+    while (std::getline(in, line)) {
+        ++lines;
+        EXPECT_EQ(line.front(), '{');
+        EXPECT_EQ(line.back(), '}');
+        EXPECT_NE(line.find("\"stages_ns\""), std::string::npos);
+    }
+    EXPECT_EQ(lines, s.frames.size());
+    std::remove(path.c_str());
+}
+
+TEST(PhaseWaveform, AmplitudeRampDoesNotRescaleAccumulatedPhase) {
+    // Regression: the old implementation returned cumulative_phase *
+    // running_amp_mean, so a slow amplitude ramp *after* real phase
+    // accumulation rescaled the whole history, stepping the baseline and
+    // faking LEVD extrema. Accumulate ~30 rad of phase at amplitude 1,
+    // then hold the phase constant while the amplitude triples: the
+    // waveform must stay flat and LEVD must stay silent.
+    PhaseWaveform wave;
+    Levd levd(PipelineConfig{}, 25.0);
+    Rng rng(77);
+    double phase = 0.0;
+    std::size_t frame = 0;
+    auto push = [&](double amp, double jitter_sigma) {
+        const double jittered = phase + rng.normal(0.0, jitter_sigma);
+        const double d = wave.push(dsp::Complex(amp * std::cos(jittered),
+                                                amp * std::sin(jittered)));
+        const auto blink = levd.push(static_cast<double>(frame++) / 25.0, d);
+        return std::make_pair(d, blink.has_value());
+    };
+    // Accumulate ~30 rad at unit amplitude with realistic phase noise so
+    // LEVD's sigma estimate is positive and its threshold armed.
+    for (int i = 0; i < 150; ++i) {
+        phase += 0.2;
+        push(1.0, 1e-3);
+    }
+    const double settled = push(1.0, 0.0).first;
+    // Amplitude swells 1 -> 3 -> 1 over 20 s with the phase pinned.
+    double final_value = settled;
+    for (int i = 0; i < 500; ++i) {
+        const double amp =
+            1.0 + 2.0 * std::sin(3.14159265358979 * i / 500.0);
+        const auto [d, blinked] = push(amp, 0.0);
+        final_value = d;
+        EXPECT_FALSE(blinked) << "frame " << frame;
+    }
+    // Old behaviour: the waveform was cumulative_phase * amp_mean, so the
+    // swell produced a ~60-unit bump out of pure amplitude drift. Fixed:
+    // no phase progression means no waveform movement at all.
+    EXPECT_NEAR(final_value, settled, 1e-9);
+}
+
+TEST(PhaseWaveform, ZeroAmplitudeFirstSampleDoesNotFreezeScale) {
+    PhaseWaveform wave;
+    EXPECT_EQ(wave.push(dsp::Complex(0.0, 0.0)), 0.0);
+    // The running amplitude mean must seed from the first measurable
+    // sample, not stay poisoned by the zero (which would scale every
+    // subsequent increment by ~0).
+    double value = 0.0;
+    double phase = 0.0;
+    for (int i = 0; i < 10; ++i) {
+        phase += 0.3;
+        value = wave.push(dsp::Complex(std::cos(phase), std::sin(phase)));
+    }
+    // 9 increments of 0.3 rad at amplitude ~1 (the first sample after
+    // zero only sets the reference).
+    EXPECT_NEAR(value, 9 * 0.3, 0.1);
 }
 
 }  // namespace

@@ -97,6 +97,41 @@ TEST(PipelineAllocation, SteadyStateFramePathIsAllocationFree) {
     EXPECT_EQ(after - before, 0u);
 }
 
+TEST(PipelineAllocation, InstrumentedFramePathIsAllocationFree) {
+    // The observability layer shares the frame path's zero-allocation
+    // contract: all registration happens at construction; per-frame work
+    // is integer/double stores only.
+    sim::ScenarioConfig sc;
+    Rng rng(11);
+    sc.driver = physio::sample_participants(1, rng).front();
+    sc.duration_s = 40.0;
+    sc.seed = 12;
+    const sim::SimulatedSession s = sim::simulate_session(sc);
+
+    PipelineConfig cfg;
+    cfg.update_interval_frames = 1u << 20;
+    cfg.reselect_interval_frames = 1u << 20;
+    obs::MetricsRegistry registry;
+    BlinkRadarPipeline pipeline(s.radar, cfg, &registry);
+
+    const std::size_t warmup = 400;
+    const std::size_t measured = 250;
+    ASSERT_GE(s.frames.size(), warmup + measured);
+    for (std::size_t i = 0; i < warmup; ++i) pipeline.process(s.frames[i]);
+    ASSERT_TRUE(pipeline.selected_bin().has_value());
+    const std::size_t restarts_before = pipeline.restarts();
+
+    const std::size_t before = g_alloc_count.load();
+    for (std::size_t i = warmup; i < warmup + measured; ++i)
+        pipeline.process(s.frames[i]);
+    const std::size_t after = g_alloc_count.load();
+
+    ASSERT_EQ(pipeline.restarts(), restarts_before);
+    EXPECT_EQ(after - before, 0u);
+    EXPECT_EQ(registry.counter("pipeline.frames").value(),
+              warmup + measured);
+}
+
 TEST(PipelineAllocation, CountingAllocatorIsLive) {
     const std::size_t before = g_alloc_count.load();
     auto* v = new std::vector<double>(64);

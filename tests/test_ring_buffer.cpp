@@ -68,6 +68,57 @@ TEST(RingBuffer, ClearKeepsCapacityAndPayloads) {
     EXPECT_GE(ring.emplace_slot().capacity(), 50u);
 }
 
+TEST(RingBuffer, ResetCapacityShrinksBelowCurrentSize) {
+    RingBuffer<int> ring;
+    ring.reset_capacity(5);
+    for (int v = 0; v < 5; ++v) ring.push_back(v);
+    ASSERT_TRUE(ring.full());
+    ring.reset_capacity(2);  // smaller than the 5 live elements
+    EXPECT_TRUE(ring.empty());
+    EXPECT_EQ(ring.capacity(), 2u);
+    ring.push_back(10);
+    ring.push_back(11);
+    ring.push_back(12);  // evicts 10
+    EXPECT_EQ(ring.size(), 2u);
+    EXPECT_EQ(ring[0], 11);
+    EXPECT_EQ(ring[1], 12);
+}
+
+TEST(RingBuffer, EmplaceSlotRecyclesPayloadsAfterClearAtWrappedHead) {
+    RingBuffer<std::vector<int>> ring;
+    ring.reset_capacity(3);
+    for (int v = 0; v < 5; ++v) ring.emplace_slot().assign(64, v);
+    ASSERT_TRUE(ring.full());  // head has wrapped past slot 0
+    ring.clear();
+    EXPECT_TRUE(ring.empty());
+    // clear() rewinds to slot 0; every refill must find its old heap
+    // buffer still in place (the steady-state no-allocation guarantee
+    // spans restarts, which clear the pipeline's windows).
+    for (int v = 0; v < 3; ++v) {
+        std::vector<int>& slot = ring.emplace_slot();
+        EXPECT_GE(slot.capacity(), 64u) << "slot " << v;
+        slot.assign(64, 100 + v);
+    }
+    EXPECT_EQ(ring[0][0], 100);
+    EXPECT_EQ(ring[2][0], 102);
+}
+
+TEST(RingBuffer, IndexingWrapsExactlyAtCapacityBoundary) {
+    RingBuffer<int> ring;
+    ring.reset_capacity(4);
+    for (int v = 0; v < 4; ++v) ring.push_back(v);
+    ring.push_back(4);  // head moves to 1; (head + 3) hits index 0 again
+    EXPECT_EQ(ring[3], 4);
+    EXPECT_EQ(ring.back(), 4);
+    EXPECT_EQ(ring.front(), 1);
+    ring.pop_front();
+    ring.pop_front();
+    ring.pop_front();
+    EXPECT_EQ(ring.size(), 1u);
+    EXPECT_EQ(ring.front(), 4);  // the element stored in the wrapped slot
+    EXPECT_EQ(ring.back(), 4);
+}
+
 TEST(RingBuffer, WrapsIndexingAcrossManyEvictions) {
     RingBuffer<int> ring;
     ring.reset_capacity(7);
