@@ -5,7 +5,26 @@
 // and narrates the FrameGuard's health transitions: OK -> DEGRADED ->
 // SIGNAL_LOST -> RECOVERING -> OK, with the guard's repair/bridge/
 // quarantine counters at the end.
+//
+// Every knob of the drill is a flag (defaults reproduce the canonical
+// drill exactly), so a failure seen in the wild can be replayed:
+//
+//   fault_drill [--seed N] [--fault-seed N] [--duration S]
+//               [--drop-rate R] [--nan-rate R] [--jitter F]
+//
+//   --seed N        scenario seed (default 21)
+//   --fault-seed N  fault-injector seed (default 2024)
+//   --duration S    session length in seconds (default 90; the storm
+//                   covers the middle third, with a 2 s total outage
+//                   starting 5 s into it)
+//   --drop-rate R   storm frame-drop probability (default 0.10)
+//   --nan-rate R    storm per-frame NaN-burst probability (default 0.05)
+//   --jitter F      storm timestamp jitter, as a fraction of the frame
+//                   period (default 0.25)
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "core/pipeline.hpp"
 #include "eval/metrics.hpp"
@@ -15,21 +34,79 @@
 
 using namespace blinkradar;
 
-int main() {
+namespace {
+
+struct DrillOptions {
+    std::uint64_t scenario_seed = 21;
+    std::uint64_t fault_seed = 2024;
+    double duration_s = 90.0;
+    double drop_rate = 0.10;
+    double nan_rate = 0.05;
+    double jitter_periods = 0.25;
+};
+
+[[noreturn]] void usage_and_exit(const char* argv0) {
+    std::fprintf(stderr,
+                 "usage: %s [--seed N] [--fault-seed N] [--duration S]\n"
+                 "          [--drop-rate R] [--nan-rate R] [--jitter F]\n",
+                 argv0);
+    std::exit(2);
+}
+
+DrillOptions parse_options(int argc, char** argv) {
+    DrillOptions opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string flag = argv[i];
+        if (flag == "--help" || flag == "-h") usage_and_exit(argv[0]);
+        if (i + 1 >= argc) usage_and_exit(argv[0]);
+        const char* value = argv[++i];
+        try {
+            if (flag == "--seed")
+                opt.scenario_seed = std::stoull(value);
+            else if (flag == "--fault-seed")
+                opt.fault_seed = std::stoull(value);
+            else if (flag == "--duration")
+                opt.duration_s = std::stod(value);
+            else if (flag == "--drop-rate")
+                opt.drop_rate = std::stod(value);
+            else if (flag == "--nan-rate")
+                opt.nan_rate = std::stod(value);
+            else if (flag == "--jitter")
+                opt.jitter_periods = std::stod(value);
+            else
+                usage_and_exit(argv[0]);
+        } catch (const std::exception&) {
+            std::fprintf(stderr, "%s: bad value '%s' for %s\n", argv[0],
+                         value, flag.c_str());
+            std::exit(2);
+        }
+    }
+    if (opt.duration_s <= 0.0 || opt.drop_rate < 0.0 || opt.drop_rate > 1.0 ||
+        opt.nan_rate < 0.0 || opt.nan_rate > 1.0 || opt.jitter_periods < 0.0)
+        usage_and_exit(argv[0]);
+    return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const DrillOptions opt = parse_options(argc, argv);
+
     Rng rng(7);
     sim::ScenarioConfig sc;
     sc.driver = physio::sample_participants(1, rng).front();
-    sc.duration_s = 90.0;
-    sc.seed = 21;
+    sc.duration_s = opt.duration_s;
+    sc.seed = opt.scenario_seed;
     const sim::SimulatedSession session = sim::simulate_session(sc);
 
     // Clean first third, a harsh fault storm in the middle third
     // (including one total outage), clean final third.
     radar::FaultInjectorConfig faults;
-    faults.drop_rate = 0.10;
-    faults.timestamp_jitter_std_s = 0.25 * session.radar.frame_period_s;
-    faults.nan_rate = 0.05;
-    radar::FaultInjector injector(faults, 2024);
+    faults.drop_rate = opt.drop_rate;
+    faults.timestamp_jitter_std_s =
+        opt.jitter_periods * session.radar.frame_period_s;
+    faults.nan_rate = opt.nan_rate;
+    radar::FaultInjector injector(faults, opt.fault_seed);
 
     radar::FrameSeries stream;
     stream.reserve(session.frames.size());
@@ -48,7 +125,12 @@ int main() {
             stream.push_back(f);
     }
 
-    std::printf("=== Fault drill: %zu clean frames -> %zu on the wire ===\n",
+    std::printf("=== Fault drill: seed %llu, fault seed %llu, "
+                "drop %.2f / nan %.2f / jitter %.2f ===\n",
+                static_cast<unsigned long long>(opt.scenario_seed),
+                static_cast<unsigned long long>(opt.fault_seed),
+                opt.drop_rate, opt.nan_rate, opt.jitter_periods);
+    std::printf("=== %zu clean frames -> %zu on the wire ===\n",
                 session.frames.size(), stream.size());
     core::BlinkRadarPipeline pipeline(session.radar);
     core::HealthState last = core::HealthState::kOk;

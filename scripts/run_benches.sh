@@ -1,7 +1,13 @@
 #!/usr/bin/env bash
-# Build the Release configuration and run the google-benchmark perf suite,
-# writing BENCH_perf.json (google-benchmark JSON format) into the repo
-# root. Figure-reproduction harnesses are not run here — they print paper
+# Build the Release configuration and run the benchmark suites that feed
+# the repo's tracked result files, all written into the repo root:
+#
+#   BENCH_perf.json        google-benchmark microbenches (latency/alloc)
+#   BENCH_robustness.json  detection accuracy vs sensor-fault severity
+#   BENCH_recovery.json    crash-drill accuracy/downtime vs checkpoint
+#                          interval (the supervisor's snapshot cadence)
+#
+# Figure-reproduction harnesses are not run here — they print paper
 # tables and take minutes; run them from build/bench/ directly.
 #
 # Usage: scripts/run_benches.sh [extra google-benchmark args...]
@@ -12,7 +18,9 @@ repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${repo_root}/build-release"
 
 cmake --preset release -S "${repo_root}"
-cmake --build "${build_dir}" --target bench_perf_pipeline -j "$(nproc)"
+cmake --build "${build_dir}" \
+    --target bench_perf_pipeline bench_robustness_faults bench_recovery \
+    -j "$(nproc)"
 
 # A user-supplied --benchmark_out in "$@" comes later and wins.
 out="${repo_root}/BENCH_perf.json"
@@ -25,5 +33,11 @@ cd "${repo_root}"
     --benchmark_out="${repo_root}/BENCH_perf.json" \
     --benchmark_out_format=json \
     "$@"
-
 echo "wrote ${out}"
+
+"${build_dir}/bench/bench_robustness_faults" \
+    "${repo_root}/BENCH_robustness.json"
+echo "wrote ${repo_root}/BENCH_robustness.json"
+
+"${build_dir}/bench/bench_recovery" "${repo_root}/BENCH_recovery.json"
+echo "wrote ${repo_root}/BENCH_recovery.json"

@@ -66,6 +66,47 @@ void RollingBinVariance::variances_into(std::vector<double>& out) const {
     for (std::size_t b = 0; b < sum_sq_.size(); ++b) out[b] = variance(b);
 }
 
+namespace {
+constexpr std::uint32_t kRollingVarTag = state::make_tag("RVAR");
+constexpr std::uint16_t kRollingVarVersion = 1;
+}  // namespace
+
+void RollingBinVariance::save_state(state::StateWriter& writer) const {
+    writer.begin_section(kRollingVarTag, kRollingVarVersion);
+    writer.write_size(count_);
+    writer.write_f64_span(sum_i_);
+    writer.write_f64_span(sum_q_);
+    writer.write_f64_span(sum_sq_);
+    writer.end_section();
+}
+
+void RollingBinVariance::restore_state(state::StateReader& reader) {
+    const std::uint16_t version = reader.open_section(kRollingVarTag);
+    if (version > kRollingVarVersion)
+        throw state::SnapshotError(
+            "RVAR: snapshot section version " + std::to_string(version) +
+            " is newer than this build supports (" +
+            std::to_string(kRollingVarVersion) + ")");
+    const std::size_t count = reader.read_size();
+    std::vector<double> sum_i, sum_q, sum_sq;
+    reader.read_f64_into(sum_i);
+    reader.read_f64_into(sum_q);
+    reader.read_f64_into(sum_sq);
+    if (sum_i.size() != sum_sq_.size() || sum_q.size() != sum_sq_.size() ||
+        sum_sq.size() != sum_sq_.size())
+        throw state::SnapshotError(
+            "RVAR: snapshot holds sums for " + std::to_string(sum_i.size()) +
+            "/" + std::to_string(sum_q.size()) + "/" +
+            std::to_string(sum_sq.size()) +
+            " bins but the tracker is configured for " +
+            std::to_string(sum_sq_.size()));
+    count_ = count;
+    sum_i_ = std::move(sum_i);
+    sum_q_ = std::move(sum_q);
+    sum_sq_ = std::move(sum_sq);
+    reader.close_section();
+}
+
 std::vector<const dsp::ComplexSignal*> make_frame_view(
     const std::vector<dsp::ComplexSignal>& window) {
     std::vector<const dsp::ComplexSignal*> view;

@@ -22,6 +22,7 @@
 #include "dsp/circle_fit.hpp"
 #include "dsp/dsp_types.hpp"
 #include "radar/config.hpp"
+#include "state/snapshot.hpp"
 
 namespace blinkradar::core {
 
@@ -74,6 +75,14 @@ public:
     /// All per-bin variances, written into `out` (resized, capacity
     /// reused).
     void variances_into(std::vector<double>& out) const;
+
+    /// Snapshot the running sums (section "RVAR"). The sums are saved
+    /// rather than recomputed from the frame window on restore because
+    /// they carry the accumulated floating-point reassociation of every
+    /// push/evict since the window opened — recomputation would be
+    /// equal only to ~1e-12, not bit-identical.
+    void save_state(state::StateWriter& writer) const;
+    void restore_state(state::StateReader& reader);
 
 private:
     std::vector<double> sum_i_;

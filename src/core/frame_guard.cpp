@@ -203,6 +203,91 @@ GuardDecision FrameGuard::admit(const radar::RadarFrame& frame) {
     return decision;
 }
 
+namespace {
+constexpr std::uint32_t kGuardTag = state::make_tag("GURD");
+constexpr std::uint16_t kGuardVersion = 1;
+}  // namespace
+
+void FrameGuard::save_state(state::StateWriter& writer) const {
+    writer.begin_section(kGuardTag, kGuardVersion);
+    writer.write_bool(have_last_);
+    writer.write_f64(last_ts_);
+    writer.write_f64(last_good_.timestamp_s);
+    writer.write_complex_span(last_good_.bins);
+    // Rolling fault window, oldest first (the logical order is all the
+    // health machine sees; the ring's physical head position is not
+    // observable state).
+    writer.write_size(fault_events_.size());
+    for (std::size_t i = 0; i < fault_events_.size(); ++i)
+        writer.write_u8(fault_events_[i]);
+    writer.write_u8(static_cast<std::uint8_t>(health_));
+    writer.write_size(consecutive_quarantined_);
+    writer.write_bool(pending_warm_restart_);
+    writer.write_u64(stats_.frames_seen);
+    writer.write_u64(stats_.frames_quarantined);
+    writer.write_u64(stats_.samples_repaired);
+    writer.write_u64(stats_.frames_bridged);
+    writer.write_u64(stats_.gaps_bridged);
+    writer.write_u64(stats_.signal_lost_events);
+    writer.write_u64(stats_.warm_restarts);
+    writer.end_section();
+}
+
+void FrameGuard::restore_state(state::StateReader& reader) {
+    const std::uint16_t version = reader.open_section(kGuardTag);
+    if (version > kGuardVersion)
+        throw state::SnapshotError(
+            "GURD: snapshot section version " + std::to_string(version) +
+            " is newer than this build supports (" +
+            std::to_string(kGuardVersion) + ")");
+    const bool have_last = reader.read_bool();
+    const Seconds last_ts = reader.read_f64();
+    radar::RadarFrame last_good;
+    last_good.timestamp_s = reader.read_f64();
+    reader.read_complex_into(last_good.bins);
+    if (have_last && last_good.bins.size() != n_bins_)
+        throw state::SnapshotError(
+            "GURD: held baseline has " +
+            std::to_string(last_good.bins.size()) +
+            " bins but the guard is configured for " +
+            std::to_string(n_bins_));
+    const std::size_t n_events = reader.read_size();
+    if (n_events > fault_events_.capacity())
+        throw state::SnapshotError(
+            "GURD: fault window holds " + std::to_string(n_events) +
+            " events but this configuration's window is " +
+            std::to_string(fault_events_.capacity()));
+    fault_events_.clear();
+    faults_in_window_ = 0;
+    for (std::size_t i = 0; i < n_events; ++i) {
+        const std::uint8_t faulty = reader.read_u8();
+        if (faulty > 1)
+            throw state::SnapshotError(
+                "GURD: fault-window entry holds invalid value " +
+                std::to_string(faulty));
+        fault_events_.push_back(faulty);
+        faults_in_window_ += faulty;
+    }
+    const std::uint8_t health = reader.read_u8();
+    if (health > static_cast<std::uint8_t>(HealthState::kRecovering))
+        throw state::SnapshotError("GURD: invalid health state " +
+                                   std::to_string(health));
+    have_last_ = have_last;
+    last_ts_ = last_ts;
+    last_good_ = std::move(last_good);
+    health_ = static_cast<HealthState>(health);
+    consecutive_quarantined_ = reader.read_size();
+    pending_warm_restart_ = reader.read_bool();
+    stats_.frames_seen = reader.read_u64();
+    stats_.frames_quarantined = reader.read_u64();
+    stats_.samples_repaired = reader.read_u64();
+    stats_.frames_bridged = reader.read_u64();
+    stats_.gaps_bridged = reader.read_u64();
+    stats_.signal_lost_events = reader.read_u64();
+    stats_.warm_restarts = reader.read_u64();
+    reader.close_section();
+}
+
 void FrameGuard::reset() {
     have_last_ = false;
     last_ts_ = 0.0;

@@ -28,6 +28,7 @@
 #include "core/pipeline_config.hpp"
 #include "radar/config.hpp"
 #include "radar/frame.hpp"
+#include "state/snapshot.hpp"
 
 namespace blinkradar::core {
 
@@ -94,6 +95,13 @@ public:
 
     /// Forget stream history and return to kOk (full pipeline reset).
     void reset();
+
+    /// Snapshot the guard (section "GURD"): held baseline frame, health
+    /// machine, rolling fault window, and cumulative stats, so a
+    /// restored guard makes the same admit() decisions the original
+    /// would have (bit-identical resume).
+    void save_state(state::StateWriter& writer) const;
+    void restore_state(state::StateReader& reader);
 
 private:
     GuardDecision quarantine(Seconds t);

@@ -90,6 +90,107 @@ void Levd::update_noise_estimate() {
     threshold_ = config_.threshold_sigma * sigma_;
 }
 
+namespace {
+
+constexpr std::uint32_t kLevdTag = state::make_tag("LEVD");
+constexpr std::uint16_t kLevdVersion = 1;
+
+void write_optional_sample(state::StateWriter& writer, Seconds t, double v,
+                           bool present) {
+    writer.write_bool(present);
+    writer.write_f64(present ? t : 0.0);
+    writer.write_f64(present ? v : 0.0);
+}
+
+}  // namespace
+
+void Levd::save_state(state::StateWriter& writer) const {
+    writer.begin_section(kLevdTag, kLevdVersion);
+    writer.write_size(buffer_.size());
+    for (std::size_t i = 0; i < buffer_.size(); ++i) {
+        writer.write_f64(buffer_[i].t);
+        writer.write_f64(buffer_[i].v);
+    }
+    writer.write_size(recent_.size());
+    for (const Sample& s : recent_) {
+        writer.write_f64(s.t);
+        writer.write_f64(s.v);
+    }
+    writer.write_size(smooth_taps_.size());
+    for (std::size_t i = 0; i < smooth_taps_.size(); ++i)
+        writer.write_f64(smooth_taps_[i]);
+    writer.write_f64(sigma_);
+    writer.write_f64(threshold_);
+    writer.write_size(frames_since_sigma_);
+    writer.write_size(sigma_updates_);
+    write_optional_sample(writer, last_min_ ? last_min_->t : 0.0,
+                          last_min_ ? last_min_->v : 0.0,
+                          last_min_.has_value());
+    write_optional_sample(writer, pending_max_ ? pending_max_->t : 0.0,
+                          pending_max_ ? pending_max_->v : 0.0,
+                          pending_max_.has_value());
+    write_optional_sample(writer, rise_start_ ? rise_start_->t : 0.0,
+                          rise_start_ ? rise_start_->v : 0.0,
+                          rise_start_.has_value());
+    writer.write_f64(last_emit_s_);
+    writer.end_section();
+}
+
+void Levd::restore_state(state::StateReader& reader) {
+    const std::uint16_t version = reader.open_section(kLevdTag);
+    if (version > kLevdVersion)
+        throw state::SnapshotError(
+            "LEVD: snapshot section version " + std::to_string(version) +
+            " is newer than this build supports (" +
+            std::to_string(kLevdVersion) + ")");
+    const auto read_sample = [&reader] {
+        Sample s;
+        s.t = reader.read_f64();
+        s.v = reader.read_f64();
+        return s;
+    };
+    const auto read_optional = [&] {
+        const bool present = reader.read_bool();
+        const Sample s = read_sample();
+        return present ? std::optional<Sample>(s) : std::nullopt;
+    };
+    const std::size_t n_buffer = reader.read_size();
+    if (n_buffer > buffer_.capacity())
+        throw state::SnapshotError(
+            "LEVD: snapshot noise window holds " + std::to_string(n_buffer) +
+            " samples but this configuration's window is " +
+            std::to_string(buffer_.capacity()));
+    buffer_.clear();
+    for (std::size_t i = 0; i < n_buffer; ++i)
+        buffer_.push_back(read_sample());
+    const std::size_t n_recent = reader.read_size();
+    if (n_recent > 3)
+        throw state::SnapshotError(
+            "LEVD: snapshot recent-sample list holds " +
+            std::to_string(n_recent) + " entries; at most 3 are valid");
+    recent_.clear();
+    for (std::size_t i = 0; i < n_recent; ++i)
+        recent_.push_back(read_sample());
+    const std::size_t n_taps = reader.read_size();
+    if (n_taps > smooth_taps_.capacity())
+        throw state::SnapshotError(
+            "LEVD: snapshot smoother holds " + std::to_string(n_taps) +
+            " taps; at most " + std::to_string(smooth_taps_.capacity()) +
+            " are valid");
+    smooth_taps_.clear();
+    for (std::size_t i = 0; i < n_taps; ++i)
+        smooth_taps_.push_back(reader.read_f64());
+    sigma_ = reader.read_f64();
+    threshold_ = reader.read_f64();
+    frames_since_sigma_ = reader.read_size();
+    sigma_updates_ = reader.read_size();
+    last_min_ = read_optional();
+    pending_max_ = read_optional();
+    rise_start_ = read_optional();
+    last_emit_s_ = reader.read_f64();
+    reader.close_section();
+}
+
 std::optional<DetectedBlink> Levd::push(Seconds t, double value) {
     // 3-point smoothing kills single-sample noise extrema without
     // displacing blink bumps (5+ frames wide).

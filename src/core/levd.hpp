@@ -17,6 +17,7 @@
 #include "common/ring_buffer.hpp"
 #include "common/units.hpp"
 #include "core/pipeline_config.hpp"
+#include "state/snapshot.hpp"
 
 namespace blinkradar::core {
 
@@ -53,6 +54,12 @@ public:
 
     /// Current robust noise sigma estimate.
     double noise_sigma() const noexcept { return sigma_; }
+
+    /// Snapshot the detector (section "LEVD"): noise window, smoother
+    /// taps, extremum-tracking state, and the refractory clock, so a
+    /// restored detector emits the same blinks at the same samples.
+    void save_state(state::StateWriter& writer) const;
+    void restore_state(state::StateReader& reader);
 
 private:
     struct Sample {

@@ -36,6 +36,44 @@ double MovementDetector::median_difference() const {
     return v[mid];
 }
 
+namespace {
+constexpr std::uint32_t kMovementTag = state::make_tag("MOVD");
+constexpr std::uint16_t kMovementVersion = 1;
+}  // namespace
+
+void MovementDetector::save_state(state::StateWriter& writer) const {
+    writer.begin_section(kMovementTag, kMovementVersion);
+    writer.write_complex_span(previous_);
+    writer.write_size(diffs_.size());
+    for (std::size_t i = 0; i < diffs_.size(); ++i)
+        writer.write_f64(diffs_[i]);
+    writer.write_f64(last_diff_);
+    writer.end_section();
+}
+
+void MovementDetector::restore_state(state::StateReader& reader) {
+    const std::uint16_t version = reader.open_section(kMovementTag);
+    if (version > kMovementVersion)
+        throw state::SnapshotError(
+            "MOVD: snapshot section version " + std::to_string(version) +
+            " is newer than this build supports (" +
+            std::to_string(kMovementVersion) + ")");
+    dsp::ComplexSignal previous;
+    reader.read_complex_into(previous);
+    const std::size_t n_diffs = reader.read_size();
+    if (n_diffs > diffs_.capacity())
+        throw state::SnapshotError(
+            "MOVD: snapshot holds " + std::to_string(n_diffs) +
+            " window entries but this configuration's window is " +
+            std::to_string(diffs_.capacity()));
+    diffs_.clear();
+    for (std::size_t i = 0; i < n_diffs; ++i)
+        diffs_.push_back(reader.read_f64());
+    previous_ = std::move(previous);
+    last_diff_ = reader.read_f64();
+    reader.close_section();
+}
+
 bool MovementDetector::push(const dsp::ComplexSignal& frame) {
     BR_EXPECTS(!frame.empty());
     if (previous_.size() != frame.size()) {

@@ -13,6 +13,7 @@
 #include "common/ring_buffer.hpp"
 #include "core/pipeline_config.hpp"
 #include "dsp/dsp_types.hpp"
+#include "state/snapshot.hpp"
 
 namespace blinkradar::core {
 
@@ -31,6 +32,10 @@ public:
 
     /// Most recent frame-difference energy (diagnostics).
     double last_difference() const noexcept { return last_diff_; }
+
+    /// Snapshot the rolling median window and held frame ("MOVD").
+    void save_state(state::StateWriter& writer) const;
+    void restore_state(state::StateReader& reader);
 
 private:
     double median_difference() const;

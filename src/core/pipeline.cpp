@@ -46,6 +46,32 @@ void PhaseWaveform::reset() noexcept {
     amp_mean_ = 0.0;
 }
 
+namespace {
+constexpr std::uint32_t kPhaseWaveTag = state::make_tag("PHSW");
+constexpr std::uint16_t kPhaseWaveVersion = 1;
+}  // namespace
+
+void PhaseWaveform::save_state(state::StateWriter& writer) const {
+    writer.begin_section(kPhaseWaveTag, kPhaseWaveVersion);
+    writer.write_complex(prev_);
+    writer.write_f64(value_);
+    writer.write_f64(amp_mean_);
+    writer.end_section();
+}
+
+void PhaseWaveform::restore_state(state::StateReader& reader) {
+    const std::uint16_t version = reader.open_section(kPhaseWaveTag);
+    if (version > kPhaseWaveVersion)
+        throw state::SnapshotError(
+            "PHSW: snapshot section version " + std::to_string(version) +
+            " is newer than this build supports (" +
+            std::to_string(kPhaseWaveVersion) + ")");
+    prev_ = reader.read_complex();
+    value_ = reader.read_f64();
+    amp_mean_ = reader.read_f64();
+    reader.close_section();
+}
+
 BlinkRadarPipeline::Instrumentation::Instrumentation(
     obs::MetricsRegistry* external, obs::TraceSink* trace_sink)
     : trace(trace_sink) {
@@ -643,6 +669,202 @@ void BlinkRadarPipeline::observe_frame(const radar::RadarFrame& frame,
         in.last_ns.fill(0);
     }
     ++in.frame_index;
+}
+
+namespace {
+constexpr std::uint32_t kPipelineTag = state::make_tag("PIPE");
+constexpr std::uint16_t kPipelineVersion = 1;
+}  // namespace
+
+void BlinkRadarPipeline::save_state(state::StateWriter& writer) const {
+    writer.begin_section(kPipelineTag, kPipelineVersion);
+
+    // Configuration fingerprint: a snapshot only makes sense restored
+    // into a pipeline with the same geometry and waveform semantics.
+    writer.write_size(radar_.n_bins());
+    writer.write_f64(radar_.frame_rate_hz());
+    writer.write_u8(static_cast<std::uint8_t>(config_.waveform_mode));
+
+    // Sliding windows, oldest first (the ring's physical head position
+    // is unobservable, so logical order is the canonical form).
+    writer.write_size(window_.size());
+    for (std::size_t i = 0; i < window_.size(); ++i)
+        writer.write_complex_span(window_[i]);
+    writer.write_size(window_times_.size());
+    for (std::size_t i = 0; i < window_times_.size(); ++i)
+        writer.write_f64(window_times_[i]);
+    writer.write_size(wave_history_.size());
+    for (std::size_t i = 0; i < wave_history_.size(); ++i) {
+        const WaveSample& w = wave_history_[i];
+        writer.write_f64(w.t);
+        writer.write_f64(w.d);
+        writer.write_f64(w.theta);
+    }
+
+    writer.write_f64(theta_unwrapped_);
+    writer.write_bool(have_theta_);
+    writer.write_f64(prev_theta_raw_);
+
+    writer.write_bool(selected_bin_.has_value());
+    writer.write_size(selected_bin_.value_or(0));
+
+    writer.write_bool(viewing_.has_value());
+    {
+        const dsp::CircleFit fit =
+            viewing_ ? viewing_->raw_fit() : dsp::CircleFit{};
+        writer.write_f64(fit.center_x);
+        writer.write_f64(fit.center_y);
+        writer.write_f64(fit.radius);
+        writer.write_f64(fit.rms_residual);
+        writer.write_bool(fit.ok);
+    }
+
+    writer.write_size(blinks_.size());
+    for (const DetectedBlink& b : blinks_) {
+        writer.write_f64(b.peak_s);
+        writer.write_f64(b.duration_s);
+        writer.write_f64(b.magnitude);
+        writer.write_f64(b.strength);
+    }
+
+    writer.write_size(frames_since_start_);
+    writer.write_size(frames_since_fit_);
+    writer.write_size(frames_since_reselect_);
+    writer.write_size(restarts_);
+    writer.end_section();
+
+    // One section per stateful stage, written after the pipeline's own
+    // so a partial writer failure cannot leave a PIPE-less container
+    // that still opens.
+    preprocessor_.save_state(writer);
+    guard_.save_state(writer);
+    background_.save_state(writer);
+    movement_.save_state(writer);
+    rolling_var_.save_state(writer);
+    levd_.save_state(writer);
+    phase_wave_.save_state(writer);
+}
+
+void BlinkRadarPipeline::restore_state(state::StateReader& reader) {
+    const std::uint16_t version = reader.open_section(kPipelineTag);
+    if (version > kPipelineVersion)
+        throw state::SnapshotError(
+            "PIPE: snapshot section version " + std::to_string(version) +
+            " is newer than this build supports (" +
+            std::to_string(kPipelineVersion) + ")");
+
+    const std::size_t snap_bins = reader.read_size();
+    const double snap_rate = reader.read_f64();
+    const std::uint8_t snap_mode = reader.read_u8();
+    if (snap_bins != radar_.n_bins())
+        throw state::SnapshotError(
+            "PIPE: snapshot was taken with " + std::to_string(snap_bins) +
+            " range bins but this pipeline is configured for " +
+            std::to_string(radar_.n_bins()));
+    if (snap_rate != radar_.frame_rate_hz())
+        throw state::SnapshotError(
+            "PIPE: snapshot frame rate " + std::to_string(snap_rate) +
+            " Hz does not match the configured " +
+            std::to_string(radar_.frame_rate_hz()) + " Hz");
+    if (snap_mode != static_cast<std::uint8_t>(config_.waveform_mode))
+        throw state::SnapshotError(
+            "PIPE: snapshot waveform mode " + std::to_string(snap_mode) +
+            " does not match the configured mode " +
+            std::to_string(
+                static_cast<std::uint8_t>(config_.waveform_mode)));
+
+    const std::size_t n_frames = reader.read_size();
+    if (n_frames > window_.capacity())
+        throw state::SnapshotError(
+            "PIPE: snapshot window holds " + std::to_string(n_frames) +
+            " frames but this pipeline's window capacity is " +
+            std::to_string(window_.capacity()));
+    window_.clear();
+    for (std::size_t i = 0; i < n_frames; ++i) {
+        dsp::ComplexSignal& slot = window_.emplace_slot();
+        reader.read_complex_into(slot);
+        if (slot.size() != radar_.n_bins())
+            throw state::SnapshotError(
+                "PIPE: snapshot window frame " + std::to_string(i) +
+                " holds " + std::to_string(slot.size()) +
+                " bins, expected " + std::to_string(radar_.n_bins()));
+    }
+    const std::size_t n_times = reader.read_size();
+    if (n_times != n_frames)
+        throw state::SnapshotError(
+            "PIPE: snapshot holds " + std::to_string(n_times) +
+            " window timestamps for " + std::to_string(n_frames) +
+            " window frames");
+    window_times_.clear();
+    for (std::size_t i = 0; i < n_times; ++i)
+        window_times_.push_back(reader.read_f64());
+
+    const std::size_t n_wave = reader.read_size();
+    if (n_wave > wave_history_.capacity())
+        throw state::SnapshotError(
+            "PIPE: snapshot wave history holds " + std::to_string(n_wave) +
+            " samples but this pipeline's capacity is " +
+            std::to_string(wave_history_.capacity()));
+    wave_history_.clear();
+    for (std::size_t i = 0; i < n_wave; ++i) {
+        WaveSample w;
+        w.t = reader.read_f64();
+        w.d = reader.read_f64();
+        w.theta = reader.read_f64();
+        wave_history_.push_back(w);
+    }
+
+    theta_unwrapped_ = reader.read_f64();
+    have_theta_ = reader.read_bool();
+    prev_theta_raw_ = reader.read_f64();
+
+    const bool have_bin = reader.read_bool();
+    const std::size_t bin = reader.read_size();
+    if (have_bin && bin >= radar_.n_bins())
+        throw state::SnapshotError(
+            "PIPE: snapshot selected bin " + std::to_string(bin) +
+            " is out of range for " + std::to_string(radar_.n_bins()) +
+            " bins");
+    selected_bin_ = have_bin ? std::optional<std::size_t>(bin)
+                             : std::nullopt;
+
+    const bool have_viewing = reader.read_bool();
+    dsp::CircleFit fit;
+    fit.center_x = reader.read_f64();
+    fit.center_y = reader.read_f64();
+    fit.radius = reader.read_f64();
+    fit.rms_residual = reader.read_f64();
+    fit.ok = reader.read_bool();
+    viewing_ = have_viewing
+                   ? std::optional<ViewingPosition>(
+                         ViewingPosition::from_raw_fit(fit))
+                   : std::nullopt;
+
+    const std::size_t n_blinks = reader.read_size();
+    blinks_.clear();
+    blinks_.reserve(std::max<std::size_t>(n_blinks, 256));
+    for (std::size_t i = 0; i < n_blinks; ++i) {
+        DetectedBlink b;
+        b.peak_s = reader.read_f64();
+        b.duration_s = reader.read_f64();
+        b.magnitude = reader.read_f64();
+        b.strength = reader.read_f64();
+        blinks_.push_back(b);
+    }
+
+    frames_since_start_ = reader.read_size();
+    frames_since_fit_ = reader.read_size();
+    frames_since_reselect_ = reader.read_size();
+    restarts_ = reader.read_size();
+    reader.close_section();
+
+    preprocessor_.restore_state(reader);
+    guard_.restore_state(reader);
+    background_.restore_state(reader);
+    movement_.restore_state(reader);
+    rolling_var_.restore_state(reader);
+    levd_.restore_state(reader);
+    phase_wave_.restore_state(reader);
 }
 
 BatchResult detect_blinks(const radar::FrameSeries& series,

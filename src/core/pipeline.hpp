@@ -28,6 +28,7 @@
 #include "obs/trace.hpp"
 #include "radar/config.hpp"
 #include "radar/frame.hpp"
+#include "state/snapshot.hpp"
 
 namespace blinkradar::core {
 
@@ -63,6 +64,11 @@ public:
 
     /// Forget all state (pipeline restart or bin switch).
     void reset() noexcept;
+
+    /// Snapshot hooks (section "PHSW"): the previous sample, accumulated
+    /// value, and running amplitude mean — everything push() reads.
+    void save_state(state::StateWriter& writer) const;
+    void restore_state(state::StateReader& reader);
 
 private:
     dsp::Complex prev_{0.0, 0.0};
@@ -151,6 +157,21 @@ public:
 
     const PipelineConfig& config() const noexcept { return config_; }
     const radar::RadarConfig& radar_config() const noexcept { return radar_; }
+
+    /// Serialize the complete detection state — the pipeline's own
+    /// section ("PIPE") followed by one section per stateful stage — so
+    /// that restoring into a freshly constructed pipeline (same configs)
+    /// and replaying the remaining frames yields bit-identical
+    /// FrameResults. Instrumentation is observation-only and is not
+    /// snapshotted.
+    void save_state(state::StateWriter& writer) const;
+
+    /// Restore from a snapshot taken by save_state. The snapshot's
+    /// fingerprint (bin count, frame rate, waveform mode) must match this
+    /// pipeline's configuration; any mismatch, truncation, or corruption
+    /// throws state::SnapshotError. On throw the pipeline may be left
+    /// half-restored — discard it and construct a fresh one.
+    void restore_state(state::StateReader& reader);
 
 private:
     /// process() minus the whole-frame span and trace bookkeeping.

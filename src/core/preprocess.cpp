@@ -46,6 +46,26 @@ void Preprocessor::apply_into(const radar::RadarFrame& frame,
     dsp::moving_average_into(aligned_, smooth_window_, out.bins, prefix_);
 }
 
+namespace {
+constexpr std::uint32_t kPreprocessTag = state::make_tag("PREP");
+constexpr std::uint16_t kPreprocessVersion = 1;
+}  // namespace
+
+void Preprocessor::save_state(state::StateWriter& writer) const {
+    writer.begin_section(kPreprocessTag, kPreprocessVersion);
+    writer.end_section();
+}
+
+void Preprocessor::restore_state(state::StateReader& reader) {
+    const std::uint16_t version = reader.open_section(kPreprocessTag);
+    if (version > kPreprocessVersion)
+        throw state::SnapshotError(
+            "PREP: snapshot section version " + std::to_string(version) +
+            " is newer than this build supports (" +
+            std::to_string(kPreprocessVersion) + ")");
+    reader.close_section();
+}
+
 radar::FrameSeries Preprocessor::apply(const radar::FrameSeries& series) const {
     radar::FrameSeries out;
     out.resize(series.size());

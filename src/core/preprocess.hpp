@@ -11,6 +11,7 @@
 #include "core/pipeline_config.hpp"
 #include "dsp/fir.hpp"
 #include "radar/frame.hpp"
+#include "state/snapshot.hpp"
 
 namespace blinkradar::core {
 
@@ -37,6 +38,14 @@ public:
 
     const dsp::FirFilter& fir() const noexcept { return fir_; }
     std::size_t smooth_window() const noexcept { return smooth_window_; }
+
+    /// Snapshot hooks (section "PREP"). The stage is logically stateless
+    /// (the scratch buffers carry no cross-frame information), so the
+    /// section is empty in v1 — it exists so every pipeline stage speaks
+    /// the same save/restore protocol and the format has a place to put
+    /// preprocessor state if a future version becomes stateful.
+    void save_state(state::StateWriter& writer) const;
+    void restore_state(state::StateReader& reader);
 
 private:
     dsp::FirFilter fir_;

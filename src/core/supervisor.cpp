@@ -1,0 +1,271 @@
+#include "core/supervisor.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <utility>
+
+#include "common/contracts.hpp"
+#include "state/snapshot.hpp"
+
+namespace blinkradar::core {
+
+namespace {
+
+void bump(std::uint64_t& stat, obs::Counter* counter) {
+    ++stat;
+    if (counter != nullptr) counter->inc();
+}
+
+double steady_now_s() {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+}  // namespace
+
+Supervisor::Supervisor(const radar::RadarConfig& radar,
+                       PipelineConfig pipeline_config, SupervisorConfig config,
+                       obs::MetricsRegistry* metrics)
+    : radar_(radar),
+      pipeline_config_(pipeline_config),
+      config_(std::move(config)),
+      metrics_(metrics),
+      jitter_rng_(Rng(config_.seed).fork()) {
+    BR_EXPECTS(config_.backoff_jitter >= 0.0 && config_.backoff_jitter < 1.0);
+    BR_EXPECTS(config_.backoff_base_frames >= 1);
+    BR_EXPECTS(config_.stall_timeout_s >= 0.0);
+    pipeline_ = make_pipeline();
+    if (metrics_ != nullptr) {
+        counters_.frames = &metrics_->counter("supervisor.frames");
+        counters_.frame_faults = &metrics_->counter("supervisor.frame_faults");
+        counters_.retries = &metrics_->counter("supervisor.retries");
+        counters_.warm_restores =
+            &metrics_->counter("supervisor.warm_restores");
+        counters_.cold_restarts =
+            &metrics_->counter("supervisor.cold_restarts");
+        counters_.snapshots = &metrics_->counter("supervisor.snapshots");
+        counters_.snapshot_failures =
+            &metrics_->counter("supervisor.snapshot_failures");
+        counters_.restore_failures =
+            &metrics_->counter("supervisor.restore_failures");
+        counters_.backoff_skipped =
+            &metrics_->counter("supervisor.backoff_skipped_frames");
+        counters_.stalls = &metrics_->counter("supervisor.stalls");
+    }
+}
+
+std::unique_ptr<BlinkRadarPipeline> Supervisor::make_pipeline() const {
+    return std::make_unique<BlinkRadarPipeline>(radar_, pipeline_config_,
+                                                metrics_);
+}
+
+double Supervisor::now() { return clock_ ? clock_() : steady_now_s(); }
+
+FrameResult Supervisor::skipped_result() const {
+    FrameResult result;
+    result.quality = FrameVerdict::kQuarantined;
+    result.cold_start = true;
+    result.health = pipeline_->health();
+    return result;
+}
+
+FrameResult Supervisor::process(const radar::RadarFrame& frame) {
+    bump(stats_.frames, counters_.frames);
+
+    // Stall watchdog: a long wall-clock gap means the feed wedged. The
+    // pipeline state itself is intact (FrameGuard handles the timestamp
+    // gap), so the response is to checkpoint promptly once the stream is
+    // flowing again — an outage that wedged the feed may next take the
+    // process down, and the pre-stall checkpoint could be arbitrarily old.
+    const double wall = now();
+    if (config_.stall_timeout_s > 0.0 && have_last_wall_ &&
+        wall - last_wall_s_ > config_.stall_timeout_s) {
+        bump(stats_.stalls, counters_.stalls);
+        snapshot_due_ = true;
+    }
+    have_last_wall_ = true;
+    last_wall_s_ = wall;
+
+    // Backoff window after a warm restore that did not stop the crash
+    // storm: keep the pipeline untouched until the budget drains.
+    if (backoff_remaining_ > 0) {
+        --backoff_remaining_;
+        bump(stats_.backoff_skipped, counters_.backoff_skipped);
+        clean_streak_ = 0;
+        return skipped_result();
+    }
+
+    std::size_t attempts = 0;
+    bool restored_this_frame = false;
+    for (;;) {
+        try {
+            const FrameResult result = attempt(frame);
+            if (++clean_streak_ >= config_.ladder_reset_frames)
+                consecutive_warm_restores_ = 0;
+            ++frames_since_snapshot_;
+            if (snapshot_due_ ||
+                (config_.snapshot_interval_frames > 0 &&
+                 frames_since_snapshot_ >= config_.snapshot_interval_frames)) {
+                snapshot_now();
+                snapshot_due_ = false;
+            }
+            return result;
+        } catch (const std::exception&) {
+            bump(stats_.frame_faults, counters_.frame_faults);
+            clean_streak_ = 0;
+            // Rung 1: retry the frame in place (transient faults).
+            if (attempts < config_.max_frame_retries) {
+                ++attempts;
+                bump(stats_.retries, counters_.retries);
+                continue;
+            }
+            // A restore already happened for this frame and it still
+            // crashes: the fault is input- or environment-driven. Back
+            // off (exponentially in the restore run, jittered) before
+            // the ladder climbs again.
+            if (restored_this_frame) {
+                backoff_remaining_ =
+                    backoff_frames(consecutive_warm_restores_ - 1);
+                return skipped_result();
+            }
+            // Rung 3: the ladder is exhausted — rebuild from scratch.
+            if (consecutive_warm_restores_ >= config_.max_warm_restores) {
+                cold_restart();
+                return skipped_result();
+            }
+            // Rung 2: warm-restore from the newest readable snapshot.
+            ++consecutive_warm_restores_;
+            if (!warm_restore()) {
+                cold_restart();
+                return skipped_result();
+            }
+            restored_this_frame = true;
+        }
+    }
+}
+
+FrameResult Supervisor::attempt(const radar::RadarFrame& frame) {
+    if (fault_hook_) fault_hook_(stats_.frames - 1);
+    return pipeline_->process(frame);
+}
+
+std::vector<std::uint8_t> Supervisor::serialize_pipeline() const {
+    state::StateWriter writer;
+    pipeline_->save_state(writer);
+    return writer.finish();
+}
+
+std::string Supervisor::slot_path(std::size_t slot) const {
+    return config_.snapshot_dir + "/" + config_.snapshot_basename + ".slot" +
+           std::to_string(slot) + ".snap";
+}
+
+bool Supervisor::snapshot_now() {
+    std::vector<std::uint8_t> bytes;
+    try {
+        bytes = serialize_pipeline();
+    } catch (const std::exception&) {
+        // Serialisation failing is a bug, but the supervisor's contract
+        // is that checkpointing never takes the run loop down.
+        bump(stats_.snapshot_failures, counters_.snapshot_failures);
+        return false;
+    }
+    last_good_ = std::move(bytes);
+    frames_since_snapshot_ = 0;
+    bump(stats_.snapshots, counters_.snapshots);
+    if (config_.snapshot_dir.empty()) return true;
+    try {
+        state::write_snapshot_file(slot_path(next_slot_), last_good_);
+        newest_slot_ = next_slot_;
+        have_slot_ = true;
+        next_slot_ ^= 1u;
+        return true;
+    } catch (const state::SnapshotError&) {
+        bump(stats_.snapshot_failures, counters_.snapshot_failures);
+        return false;
+    }
+}
+
+bool Supervisor::restore_from_bytes(const std::vector<std::uint8_t>& bytes) {
+    // Restore into a *fresh* pipeline: restore_state may leave its
+    // target half-mutated on throw, and the current pipeline is the only
+    // fallback we have until another source is tried.
+    std::unique_ptr<BlinkRadarPipeline> fresh = make_pipeline();
+    state::StateReader reader(bytes);
+    fresh->restore_state(reader);
+    pipeline_ = std::move(fresh);
+    return true;
+}
+
+bool Supervisor::warm_restore() {
+    // Source order: the in-memory checkpoint is newest; the slot files
+    // cover the case where memory was never populated (or was taken down
+    // with a corrupted heap and fails to parse). The older slot is the
+    // last resort — it survives a crash mid-write of the newer one.
+    const auto try_bytes = [&](const std::vector<std::uint8_t>& bytes) {
+        try {
+            if (restore_from_bytes(bytes)) {
+                bump(stats_.warm_restores, counters_.warm_restores);
+                return true;
+            }
+        } catch (const std::exception&) {
+            bump(stats_.restore_failures, counters_.restore_failures);
+        }
+        return false;
+    };
+    if (!last_good_.empty() && try_bytes(last_good_)) return true;
+    if (have_slot_) {
+        const std::size_t order[2] = {newest_slot_, 1 - newest_slot_};
+        for (const std::size_t slot : order) {
+            std::vector<std::uint8_t> bytes;
+            try {
+                bytes = state::read_snapshot_file(slot_path(slot));
+            } catch (const state::SnapshotError&) {
+                bump(stats_.restore_failures, counters_.restore_failures);
+                continue;
+            }
+            if (try_bytes(bytes)) {
+                last_good_ = std::move(bytes);
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+void Supervisor::cold_restart() {
+    pipeline_ = make_pipeline();
+    bump(stats_.cold_restarts, counters_.cold_restarts);
+    consecutive_warm_restores_ = 0;
+    backoff_remaining_ = 0;
+    frames_since_snapshot_ = 0;
+    clean_streak_ = 0;
+    // The in-memory checkpoint either failed to parse or failed to stop
+    // the crash run — drop it so the next warm restore starts from a
+    // checkpoint of the rebuilt pipeline, not a pre-storm ghost. Disk
+    // slots are kept for post-mortem inspection.
+    last_good_.clear();
+}
+
+std::size_t Supervisor::backoff_frames(std::size_t attempt) {
+    const std::size_t shift = std::min<std::size_t>(attempt, 20);
+    const std::size_t base =
+        std::min(config_.backoff_cap_frames,
+                 config_.backoff_base_frames << shift);
+    const double factor = jitter_rng_.uniform(1.0 - config_.backoff_jitter,
+                                              1.0 + config_.backoff_jitter);
+    const auto jittered =
+        static_cast<std::size_t>(static_cast<double>(base) * factor);
+    return std::clamp<std::size_t>(jittered, 1, config_.backoff_cap_frames);
+}
+
+void Supervisor::restore_from_file(const std::string& path) {
+    std::vector<std::uint8_t> bytes = state::read_snapshot_file(path);
+    restore_from_bytes(bytes);  // throws on rejection; pipeline_ kept
+    last_good_ = std::move(bytes);
+    frames_since_snapshot_ = 0;
+}
+
+}  // namespace blinkradar::core

@@ -39,6 +39,14 @@ public:
     /// fresh fit into the running estimate).
     static ViewingPosition from_circle(dsp::Complex center, double radius);
 
+    /// Rehydrate from a previously captured raw fit, preserving every
+    /// field (including residual and ok flag) exactly — required for
+    /// bit-identical snapshot restore, where from_circle would lose the
+    /// residual and cannot represent an invalid fit.
+    static ViewingPosition from_raw_fit(const dsp::CircleFit& fit) {
+        return ViewingPosition(fit);
+    }
+
     /// Whether the underlying fit succeeded.
     bool valid() const noexcept { return fit_.ok; }
 

@@ -35,6 +35,38 @@ void LoopbackFilter::process_into(std::span<const Complex> frame,
 
 void LoopbackFilter::reset() noexcept { primed_ = false; }
 
+namespace {
+constexpr std::uint32_t kBackgroundTag = state::make_tag("BKGD");
+constexpr std::uint16_t kBackgroundVersion = 1;
+}  // namespace
+
+void LoopbackFilter::save_state(state::StateWriter& writer) const {
+    writer.begin_section(kBackgroundTag, kBackgroundVersion);
+    writer.write_bool(primed_);
+    writer.write_complex_span(background_);
+    writer.end_section();
+}
+
+void LoopbackFilter::restore_state(state::StateReader& reader) {
+    const std::uint16_t version = reader.open_section(kBackgroundTag);
+    if (version > kBackgroundVersion)
+        throw state::SnapshotError(
+            "BKGD: snapshot section version " + std::to_string(version) +
+            " is newer than this build supports (" +
+            std::to_string(kBackgroundVersion) + ")");
+    const bool primed = reader.read_bool();
+    ComplexSignal restored;
+    reader.read_complex_into(restored);
+    if (restored.size() != background_.size())
+        throw state::SnapshotError(
+            "BKGD: snapshot holds " + std::to_string(restored.size()) +
+            " bins but the filter is configured for " +
+            std::to_string(background_.size()));
+    primed_ = primed;
+    background_ = std::move(restored);
+    reader.close_section();
+}
+
 std::vector<ComplexSignal> subtract_mean_background(
     const std::vector<ComplexSignal>& frames) {
     BR_EXPECTS(!frames.empty());

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "dsp/dsp_types.hpp"
+#include "state/snapshot.hpp"
 
 namespace blinkradar::dsp {
 
@@ -40,6 +41,12 @@ public:
     /// Reset the background to the next incoming frame (used after a
     /// detected large body movement, when the old background is stale).
     void reset() noexcept;
+
+    /// Snapshot the background estimate (section "BKGD"). Bit-identical
+    /// resume: a restored filter subtracts exactly what the original
+    /// would have.
+    void save_state(state::StateWriter& writer) const;
+    void restore_state(state::StateReader& reader);
 
     std::size_t n_bins() const noexcept { return background_.size(); }
     double alpha() const noexcept { return alpha_; }

@@ -1,0 +1,410 @@
+#include "state/snapshot.hpp"
+
+#include <array>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "common/contracts.hpp"
+
+namespace blinkradar::state {
+
+namespace {
+
+constexpr std::uint32_t kMagic = make_tag("BRSN");
+constexpr std::uint16_t kFormatVersion = 1;
+constexpr std::size_t kHeaderLen = 8;        // magic + version + flags
+constexpr std::size_t kSectionHeaderLen = 12;  // tag + ver + rsv + len
+constexpr std::size_t kCrcLen = 4;
+
+/// CRC-32 lookup table (IEEE 802.3 reflected polynomial 0xEDB88320),
+/// generated once at static-init time.
+struct Crc32Table {
+    std::array<std::uint32_t, 256> t{};
+    Crc32Table() {
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+    }
+};
+const Crc32Table kCrcTable;
+
+std::uint16_t load_u16(const std::uint8_t* p) {
+    return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t load_u32(const std::uint8_t* p) {
+    return static_cast<std::uint32_t>(p[0]) |
+           static_cast<std::uint32_t>(p[1]) << 8 |
+           static_cast<std::uint32_t>(p[2]) << 16 |
+           static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+std::uint64_t load_u64(const std::uint8_t* p) {
+    return static_cast<std::uint64_t>(load_u32(p)) |
+           static_cast<std::uint64_t>(load_u32(p + 4)) << 32;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) {
+    std::uint32_t c = 0xFFFFFFFFu;
+    for (const std::uint8_t b : data)
+        c = kCrcTable.t[(c ^ b) & 0xFFu] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+std::string tag_name(std::uint32_t tag) {
+    char chars[4] = {static_cast<char>(tag & 0xFF),
+                     static_cast<char>((tag >> 8) & 0xFF),
+                     static_cast<char>((tag >> 16) & 0xFF),
+                     static_cast<char>((tag >> 24) & 0xFF)};
+    bool printable = true;
+    for (const char c : chars)
+        printable &= std::isprint(static_cast<unsigned char>(c)) != 0;
+    if (printable) return std::string(chars, 4);
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "0x%08X", tag);
+    return buf;
+}
+
+// ---------------------------------------------------------------- writer
+
+StateWriter::StateWriter() {
+    buf_.reserve(4096);
+    append_raw_u32(kMagic);
+    append_raw_u16(kFormatVersion);
+    append_raw_u16(0);  // flags
+}
+
+void StateWriter::append_raw_u16(std::uint16_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v & 0xFF));
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void StateWriter::append_raw_u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i)
+        buf_.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+}
+
+void StateWriter::append_raw_u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i)
+        buf_.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+}
+
+void StateWriter::begin_section(std::uint32_t tag, std::uint16_t version) {
+    BR_EXPECTS(!finished_);
+    BR_EXPECTS(!in_section_);
+    section_header_ = buf_.size();
+    append_raw_u32(tag);
+    append_raw_u16(version);
+    append_raw_u16(0);  // reserved
+    append_raw_u32(0);  // payload_len backpatched by end_section
+    in_section_ = true;
+}
+
+void StateWriter::end_section() {
+    BR_EXPECTS(in_section_);
+    const std::size_t payload_len =
+        buf_.size() - section_header_ - kSectionHeaderLen;
+    BR_EXPECTS(payload_len <= UINT32_MAX);
+    const auto len32 = static_cast<std::uint32_t>(payload_len);
+    for (int i = 0; i < 4; ++i)
+        buf_[section_header_ + 8 + static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>((len32 >> (8 * i)) & 0xFF);
+    const std::uint32_t crc = crc32(
+        std::span<const std::uint8_t>(buf_.data() + section_header_,
+                                      kSectionHeaderLen + payload_len));
+    append_raw_u32(crc);
+    in_section_ = false;
+}
+
+void StateWriter::write_u8(std::uint8_t v) {
+    BR_EXPECTS(in_section_);
+    buf_.push_back(v);
+}
+
+void StateWriter::write_u16(std::uint16_t v) {
+    BR_EXPECTS(in_section_);
+    append_raw_u16(v);
+}
+
+void StateWriter::write_u32(std::uint32_t v) {
+    BR_EXPECTS(in_section_);
+    append_raw_u32(v);
+}
+
+void StateWriter::write_u64(std::uint64_t v) {
+    BR_EXPECTS(in_section_);
+    append_raw_u64(v);
+}
+
+void StateWriter::write_i64(std::int64_t v) {
+    write_u64(static_cast<std::uint64_t>(v));
+}
+
+void StateWriter::write_f64(double v) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    write_u64(bits);
+}
+
+void StateWriter::write_bool(bool v) { write_u8(v ? 1 : 0); }
+
+void StateWriter::write_complex(const dsp::Complex& v) {
+    write_f64(v.real());
+    write_f64(v.imag());
+}
+
+void StateWriter::write_f64_span(std::span<const double> v) {
+    write_u64(v.size());
+    for (const double x : v) write_f64(x);
+}
+
+void StateWriter::write_complex_span(std::span<const dsp::Complex> v) {
+    write_u64(v.size());
+    for (const dsp::Complex& x : v) write_complex(x);
+}
+
+void StateWriter::write_u8_span(std::span<const std::uint8_t> v) {
+    write_u64(v.size());
+    BR_EXPECTS(in_section_);
+    buf_.insert(buf_.end(), v.begin(), v.end());
+}
+
+std::vector<std::uint8_t> StateWriter::finish() {
+    BR_EXPECTS(!in_section_);
+    BR_EXPECTS(!finished_);
+    finished_ = true;
+    return std::move(buf_);
+}
+
+// ---------------------------------------------------------------- reader
+
+StateReader::StateReader(std::span<const std::uint8_t> bytes)
+    : bytes_(bytes) {
+    if (bytes_.size() < kHeaderLen)
+        throw SnapshotError("snapshot: truncated header (" +
+                            std::to_string(bytes_.size()) + " of " +
+                            std::to_string(kHeaderLen) + " bytes)");
+    if (load_u32(bytes_.data()) != kMagic)
+        throw SnapshotError("snapshot: bad magic (not a BRSN snapshot)");
+    const std::uint16_t version = load_u16(bytes_.data() + 4);
+    if (version != kFormatVersion)
+        throw SnapshotError(
+            "snapshot: unsupported container version " +
+            std::to_string(version) + " (reader supports " +
+            std::to_string(kFormatVersion) + ")");
+
+    // Walk and validate every section frame up front.
+    std::size_t off = kHeaderLen;
+    while (off < bytes_.size()) {
+        if (bytes_.size() - off < kSectionHeaderLen + kCrcLen)
+            throw SnapshotError(
+                "snapshot: truncated section header at offset " +
+                std::to_string(off));
+        const std::uint32_t tag = load_u32(bytes_.data() + off);
+        const std::uint16_t sec_version = load_u16(bytes_.data() + off + 4);
+        const std::uint32_t payload_len = load_u32(bytes_.data() + off + 8);
+        const std::size_t frame_end =
+            off + kSectionHeaderLen + static_cast<std::size_t>(payload_len) +
+            kCrcLen;
+        if (payload_len > bytes_.size() - off - kSectionHeaderLen - kCrcLen)
+            throw SnapshotError("snapshot: section " + tag_name(tag) +
+                                " at offset " + std::to_string(off) +
+                                " claims " + std::to_string(payload_len) +
+                                " payload bytes but only " +
+                                std::to_string(bytes_.size() - off -
+                                               kSectionHeaderLen - kCrcLen) +
+                                " remain (truncated or corrupt length)");
+        const std::uint32_t stored_crc =
+            load_u32(bytes_.data() + frame_end - kCrcLen);
+        const std::uint32_t actual_crc = crc32(bytes_.subspan(
+            off, kSectionHeaderLen + static_cast<std::size_t>(payload_len)));
+        if (stored_crc != actual_crc)
+            throw SnapshotError("snapshot: CRC mismatch in section " +
+                                tag_name(tag) + " at offset " +
+                                std::to_string(off) + " (stored " +
+                                std::to_string(stored_crc) + ", computed " +
+                                std::to_string(actual_crc) + ")");
+        for (const SectionEntry& s : sections_)
+            if (s.tag == tag)
+                throw SnapshotError("snapshot: duplicate section " +
+                                    tag_name(tag));
+        sections_.push_back(SectionEntry{
+            tag, sec_version, off + kSectionHeaderLen,
+            static_cast<std::size_t>(payload_len)});
+        off = frame_end;
+    }
+}
+
+const StateReader::SectionEntry* StateReader::find(
+    std::uint32_t tag) const noexcept {
+    for (const SectionEntry& s : sections_)
+        if (s.tag == tag) return &s;
+    return nullptr;
+}
+
+bool StateReader::has_section(std::uint32_t tag) const noexcept {
+    return find(tag) != nullptr;
+}
+
+std::uint16_t StateReader::open_section(std::uint32_t tag) {
+    const SectionEntry* s = find(tag);
+    if (s == nullptr)
+        throw SnapshotError("snapshot: required section " + tag_name(tag) +
+                            " is missing");
+    open_ = s;
+    cursor_ = s->payload_offset;
+    return s->version;
+}
+
+void StateReader::close_section() {
+    BR_EXPECTS(open_ != nullptr);
+    open_ = nullptr;
+}
+
+std::size_t StateReader::section_remaining() const {
+    BR_EXPECTS(open_ != nullptr);
+    return open_->payload_offset + open_->payload_len - cursor_;
+}
+
+void StateReader::need(std::size_t n) const {
+    if (open_ == nullptr)
+        throw SnapshotError("snapshot: read outside any section");
+    if (section_remaining() < n)
+        throw SnapshotError(
+            "snapshot: section " + tag_name(open_->tag) +
+            " payload exhausted (need " + std::to_string(n) + " bytes, " +
+            std::to_string(section_remaining()) + " remain)");
+}
+
+std::uint8_t StateReader::read_u8() {
+    need(1);
+    return bytes_[cursor_++];
+}
+
+std::uint16_t StateReader::read_u16() {
+    need(2);
+    const std::uint16_t v = load_u16(bytes_.data() + cursor_);
+    cursor_ += 2;
+    return v;
+}
+
+std::uint32_t StateReader::read_u32() {
+    need(4);
+    const std::uint32_t v = load_u32(bytes_.data() + cursor_);
+    cursor_ += 4;
+    return v;
+}
+
+std::uint64_t StateReader::read_u64() {
+    need(8);
+    const std::uint64_t v = load_u64(bytes_.data() + cursor_);
+    cursor_ += 8;
+    return v;
+}
+
+std::int64_t StateReader::read_i64() {
+    return static_cast<std::int64_t>(read_u64());
+}
+
+double StateReader::read_f64() {
+    const std::uint64_t bits = read_u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+bool StateReader::read_bool() {
+    const std::uint8_t v = read_u8();
+    if (v > 1)
+        throw SnapshotError("snapshot: section " + tag_name(open_->tag) +
+                            " holds invalid bool value " +
+                            std::to_string(v));
+    return v == 1;
+}
+
+std::size_t StateReader::read_size() {
+    const std::uint64_t v = read_u64();
+    if (v > SIZE_MAX)
+        throw SnapshotError("snapshot: size value " + std::to_string(v) +
+                            " overflows the host size_t");
+    return static_cast<std::size_t>(v);
+}
+
+dsp::Complex StateReader::read_complex() {
+    const double re = read_f64();
+    const double im = read_f64();
+    return dsp::Complex(re, im);
+}
+
+void StateReader::read_f64_into(std::vector<double>& out) {
+    const std::size_t n = read_size();
+    need(n * 8 < n ? SIZE_MAX : n * 8);  // overflow-safe bound check
+    out.clear();
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) out.push_back(read_f64());
+}
+
+void StateReader::read_complex_into(dsp::ComplexSignal& out) {
+    const std::size_t n = read_size();
+    need(n * 16 < n ? SIZE_MAX : n * 16);
+    out.clear();
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) out.push_back(read_complex());
+}
+
+void StateReader::read_u8_into(std::vector<std::uint8_t>& out) {
+    const std::size_t n = read_size();
+    need(n);
+    out.assign(bytes_.begin() + static_cast<std::ptrdiff_t>(cursor_),
+               bytes_.begin() + static_cast<std::ptrdiff_t>(cursor_ + n));
+    cursor_ += n;
+}
+
+// --------------------------------------------------------------- file IO
+
+void write_snapshot_file(const std::string& path,
+                         std::span<const std::uint8_t> bytes) {
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os.good())
+            throw SnapshotError("snapshot: cannot open " + tmp +
+                                " for writing");
+        os.write(reinterpret_cast<const char*>(bytes.data()),
+                 static_cast<std::streamsize>(bytes.size()));
+        os.flush();
+        if (!os.good())
+            throw SnapshotError("snapshot: short write to " + tmp);
+    }
+    // Atomic publish: a crash before the rename leaves the previous
+    // snapshot at `path` untouched; after it, the new one is complete.
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        throw SnapshotError("snapshot: rename " + tmp + " -> " + path +
+                            " failed");
+    }
+}
+
+std::vector<std::uint8_t> read_snapshot_file(const std::string& path) {
+    std::ifstream is(path, std::ios::binary | std::ios::ate);
+    if (!is.good())
+        throw SnapshotError("snapshot: cannot open " + path +
+                            " for reading");
+    const std::streamsize size = is.tellg();
+    is.seekg(0, std::ios::beg);
+    std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+    if (size > 0 &&
+        !is.read(reinterpret_cast<char*>(bytes.data()), size))
+        throw SnapshotError("snapshot: short read from " + path);
+    return bytes;
+}
+
+}  // namespace blinkradar::state

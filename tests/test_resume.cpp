@@ -1,0 +1,231 @@
+// The snapshot/restore contract of the full pipeline: run N frames,
+// snapshot, run M more; restore the snapshot into a FRESH pipeline and
+// replay the same M frames — every FrameResult must be byte-identical,
+// across split points, fault streams, guard on/off, and metrics on/off.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/random.hpp"
+#include "core/drowsy.hpp"
+#include "core/pipeline.hpp"
+#include "obs/metrics.hpp"
+#include "physio/driver_profile.hpp"
+#include "radar/impairments.hpp"
+#include "sim/scenario.hpp"
+#include "state/snapshot.hpp"
+
+namespace blinkradar::core {
+namespace {
+
+sim::ScenarioConfig reference_scenario(std::uint64_t seed,
+                                       Seconds duration = 30.0) {
+    sim::ScenarioConfig sc;
+    Rng rng(42);
+    sc.driver = physio::sample_participants(1, rng).front();
+    sc.duration_s = duration;
+    sc.seed = seed;
+    return sc;
+}
+
+void expect_bitwise_eq(double a, double b, const char* what,
+                       std::size_t frame) {
+    std::uint64_t ab = 0, bb = 0;
+    std::memcpy(&ab, &a, sizeof(ab));
+    std::memcpy(&bb, &b, sizeof(bb));
+    EXPECT_EQ(ab, bb) << what << " diverged at replay frame " << frame
+                      << ": " << a << " vs " << b;
+}
+
+void expect_identical(const FrameResult& a, const FrameResult& b,
+                      std::size_t frame) {
+    ASSERT_EQ(a.blink.has_value(), b.blink.has_value())
+        << "blink presence diverged at replay frame " << frame;
+    if (a.blink) {
+        expect_bitwise_eq(a.blink->peak_s, b.blink->peak_s, "blink.peak_s",
+                          frame);
+        expect_bitwise_eq(a.blink->duration_s, b.blink->duration_s,
+                          "blink.duration_s", frame);
+        expect_bitwise_eq(a.blink->magnitude, b.blink->magnitude,
+                          "blink.magnitude", frame);
+        expect_bitwise_eq(a.blink->strength, b.blink->strength,
+                          "blink.strength", frame);
+    }
+    EXPECT_EQ(a.restarted, b.restarted) << "at replay frame " << frame;
+    EXPECT_EQ(a.cold_start, b.cold_start) << "at replay frame " << frame;
+    expect_bitwise_eq(a.waveform_value, b.waveform_value, "waveform_value",
+                      frame);
+    EXPECT_EQ(a.health, b.health) << "at replay frame " << frame;
+    EXPECT_EQ(a.quality, b.quality) << "at replay frame " << frame;
+    EXPECT_EQ(a.repaired_samples, b.repaired_samples)
+        << "at replay frame " << frame;
+    EXPECT_EQ(a.bridged_frames, b.bridged_frames)
+        << "at replay frame " << frame;
+}
+
+std::vector<std::uint8_t> snapshot_of(const BlinkRadarPipeline& pipe) {
+    state::StateWriter writer;
+    pipe.save_state(writer);
+    return writer.finish();
+}
+
+/// The core drill: process frames [0, split), snapshot, keep the
+/// original running over [split, end) while a restored twin replays the
+/// same tail; every result and the final public state must match.
+void run_resume_drill(const radar::FrameSeries& frames,
+                      const radar::RadarConfig& radar,
+                      const PipelineConfig& config, std::size_t split,
+                      obs::MetricsRegistry* original_metrics,
+                      obs::MetricsRegistry* restored_metrics) {
+    ASSERT_LT(split, frames.size());
+    BlinkRadarPipeline original(radar, config, original_metrics);
+    for (std::size_t i = 0; i < split; ++i) original.process(frames[i]);
+
+    const std::vector<std::uint8_t> bytes = snapshot_of(original);
+    BlinkRadarPipeline restored(radar, config, restored_metrics);
+    {
+        state::StateReader reader(bytes);
+        restored.restore_state(reader);
+    }
+
+    for (std::size_t i = split; i < frames.size(); ++i) {
+        const FrameResult a = original.process(frames[i]);
+        const FrameResult b = restored.process(frames[i]);
+        expect_identical(a, b, i);
+    }
+
+    ASSERT_EQ(original.blinks().size(), restored.blinks().size());
+    EXPECT_EQ(original.restarts(), restored.restarts());
+    EXPECT_EQ(original.selected_bin(), restored.selected_bin());
+    EXPECT_EQ(original.health(), restored.health());
+    const GuardStats& ga = original.guard_stats();
+    const GuardStats& gb = restored.guard_stats();
+    EXPECT_EQ(ga.frames_seen, gb.frames_seen);
+    EXPECT_EQ(ga.frames_quarantined, gb.frames_quarantined);
+    EXPECT_EQ(ga.samples_repaired, gb.samples_repaired);
+    EXPECT_EQ(ga.frames_bridged, gb.frames_bridged);
+    EXPECT_EQ(ga.warm_restarts, gb.warm_restarts);
+}
+
+}  // namespace
+
+TEST(Resume, BitIdenticalAcrossSplitPoints) {
+    const sim::SimulatedSession s =
+        simulate_session(reference_scenario(11, 30.0));
+    // Splits inside cold start, just after convergence, and deep in
+    // steady state (past refits and reselections).
+    for (const std::size_t split : {20u, 70u, 300u, 600u}) {
+        SCOPED_TRACE("split=" + std::to_string(split));
+        run_resume_drill(s.frames, s.radar, {}, split, nullptr, nullptr);
+    }
+}
+
+TEST(Resume, BitIdenticalUnderSensorFaults) {
+    // The guard carries real state (held frame, health machine, fault
+    // window) only when the stream is faulty — resume through a fault
+    // storm to cover it.
+    const sim::SimulatedSession s =
+        simulate_session(reference_scenario(12, 30.0));
+    radar::FaultInjectorConfig faults;
+    faults.drop_rate = 0.08;
+    faults.nan_rate = 0.04;
+    faults.timestamp_jitter_std_s = 0.25 * s.radar.frame_period_s;
+    radar::FaultInjector injector(faults, 777);
+    const radar::FrameSeries impaired = injector.apply(s.frames);
+    for (const std::size_t split : {100u, 400u}) {
+        SCOPED_TRACE("split=" + std::to_string(split));
+        run_resume_drill(impaired, s.radar, {}, split, nullptr, nullptr);
+    }
+}
+
+TEST(Resume, BitIdenticalWithGuardDisabled) {
+    const sim::SimulatedSession s =
+        simulate_session(reference_scenario(13, 20.0));
+    PipelineConfig config;
+    config.guard.enabled = false;
+    run_resume_drill(s.frames, s.radar, config, 200, nullptr, nullptr);
+}
+
+TEST(Resume, MetricsAttachmentDoesNotPerturbRestoredOutputs) {
+    // Instrumentation is observation-only and unserialised: a snapshot
+    // from an instrumented pipeline must replay identically in an
+    // uninstrumented one, and vice versa.
+    const sim::SimulatedSession s =
+        simulate_session(reference_scenario(14, 20.0));
+    obs::MetricsRegistry original_metrics;
+    run_resume_drill(s.frames, s.radar, {}, 250, &original_metrics, nullptr);
+    obs::MetricsRegistry restored_metrics;
+    run_resume_drill(s.frames, s.radar, {}, 250, nullptr, &restored_metrics);
+}
+
+TEST(Resume, PhaseWaveformModeRoundTrips) {
+    const sim::SimulatedSession s =
+        simulate_session(reference_scenario(15, 20.0));
+    PipelineConfig config;
+    config.waveform_mode = WaveformMode::kPhase;
+    run_resume_drill(s.frames, s.radar, config, 200, nullptr, nullptr);
+}
+
+TEST(Resume, SnapshotOfFreshPipelineRestores) {
+    // Degenerate but legal: snapshot before any frame was processed.
+    const sim::SimulatedSession s =
+        simulate_session(reference_scenario(16, 10.0));
+    BlinkRadarPipeline original(s.radar);
+    const std::vector<std::uint8_t> bytes = snapshot_of(original);
+    BlinkRadarPipeline restored(s.radar);
+    state::StateReader reader(bytes);
+    restored.restore_state(reader);
+    for (std::size_t i = 0; i < s.frames.size(); ++i)
+        expect_identical(original.process(s.frames[i]),
+                         restored.process(s.frames[i]), i);
+}
+
+TEST(Resume, FingerprintMismatchIsRejected) {
+    const sim::SimulatedSession s =
+        simulate_session(reference_scenario(17, 10.0));
+    BlinkRadarPipeline original(s.radar);
+    for (const auto& f : s.frames) original.process(f);
+    const std::vector<std::uint8_t> bytes = snapshot_of(original);
+
+    // Same radar, different waveform semantics: must refuse.
+    PipelineConfig amplitude;
+    amplitude.waveform_mode = WaveformMode::kAmplitude;
+    BlinkRadarPipeline other(s.radar, amplitude);
+    state::StateReader reader(bytes);
+    EXPECT_THROW(other.restore_state(reader), state::SnapshotError);
+}
+
+TEST(Resume, CorruptedSnapshotIsRejectedNotApplied) {
+    const sim::SimulatedSession s =
+        simulate_session(reference_scenario(18, 15.0));
+    BlinkRadarPipeline original(s.radar);
+    for (const auto& f : s.frames) original.process(f);
+    std::vector<std::uint8_t> bytes = snapshot_of(original);
+    // Corrupt a payload byte deep in the container: the reader's CRC
+    // walk must reject it before any component sees a single field.
+    bytes[bytes.size() / 2] ^= 0x40;
+    EXPECT_THROW(state::StateReader reader(bytes), state::SnapshotError);
+}
+
+TEST(Resume, DrowsinessModelRoundTrips) {
+    DrowsinessDetector model;
+    const double awake[] = {12.0, 14.0, 11.0};
+    const double drowsy[] = {24.0, 28.0, 26.0};
+    model.train(awake, drowsy);
+    state::StateWriter writer;
+    model.save_state(writer);
+    const std::vector<std::uint8_t> bytes = writer.finish();
+
+    DrowsinessDetector restored;
+    state::StateReader reader(bytes);
+    restored.restore_state(reader);
+    EXPECT_TRUE(restored.trained());
+    EXPECT_EQ(restored.threshold_rate(), model.threshold_rate());
+    EXPECT_EQ(restored.awake_mean(), model.awake_mean());
+    EXPECT_EQ(restored.drowsy_mean(), model.drowsy_mean());
+    EXPECT_EQ(restored.classify(30.0), DrowsinessLabel::kDrowsy);
+    EXPECT_EQ(restored.classify(10.0), DrowsinessLabel::kAwake);
+}
+
+}  // namespace blinkradar::core

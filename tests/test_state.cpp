@@ -1,0 +1,308 @@
+// State-snapshot container: format round-trips, compatibility rules, and
+// the malformed-input rejection contract (the reader must throw
+// SnapshotError — never crash, hang, or read out of bounds — for ANY
+// mutation of a valid snapshot; fuzzed below).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/random.hpp"
+#include "state/snapshot.hpp"
+
+using namespace blinkradar;
+using state::StateReader;
+using state::StateWriter;
+
+namespace {
+
+constexpr std::uint32_t kTagA = state::make_tag("AAAA");
+constexpr std::uint32_t kTagB = state::make_tag("BBBB");
+
+std::vector<std::uint8_t> sample_snapshot() {
+    StateWriter w;
+    w.begin_section(kTagA, 1);
+    w.write_u8(0x5A);
+    w.write_u16(0xBEEF);
+    w.write_u32(0xDEADBEEF);
+    w.write_u64(0x0123456789ABCDEFull);
+    w.write_i64(-42);
+    w.write_f64(3.14159);
+    w.write_bool(true);
+    w.write_size(1234567);
+    w.write_complex(dsp::Complex(1.5, -2.5));
+    w.end_section();
+    w.begin_section(kTagB, 3);
+    const double doubles[] = {0.0, -0.0, 1e300, -1e-300};
+    w.write_f64_span(doubles);
+    const dsp::Complex cplx[] = {{1.0, 2.0}, {-3.0, 4.0}};
+    w.write_complex_span(cplx);
+    const std::uint8_t raw[] = {1, 2, 3, 4, 5};
+    w.write_u8_span(raw);
+    w.end_section();
+    return w.finish();
+}
+
+}  // namespace
+
+TEST(StateSnapshot, RoundTripsEveryScalarType) {
+    const std::vector<std::uint8_t> bytes = sample_snapshot();
+    StateReader r(bytes);
+    EXPECT_TRUE(r.has_section(kTagA));
+    EXPECT_TRUE(r.has_section(kTagB));
+    EXPECT_FALSE(r.has_section(state::make_tag("ZZZZ")));
+
+    EXPECT_EQ(r.open_section(kTagA), 1);
+    EXPECT_EQ(r.read_u8(), 0x5A);
+    EXPECT_EQ(r.read_u16(), 0xBEEF);
+    EXPECT_EQ(r.read_u32(), 0xDEADBEEFu);
+    EXPECT_EQ(r.read_u64(), 0x0123456789ABCDEFull);
+    EXPECT_EQ(r.read_i64(), -42);
+    EXPECT_EQ(r.read_f64(), 3.14159);
+    EXPECT_TRUE(r.read_bool());
+    EXPECT_EQ(r.read_size(), 1234567u);
+    EXPECT_EQ(r.read_complex(), dsp::Complex(1.5, -2.5));
+    EXPECT_EQ(r.section_remaining(), 0u);
+    r.close_section();
+
+    EXPECT_EQ(r.open_section(kTagB), 3);
+    std::vector<double> doubles;
+    r.read_f64_into(doubles);
+    ASSERT_EQ(doubles.size(), 4u);
+    EXPECT_EQ(doubles[2], 1e300);
+    EXPECT_TRUE(std::signbit(doubles[1]));
+    dsp::ComplexSignal cplx;
+    r.read_complex_into(cplx);
+    ASSERT_EQ(cplx.size(), 2u);
+    EXPECT_EQ(cplx[1], dsp::Complex(-3.0, 4.0));
+    std::vector<std::uint8_t> raw;
+    r.read_u8_into(raw);
+    EXPECT_EQ(raw, (std::vector<std::uint8_t>{1, 2, 3, 4, 5}));
+    r.close_section();
+}
+
+TEST(StateSnapshot, Crc32MatchesKnownVector) {
+    // The canonical IEEE check value: crc32("123456789") = 0xCBF43926.
+    const std::uint8_t digits[] = {'1', '2', '3', '4', '5',
+                                   '6', '7', '8', '9'};
+    EXPECT_EQ(state::crc32(digits), 0xCBF43926u);
+}
+
+TEST(StateSnapshot, SectionsAreNavigableInAnyOrder) {
+    const std::vector<std::uint8_t> bytes = sample_snapshot();
+    StateReader r(bytes);
+    EXPECT_EQ(r.open_section(kTagB), 3);  // written second, read first
+    r.close_section();
+    EXPECT_EQ(r.open_section(kTagA), 1);
+    EXPECT_EQ(r.read_u8(), 0x5A);
+    r.close_section();
+}
+
+TEST(StateSnapshot, UnknownSectionsAreSkipped) {
+    // A reader that only knows AAAA must navigate a snapshot carrying an
+    // extra (future) section without complaint.
+    StateWriter w;
+    w.begin_section(state::make_tag("FUTR"), 9);
+    w.write_f64(123.0);
+    w.end_section();
+    w.begin_section(kTagA, 1);
+    w.write_u32(7);
+    w.end_section();
+    const std::vector<std::uint8_t> bytes = w.finish();
+    StateReader r(bytes);
+    EXPECT_EQ(r.open_section(kTagA), 1);
+    EXPECT_EQ(r.read_u32(), 7u);
+    r.close_section();
+}
+
+TEST(StateSnapshot, CloseSectionToleratesUnreadTail) {
+    // Forward compatibility: a newer writer appended fields we don't
+    // know; close_section() must not reject the leftover payload.
+    StateWriter w;
+    w.begin_section(kTagA, 2);
+    w.write_u32(7);
+    w.write_f64(99.0);  // appended-in-v2 field a v1 reader won't touch
+    w.end_section();
+    const std::vector<std::uint8_t> bytes = w.finish();
+    StateReader r(bytes);
+    r.open_section(kTagA);
+    EXPECT_EQ(r.read_u32(), 7u);
+    EXPECT_EQ(r.section_remaining(), 8u);
+    r.close_section();  // must not throw
+}
+
+TEST(StateSnapshot, MissingSectionThrows) {
+    const std::vector<std::uint8_t> bytes = sample_snapshot();
+    StateReader r(bytes);
+    EXPECT_THROW(r.open_section(state::make_tag("NOPE")),
+                 state::SnapshotError);
+}
+
+TEST(StateSnapshot, DuplicateSectionThrows) {
+    StateWriter w;
+    w.begin_section(kTagA, 1);
+    w.end_section();
+    w.begin_section(kTagA, 1);
+    w.end_section();
+    const std::vector<std::uint8_t> bytes = w.finish();
+    EXPECT_THROW(StateReader r(bytes), state::SnapshotError);
+}
+
+TEST(StateSnapshot, ReadPastSectionEndThrows) {
+    StateWriter w;
+    w.begin_section(kTagA, 1);
+    w.write_u32(1);
+    w.end_section();
+    const std::vector<std::uint8_t> bytes = w.finish();
+    StateReader r(bytes);
+    r.open_section(kTagA);
+    r.read_u32();
+    EXPECT_THROW(r.read_u8(), state::SnapshotError);
+}
+
+TEST(StateSnapshot, SpanLengthBeyondSectionThrows) {
+    // A length prefix claiming more elements than the payload holds must
+    // be caught by the bounds check, including when n*8 would overflow.
+    StateWriter w;
+    w.begin_section(kTagA, 1);
+    w.write_u64(UINT64_MAX);  // absurd element count
+    w.end_section();
+    const std::vector<std::uint8_t> bytes = w.finish();
+    StateReader r(bytes);
+    r.open_section(kTagA);
+    std::vector<double> out;
+    EXPECT_THROW(r.read_f64_into(out), state::SnapshotError);
+}
+
+TEST(StateSnapshot, EveryTruncationIsRejected) {
+    const std::vector<std::uint8_t> bytes = sample_snapshot();
+    // Sections are self-delimiting and the container carries no section
+    // count, so a prefix ending *exactly* at a section boundary is a
+    // valid (shorter) snapshot — that is why publication goes through
+    // the atomic write-then-rename, never a truncatable in-place write.
+    // Every other prefix must throw: never parse, never crash.
+    std::set<std::size_t> boundaries = {8};  // bare container header
+    for (std::size_t at = 8; at + 16 <= bytes.size();) {
+        std::uint32_t payload_len = 0;  // u32 LE at section offset 8
+        for (int b = 3; b >= 0; --b)
+            payload_len = (payload_len << 8) |
+                          bytes[at + 8 + static_cast<std::size_t>(b)];
+        at += 12 + payload_len + 4;
+        boundaries.insert(at);
+    }
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+        if (boundaries.count(len) != 0) continue;
+        const std::vector<std::uint8_t> cut(bytes.begin(),
+                                            bytes.begin() +
+                                                static_cast<std::ptrdiff_t>(len));
+        EXPECT_THROW(StateReader r(cut), state::SnapshotError)
+            << "prefix of " << len << " bytes parsed";
+    }
+}
+
+TEST(StateSnapshot, EverySingleByteCorruptionIsRejectedOrHarmless) {
+    // Flip each byte in turn. Structural bytes and payload alike are CRC
+    // covered, so every flip must throw at construction — except the
+    // container flags field, which is reserved and unchecked.
+    const std::vector<std::uint8_t> bytes = sample_snapshot();
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+        std::vector<std::uint8_t> bad = bytes;
+        bad[i] ^= 0xFF;
+        if (i == 6 || i == 7) continue;  // reserved flags: unvalidated
+        EXPECT_THROW(StateReader r(bad), state::SnapshotError)
+            << "byte " << i << " flipped without detection";
+    }
+}
+
+TEST(StateSnapshot, FuzzedMutationsNeverEscapeSnapshotError) {
+    // Deterministic fuzz: random byte mutations, truncations, and
+    // extensions of a valid snapshot. The contract is narrow — either
+    // the reader rejects with SnapshotError at construction, or it
+    // constructs and every navigation stays bounds-checked.
+    const std::vector<std::uint8_t> base = sample_snapshot();
+    Rng rng(20260806);
+    for (int trial = 0; trial < 2000; ++trial) {
+        std::vector<std::uint8_t> mutated = base;
+        const int mutations = rng.uniform_int(1, 8);
+        for (int m = 0; m < mutations; ++m) {
+            switch (rng.uniform_int(0, 3)) {
+                case 0:  // flip random byte
+                    mutated[static_cast<std::size_t>(rng.uniform_int(
+                        0, static_cast<int>(mutated.size()) - 1))] ^=
+                        static_cast<std::uint8_t>(rng.uniform_int(1, 255));
+                    break;
+                case 1:  // truncate
+                    mutated.resize(static_cast<std::size_t>(
+                        rng.uniform_int(0, static_cast<int>(mutated.size()))));
+                    break;
+                case 2:  // append garbage
+                    for (int k = rng.uniform_int(1, 16); k > 0; --k)
+                        mutated.push_back(static_cast<std::uint8_t>(
+                            rng.uniform_int(0, 255)));
+                    break;
+                case 3:  // overwrite a random run
+                    if (!mutated.empty()) {
+                        const auto at = static_cast<std::size_t>(
+                            rng.uniform_int(
+                                0, static_cast<int>(mutated.size()) - 1));
+                        for (std::size_t k = at;
+                             k < mutated.size() && k < at + 12; ++k)
+                            mutated[k] = static_cast<std::uint8_t>(
+                                rng.uniform_int(0, 255));
+                    }
+                    break;
+            }
+            if (mutated.empty()) break;
+        }
+        try {
+            StateReader r(mutated);
+            // Constructed: CRCs passed, so navigation must behave.
+            if (r.has_section(kTagA)) {
+                r.open_section(kTagA);
+                while (r.section_remaining() > 0) r.read_u8();
+                r.close_section();
+            }
+        } catch (const state::SnapshotError&) {
+            // The expected rejection path.
+        }
+    }
+}
+
+TEST(StateSnapshot, FileRoundTripIsAtomic) {
+    const std::string path =
+        testing::TempDir() + "/blinkradar_state_test.snap";
+    const std::vector<std::uint8_t> first = sample_snapshot();
+    state::write_snapshot_file(path, first);
+    EXPECT_EQ(state::read_snapshot_file(path), first);
+
+    // Overwrite publishes atomically: afterwards the file holds exactly
+    // the new bytes and the .tmp staging file is gone.
+    StateWriter w;
+    w.begin_section(kTagB, 1);
+    w.write_u32(99);
+    w.end_section();
+    const std::vector<std::uint8_t> second = w.finish();
+    state::write_snapshot_file(path, second);
+    EXPECT_EQ(state::read_snapshot_file(path), second);
+    std::ifstream tmp(path + ".tmp");
+    EXPECT_FALSE(tmp.good());
+    std::remove(path.c_str());
+}
+
+TEST(StateSnapshot, MissingFileThrows) {
+    EXPECT_THROW(
+        state::read_snapshot_file("/nonexistent/dir/never_here.snap"),
+        state::SnapshotError);
+    EXPECT_THROW(state::write_snapshot_file(
+                     "/nonexistent/dir/never_here.snap", sample_snapshot()),
+                 state::SnapshotError);
+}
+
+TEST(StateSnapshot, TagNameFormatsPrintableAndBinaryTags) {
+    EXPECT_EQ(state::tag_name(state::make_tag("LEVD")), "LEVD");
+    EXPECT_EQ(state::tag_name(0x01020304u), "0x01020304");
+}
