@@ -96,6 +96,24 @@ void BM_PipelinePerFrameMetrics(benchmark::State& state) {
 }
 BENCHMARK(BM_PipelinePerFrameMetrics);
 
+// Same workload with the flight recorder attached at default ring
+// depths; the delta versus BM_PipelinePerFrame is the black-box
+// overhead, gated by the same <2 % budget. (Self-checkpointing is off
+// by default — see FlightRecorderConfig — so this measures the
+// always-on rings, which is what every supervised deployment pays.)
+void BM_PipelinePerFrameRecorder(benchmark::State& state) {
+    const auto& s = session();
+    static obs::FlightRecorder recorder;
+    recorder.clear();
+    core::BlinkRadarPipeline pipeline(s.radar, core::PipelineConfig{},
+                                      nullptr, nullptr, &recorder);
+    FrameReplayer replay(s);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(pipeline.process(replay.next()));
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PipelinePerFrameRecorder);
+
 void BM_PreprocessFrame(benchmark::State& state) {
     const auto& s = session();
     const core::Preprocessor pre{core::PipelineConfig{}};

@@ -7,6 +7,10 @@
 // recovery: a second supervisor restores the on-disk slot file and picks
 // the session up where the checkpoint left it.
 //
+// Each recovery also leaves a flight-recorder dump next to the snapshot
+// slots — the black box for the crash — and the demo ends by printing
+// the br_inspect command that replays it bit-for-bit.
+//
 //   crash_recovery [snapshot-dir]     (default /tmp)
 #include <cstdio>
 #include <stdexcept>
@@ -70,8 +74,14 @@ int main(int argc, char** argv) {
     const eval::MatchResult match =
         eval::match_blinks(session.truth.blinks,
                            supervisor.pipeline().blinks());
-    std::printf("blinks through the crashes: %zu/%zu detected\n\n",
+    std::printf("blinks through the crashes: %zu/%zu detected\n",
                 match.matched, match.true_blinks);
+    if (!supervisor.last_dump_path().empty())
+        std::printf("each crash left a black box (%llu dumps); replay the "
+                    "newest bit-for-bit with:\n  br_inspect %s --replay\n",
+                    static_cast<unsigned long long>(st.dumps),
+                    supervisor.last_dump_path().c_str());
+    std::printf("\n");
 
     // Cross-process recovery: a brand-new supervisor (think: the process
     // was killed and restarted) resumes from the newest slot file.

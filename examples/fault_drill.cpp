@@ -21,13 +21,21 @@
 //   --nan-rate R    storm per-frame NaN-burst probability (default 0.05)
 //   --jitter F      storm timestamp jitter, as a fraction of the frame
 //                   period (default 0.25)
+//   --dump PATH     flight-recorder dump written after the drill
+//                   (default /tmp/fault_drill.brfr)
+//
+// The whole drill runs with the flight recorder attached, so the dump is
+// a complete black box of the storm: inspect or bit-exactly replay it
+// with the printed br_inspect command.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "core/pipeline.hpp"
+#include "core/postmortem.hpp"
 #include "eval/metrics.hpp"
+#include "obs/flight_recorder.hpp"
 #include "physio/driver_profile.hpp"
 #include "radar/impairments.hpp"
 #include "sim/scenario.hpp"
@@ -43,12 +51,14 @@ struct DrillOptions {
     double drop_rate = 0.10;
     double nan_rate = 0.05;
     double jitter_periods = 0.25;
+    std::string dump_path = "/tmp/fault_drill.brfr";
 };
 
 [[noreturn]] void usage_and_exit(const char* argv0) {
     std::fprintf(stderr,
                  "usage: %s [--seed N] [--fault-seed N] [--duration S]\n"
-                 "          [--drop-rate R] [--nan-rate R] [--jitter F]\n",
+                 "          [--drop-rate R] [--nan-rate R] [--jitter F]\n"
+                 "          [--dump PATH]\n",
                  argv0);
     std::exit(2);
 }
@@ -73,6 +83,8 @@ DrillOptions parse_options(int argc, char** argv) {
                 opt.nan_rate = std::stod(value);
             else if (flag == "--jitter")
                 opt.jitter_periods = std::stod(value);
+            else if (flag == "--dump")
+                opt.dump_path = value;
             else
                 usage_and_exit(argv[0]);
         } catch (const std::exception&) {
@@ -132,7 +144,16 @@ int main(int argc, char** argv) {
                 opt.drop_rate, opt.nan_rate, opt.jitter_periods);
     std::printf("=== %zu clean frames -> %zu on the wire ===\n",
                 session.frames.size(), stream.size());
-    core::BlinkRadarPipeline pipeline(session.radar);
+    // The drill runs a standalone pipeline (no Supervisor feeding
+    // autosnapshots), so it widens the raw ring to ~41 s and opts into
+    // self-checkpointing to keep the dump replayable even though the
+    // 90 s session outruns the ring.
+    obs::FlightRecorderConfig rec_cfg;
+    rec_cfg.raw_ring_frames = 1024;
+    rec_cfg.checkpoint_interval_frames = 512;
+    obs::FlightRecorder recorder(rec_cfg);
+    core::BlinkRadarPipeline pipeline(session.radar, {}, nullptr, nullptr,
+                                      &recorder);
     core::HealthState last = core::HealthState::kOk;
     for (const radar::RadarFrame& f : stream) {
         const core::FrameResult r = pipeline.process(f);
@@ -158,5 +179,11 @@ int main(int argc, char** argv) {
                 "(final health: %s)\n",
                 match.matched, match.true_blinks,
                 core::to_string(pipeline.health()));
+
+    core::write_flight_dump_file(opt.dump_path, recorder, session.radar, {},
+                                 "fault_drill");
+    std::printf("\nflight dump written to %s — inspect or bit-exactly "
+                "replay the drill with:\n  br_inspect %s --replay\n",
+                opt.dump_path.c_str(), opt.dump_path.c_str());
     return 0;
 }

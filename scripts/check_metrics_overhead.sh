@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Enforce the observability overhead budget: the instrumented per-frame
-# pipeline (BM_PipelinePerFrameMetrics) must run within MAX_OVERHEAD_PCT
-# (default 2%) of the uninstrumented baseline (BM_PipelinePerFrame).
+# pipeline (BM_PipelinePerFrameMetrics) and the black-box pipeline
+# (BM_PipelinePerFrameRecorder, flight recorder at default ring depths)
+# must each run within MAX_OVERHEAD_PCT (default 2%) of the
+# uninstrumented baseline (BM_PipelinePerFrame).
 #
 # Builds the Release preset and measures the overhead with two layers of
 # noise rejection, one per noise source:
@@ -46,7 +48,7 @@ if setarch "$(uname -m)" -R true 2>/dev/null; then
 fi
 for ((run = 0; run < runs; ++run)); do
     "${launcher[@]}" "${build_dir}/bench/bench_perf_pipeline" \
-        --benchmark_filter='^BM_PipelinePerFrame(Metrics)?$' \
+        --benchmark_filter='^BM_PipelinePerFrame(Metrics|Recorder)?$' \
         --benchmark_repetitions="${reps}" \
         --benchmark_min_time=0.1 \
         --benchmark_enable_random_interleaving=true \
@@ -61,8 +63,7 @@ import statistics
 import sys
 
 max_pct = float(sys.argv[2])
-run_deltas = []
-run_scales = []
+runs = []
 for path in sorted(glob.glob(sys.argv[1] + "/run*.json")):
     with open(path) as f:
         report = json.load(f)
@@ -71,26 +72,38 @@ for path in sorted(glob.glob(sys.argv[1] + "/run*.json")):
         if bench.get("run_type") == "iteration":
             times.setdefault(bench["run_name"], {})[
                 bench["repetition_index"]] = bench["cpu_time"]
-    base = times.get("BM_PipelinePerFrame", {})
-    instrumented = times.get("BM_PipelinePerFrameMetrics", {})
-    pairs = sorted(set(base) & set(instrumented))
-    if not pairs:
-        sys.exit("missing benchmark repetitions in " + path)
-    run_deltas.append(statistics.median(
-        instrumented[i] - base[i] for i in pairs))
-    run_scales.append(statistics.median(base[i] for i in pairs))
+    runs.append(times)
 
-delta = min(run_deltas)
-scale = run_scales[run_deltas.index(delta)]
-overhead_pct = 100.0 * delta / scale
+failed = False
+for variant in ("Metrics", "Recorder"):
+    name = "BM_PipelinePerFrame" + variant
+    run_deltas = []
+    run_scales = []
+    for path_index, times in enumerate(runs):
+        base = times.get("BM_PipelinePerFrame", {})
+        instrumented = times.get(name, {})
+        pairs = sorted(set(base) & set(instrumented))
+        if not pairs:
+            sys.exit(f"missing {name} repetitions in run {path_index}")
+        run_deltas.append(statistics.median(
+            instrumented[i] - base[i] for i in pairs))
+        run_scales.append(statistics.median(base[i] for i in pairs))
 
-print("per-run overhead deltas: "
-      + ", ".join(f"{d:+.1f}" for d in run_deltas) + " ns")
-print(f"per-frame:         {scale:10.1f} ns (best run's baseline)")
-print(f"metrics overhead:  {delta:+10.1f} ns (best run's paired median)")
-print(f"overhead:          {overhead_pct:+10.2f} %  (budget {max_pct:.1f} %)")
-if overhead_pct > max_pct:
-    sys.exit(f"FAIL: metrics overhead {overhead_pct:.2f}% exceeds "
-             f"{max_pct:.1f}% budget")
-print("OK: metrics overhead within budget")
+    delta = min(run_deltas)
+    scale = run_scales[run_deltas.index(delta)]
+    overhead_pct = 100.0 * delta / scale
+
+    print(f"[{variant.lower()}] per-run overhead deltas: "
+          + ", ".join(f"{d:+.1f}" for d in run_deltas) + " ns")
+    print(f"[{variant.lower()}] per-frame: {scale:10.1f} ns, overhead "
+          f"{delta:+8.1f} ns = {overhead_pct:+6.2f} % "
+          f"(budget {max_pct:.1f} %)")
+    if overhead_pct > max_pct:
+        print(f"FAIL: {variant.lower()} overhead {overhead_pct:.2f}% "
+              f"exceeds {max_pct:.1f}% budget")
+        failed = True
+
+if failed:
+    sys.exit(1)
+print("OK: metrics and flight-recorder overhead within budget")
 EOF

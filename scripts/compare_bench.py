@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Gate benchmark results against a committed baseline.
+
+Compares a fresh benchmark report against the baseline JSON checked into
+the repo and exits non-zero when any benchmark regressed beyond the
+tolerance. Two report schemas are understood, auto-detected per file:
+
+  - google-benchmark JSON (BENCH_perf.json): per benchmark, the median
+    of iteration cpu_times is compared;
+  - the blinkradar-obs-v1 metrics snapshot (BENCH_perf_stages.json):
+    per stage histogram, p50_ns is compared.
+
+Only slowdowns fail the gate; speedups are reported but pass (refresh
+the baseline to bank them). Benchmarks present on one side only are
+reported and skipped — renames should come with a baseline refresh.
+
+Usage:
+  scripts/compare_bench.py BASELINE CURRENT [--tolerance-pct P]
+  scripts/compare_bench.py BENCH_perf.json /tmp/new_perf.json
+  scripts/compare_bench.py BENCH_perf_stages.json /tmp/new_stages.json \
+      --tolerance-pct 25
+
+Tolerance default is 10%. Microbench medians on shared CI hosts wobble
+by a few percent; stage p50s (duty-cycled, smaller samples) wobble
+more, so CI passes a looser tolerance for the stages file.
+"""
+import argparse
+import json
+import statistics
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def gbench_medians(report):
+    """name -> median iteration cpu_time from a google-benchmark report."""
+    times = {}
+    for bench in report.get("benchmarks", []):
+        if bench.get("run_type", "iteration") != "iteration":
+            continue
+        times.setdefault(bench["run_name"], []).append(bench["cpu_time"])
+    return {name: statistics.median(ts) for name, ts in times.items()}
+
+
+def stage_p50s(report):
+    """name -> p50_ns from a blinkradar-obs-v1 metrics snapshot."""
+    return {
+        name: hist["p50_ns"]
+        for name, hist in report.get("histograms", {}).items()
+        if hist.get("count", 0) > 0
+    }
+
+
+def extract(report, path):
+    if "benchmarks" in report:
+        return gbench_medians(report)
+    if report.get("schema") == "blinkradar-obs-v1":
+        return stage_p50s(report)
+    sys.exit(f"{path}: unrecognized report schema")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("current", help="freshly measured JSON")
+    parser.add_argument("--tolerance-pct", type=float, default=10.0,
+                        help="max allowed slowdown (default 10%%)")
+    args = parser.parse_args()
+
+    base = extract(load(args.baseline), args.baseline)
+    curr = extract(load(args.current), args.current)
+
+    missing = sorted(set(base) - set(curr))
+    added = sorted(set(curr) - set(base))
+    for name in missing:
+        print(f"  [gone]  {name}: in baseline only (baseline refresh due?)")
+    for name in added:
+        print(f"  [new]   {name}: {curr[name]:12.1f} ns (no baseline yet)")
+
+    regressions = []
+    for name in sorted(set(base) & set(curr)):
+        if base[name] <= 0.0:
+            continue
+        pct = 100.0 * (curr[name] - base[name]) / base[name]
+        status = "ok"
+        if pct > args.tolerance_pct:
+            status = "REGRESSION"
+            regressions.append((name, pct))
+        elif pct < -args.tolerance_pct:
+            status = "faster"
+        print(f"  [{status:>10}] {name}: {base[name]:12.1f} -> "
+              f"{curr[name]:12.1f} ns ({pct:+.1f} %)")
+
+    if regressions:
+        worst = max(regressions, key=lambda r: r[1])
+        sys.exit(f"FAIL: {len(regressions)} benchmark(s) slower than "
+                 f"baseline by more than {args.tolerance_pct:.0f}% "
+                 f"(worst: {worst[0]} {worst[1]:+.1f}%)")
+    print(f"OK: no regressions beyond {args.tolerance_pct:.0f}% "
+          f"({len(set(base) & set(curr))} compared)")
+
+
+if __name__ == "__main__":
+    main()

@@ -115,7 +115,8 @@ BlinkRadarPipeline::Instrumentation::Instrumentation(
 BlinkRadarPipeline::BlinkRadarPipeline(const radar::RadarConfig& radar,
                                        PipelineConfig config,
                                        obs::MetricsRegistry* metrics,
-                                       obs::TraceSink* trace)
+                                       obs::TraceSink* trace,
+                                       obs::FlightRecorder* recorder)
     : radar_(radar),
       config_(config),
       preprocessor_(config),
@@ -154,6 +155,7 @@ BlinkRadarPipeline::BlinkRadarPipeline(const radar::RadarConfig& radar,
     // still measured for the trace records.
     if (metrics != nullptr || trace != nullptr)
         instr_ = std::make_unique<Instrumentation>(metrics, trace);
+    recorder_ = recorder;
 }
 
 void BlinkRadarPipeline::reset_detection_state() {
@@ -269,6 +271,15 @@ double BlinkRadarPipeline::waveform_value(const dsp::Complex& sample) {
 
 FrameResult BlinkRadarPipeline::process(const radar::RadarFrame& frame) {
     const HealthState health_before = guard_.health();
+    // The raw ring captures the frame before the guard sees it, so a
+    // dump replays the sensor's actual output, corruption included.
+    std::uint64_t seq = 0;
+    std::int64_t bin_before = -1;
+    if (recorder_ != nullptr) {
+        seq = recorder_->begin_frame(frame);
+        if (selected_bin_)
+            bin_before = static_cast<std::int64_t>(*selected_bin_);
+    }
     if (instr_) {
         instr_->detailed_frame =
             instr_->trace != nullptr ||
@@ -280,6 +291,8 @@ FrameResult BlinkRadarPipeline::process(const radar::RadarFrame& frame) {
                                     stage_ns(PipelineStage::kFrameTotal));
         result = process_guarded(frame);
     }
+    if (recorder_ != nullptr)
+        record_frame(seq, frame, result, health_before, bin_before);
     if (instr_) observe_frame(frame, result, health_before);
     return result;
 }
@@ -369,6 +382,12 @@ FrameResult BlinkRadarPipeline::process_validated(
         rolling_var_.push(sub);
         window_times_.push_back(frame.timestamp_s);
     }
+    // Decimated full-profile tap (outside the stage span: it is recorder
+    // cost, not background-subtraction cost). First call per recorder
+    // frame wins — a bridged gap replays several synthetic frames
+    // through here for one sensor frame, and the tap captures the first.
+    if (recorder_ != nullptr && recorder_->profiles_due())
+        recorder_->tap_profiles(pre_frame_.bins, window_.back());
     ++frames_since_start_;
 
     // 4. Cold start: accumulate, then select the bin and fit the arc.
@@ -669,6 +688,95 @@ void BlinkRadarPipeline::observe_frame(const radar::RadarFrame& frame,
         in.last_ns.fill(0);
     }
     ++in.frame_index;
+}
+
+void BlinkRadarPipeline::record_frame(std::uint64_t seq,
+                                      const radar::RadarFrame& frame,
+                                      const FrameResult& result,
+                                      HealthState before,
+                                      std::int64_t bin_before) {
+    obs::FlightRecorder& rec = *recorder_;
+    const double t = frame.timestamp_s;
+
+    obs::FrameTap tap;
+    tap.seq = seq;
+    tap.t = t;
+    tap.verdict = static_cast<std::uint8_t>(result.quality);
+    tap.health = static_cast<std::uint8_t>(result.health);
+    tap.cold_start = result.cold_start;
+    tap.restarted = result.restarted;
+    tap.has_blink = result.blink.has_value();
+    tap.selected_bin =
+        selected_bin_ ? static_cast<std::int64_t>(*selected_bin_) : -1;
+    if (selected_bin_ && !window_.empty())
+        tap.bin_iq = window_.back()[*selected_bin_];
+    if (viewing_) {
+        const dsp::CircleFit& fit = viewing_->raw_fit();
+        tap.fit_cx = fit.center_x;
+        tap.fit_cy = fit.center_y;
+        tap.fit_radius = fit.radius;
+        tap.fit_residual = fit.rms_residual;
+    }
+    tap.waveform = result.waveform_value;
+    tap.levd_threshold = levd_.threshold();
+    tap.levd_sigma = levd_.noise_sigma();
+    if (result.blink) {
+        tap.blink_peak_s = result.blink->peak_s;
+        tap.blink_duration_s = result.blink->duration_s;
+        tap.blink_magnitude = result.blink->magnitude;
+        tap.blink_strength = result.blink->strength;
+    }
+    tap.repaired_samples = result.repaired_samples;
+    tap.bridged_frames = result.bridged_frames;
+    rec.end_frame(tap);
+
+    if (result.health != before)
+        rec.record_event(obs::RecorderEvent::kHealthTransition, t,
+                         static_cast<double>(before),
+                         static_cast<double>(result.health));
+    if (result.restarted)
+        rec.record_event(obs::RecorderEvent::kMovementRestart, t);
+    if (tap.selected_bin != bin_before)
+        rec.record_event(obs::RecorderEvent::kBinSwitch, t,
+                         static_cast<double>(bin_before),
+                         static_cast<double>(tap.selected_bin));
+    if (result.blink)
+        rec.record_event(obs::RecorderEvent::kBlink, t,
+                         result.blink->peak_s, result.blink->strength);
+
+    if (rec.metrics_due()) {
+        obs::MetricsSnap snap;
+        snap.seq = seq;
+        snap.t = t;
+        snap.frames = seq;
+        snap.blinks = blinks_.size();
+        snap.restarts = restarts_;
+        const GuardStats& gs = guard_.stats();
+        snap.quarantined = gs.frames_quarantined;
+        snap.repaired = gs.samples_repaired;
+        snap.bridged = gs.frames_bridged;
+        snap.gaps = gs.gaps_bridged;
+        snap.signal_losses = gs.signal_lost_events;
+        snap.warm_restarts = gs.warm_restarts;
+        snap.fault_rate = guard_.fault_rate();
+        snap.levd_threshold = levd_.threshold();
+        snap.levd_sigma = levd_.noise_sigma();
+        rec.record_metrics(snap);
+    }
+
+    // Periodic self-checkpoint: serialize into the recorder's recycled
+    // buffer so dumps always carry a replay base (see postmortem.hpp for
+    // the seq labelling contract). The three rotating buffers make this
+    // allocation-free once they have grown to the state's working size.
+    if (rec.checkpoint_due()) {
+        state::StateWriter writer(rec.take_checkpoint_buffer());
+        // CRCs are deferred: checksumming ~600 KB of window state costs
+        // ~30x the bulk copy and is only needed when a dump actually
+        // leaves the process — FlightRecorder::dump() seals it then.
+        writer.defer_crcs();
+        save_state(writer);
+        rec.store_checkpoint(writer.finish());
+    }
 }
 
 namespace {

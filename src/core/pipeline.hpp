@@ -24,6 +24,7 @@
 #include "core/preprocess.hpp"
 #include "core/viewing_position.hpp"
 #include "dsp/background.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "radar/config.hpp"
@@ -102,12 +103,21 @@ public:
     /// allocates or does string work). `trace` (optional, see obs::TraceSink::from_env
     /// and BLINKRADAR_TRACE) additionally emits one JSONL record per
     /// frame; stage durations in the trace require `metrics` too.
-    /// Both pointers must outlive the pipeline. Instrumentation only
-    /// observes: output is bit-identical with metrics on, off, or absent.
+    /// `recorder` (optional) attaches the always-on flight recorder: the
+    /// raw frame is ringed before the guard sees it, a per-stage scalar
+    /// tap (plus decimated full profiles) is ringed after every frame,
+    /// and the pipeline checkpoints its own state into the recorder on
+    /// the recorder's cadence so dumps replay (see core/postmortem.hpp).
+    /// The recorder outlives crashed pipelines, so it is owned by the
+    /// caller (typically core::Supervisor) — never by the pipeline.
+    /// All pointers must outlive the pipeline. Instrumentation only
+    /// observes: output is bit-identical with metrics on, off, or absent,
+    /// and likewise with or without a recorder.
     BlinkRadarPipeline(const radar::RadarConfig& radar,
                        PipelineConfig config = {},
                        obs::MetricsRegistry* metrics = nullptr,
-                       obs::TraceSink* trace = nullptr);
+                       obs::TraceSink* trace = nullptr,
+                       obs::FlightRecorder* recorder = nullptr);
 
     /// Process the next frame. With the frame guard enabled (the
     /// default) any sensor output is accepted: corrupt frames are
@@ -253,6 +263,14 @@ private:
     void observe_frame(const radar::RadarFrame& frame,
                        const FrameResult& result, HealthState before);
 
+    /// Flight-recorder close-out for one frame: the scalar tap, any
+    /// events (health transition, restart, bin switch, blink), a metrics
+    /// snapshot when due, and the periodic self-checkpoint. Only called
+    /// when a recorder is attached; allocation-free once warm.
+    void record_frame(std::uint64_t seq, const radar::RadarFrame& frame,
+                      const FrameResult& result, HealthState before,
+                      std::int64_t bin_before);
+
     radar::RadarConfig radar_;
     PipelineConfig config_;
 
@@ -310,6 +328,7 @@ private:
     PhaseWaveform phase_wave_;  ///< WaveformMode::kPhase accumulator
 
     std::unique_ptr<Instrumentation> instr_;  ///< null when uninstrumented
+    obs::FlightRecorder* recorder_ = nullptr;  ///< null when unrecorded
 };
 
 /// Batch result of running the pipeline over a recorded series.

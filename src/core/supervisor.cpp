@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/contracts.hpp"
+#include "core/postmortem.hpp"
 #include "state/snapshot.hpp"
 
 namespace blinkradar::core {
@@ -27,15 +28,20 @@ double steady_now_s() {
 
 Supervisor::Supervisor(const radar::RadarConfig& radar,
                        PipelineConfig pipeline_config, SupervisorConfig config,
-                       obs::MetricsRegistry* metrics)
+                       obs::MetricsRegistry* metrics, obs::TraceSink* trace)
     : radar_(radar),
       pipeline_config_(pipeline_config),
       config_(std::move(config)),
       metrics_(metrics),
+      trace_(trace),
       jitter_rng_(Rng(config_.seed).fork()) {
     BR_EXPECTS(config_.backoff_jitter >= 0.0 && config_.backoff_jitter < 1.0);
     BR_EXPECTS(config_.backoff_base_frames >= 1);
     BR_EXPECTS(config_.stall_timeout_s >= 0.0);
+    // The recorder must exist before the first pipeline: every pipeline
+    // this supervisor ever constructs shares it.
+    if (config_.flight_recorder)
+        recorder_ = std::make_unique<obs::FlightRecorder>(config_.recorder);
     pipeline_ = make_pipeline();
     if (metrics_ != nullptr) {
         counters_.frames = &metrics_->counter("supervisor.frames");
@@ -53,12 +59,16 @@ Supervisor::Supervisor(const radar::RadarConfig& radar,
         counters_.backoff_skipped =
             &metrics_->counter("supervisor.backoff_skipped_frames");
         counters_.stalls = &metrics_->counter("supervisor.stalls");
+        counters_.dumps = &metrics_->counter("supervisor.dumps");
+        counters_.dump_failures =
+            &metrics_->counter("supervisor.dump_failures");
     }
 }
 
 std::unique_ptr<BlinkRadarPipeline> Supervisor::make_pipeline() const {
     return std::make_unique<BlinkRadarPipeline>(radar_, pipeline_config_,
-                                                metrics_);
+                                                metrics_, trace_,
+                                                recorder_.get());
 }
 
 double Supervisor::now() { return clock_ ? clock_() : steady_now_s(); }
@@ -84,6 +94,12 @@ FrameResult Supervisor::process(const radar::RadarFrame& frame) {
         wall - last_wall_s_ > config_.stall_timeout_s) {
         bump(stats_.stalls, counters_.stalls);
         snapshot_due_ = true;
+        if (recorder_ != nullptr)
+            recorder_->record_event(obs::RecorderEvent::kSupervisorStall,
+                                    frame.timestamp_s, wall - last_wall_s_);
+        // A feed that wedged once may take the process down next: flush
+        // the trace tail and capture the black box while we can.
+        escalation_dump("stall");
     }
     have_last_wall_ = true;
     last_wall_s_ = wall;
@@ -102,6 +118,7 @@ FrameResult Supervisor::process(const radar::RadarFrame& frame) {
     for (;;) {
         try {
             const FrameResult result = attempt(frame);
+            fault_dump_written_ = false;  // next fault run dumps afresh
             if (++clean_streak_ >= config_.ladder_reset_frames)
                 consecutive_warm_restores_ = 0;
             ++frames_since_snapshot_;
@@ -115,10 +132,24 @@ FrameResult Supervisor::process(const radar::RadarFrame& frame) {
         } catch (const std::exception&) {
             bump(stats_.frame_faults, counters_.frame_faults);
             clean_streak_ = 0;
+            if (recorder_ != nullptr)
+                recorder_->record_event(obs::RecorderEvent::kSupervisorFault,
+                                        frame.timestamp_s);
+            // One automatic dump per fault run, at the first exception:
+            // the rings then hold the healthy lead-up plus the crash
+            // frame itself, and later escalation dumps capture the rest.
+            if (!fault_dump_written_) {
+                fault_dump_written_ = true;
+                escalation_dump("frame_fault");
+            }
             // Rung 1: retry the frame in place (transient faults).
             if (attempts < config_.max_frame_retries) {
                 ++attempts;
                 bump(stats_.retries, counters_.retries);
+                if (recorder_ != nullptr)
+                    recorder_->record_event(
+                        obs::RecorderEvent::kSupervisorRetry,
+                        frame.timestamp_s, static_cast<double>(attempts));
                 continue;
             }
             // A restore already happened for this frame and it still
@@ -128,20 +159,41 @@ FrameResult Supervisor::process(const radar::RadarFrame& frame) {
             if (restored_this_frame) {
                 backoff_remaining_ =
                     backoff_frames(consecutive_warm_restores_ - 1);
+                if (recorder_ != nullptr)
+                    recorder_->record_event(
+                        obs::RecorderEvent::kSupervisorBackoff,
+                        frame.timestamp_s,
+                        static_cast<double>(backoff_remaining_));
                 return skipped_result();
             }
             // Rung 3: the ladder is exhausted — rebuild from scratch.
             if (consecutive_warm_restores_ >= config_.max_warm_restores) {
                 cold_restart();
+                if (recorder_ != nullptr)
+                    recorder_->record_event(
+                        obs::RecorderEvent::kSupervisorColdRestart,
+                        frame.timestamp_s);
+                escalation_dump("cold_restart");
                 return skipped_result();
             }
             // Rung 2: warm-restore from the newest readable snapshot.
             ++consecutive_warm_restores_;
             if (!warm_restore()) {
                 cold_restart();
+                if (recorder_ != nullptr)
+                    recorder_->record_event(
+                        obs::RecorderEvent::kSupervisorColdRestart,
+                        frame.timestamp_s);
+                escalation_dump("cold_restart");
                 return skipped_result();
             }
             restored_this_frame = true;
+            if (recorder_ != nullptr)
+                recorder_->record_event(
+                    obs::RecorderEvent::kSupervisorWarmRestore,
+                    frame.timestamp_s,
+                    static_cast<double>(consecutive_warm_restores_));
+            escalation_dump("warm_restore");
         }
     }
 }
@@ -175,6 +227,9 @@ bool Supervisor::snapshot_now() {
     last_good_ = std::move(bytes);
     frames_since_snapshot_ = 0;
     bump(stats_.snapshots, counters_.snapshots);
+    // Feed the autosnapshot to the black box as a replay base: it is the
+    // live state at the current recorder sequence (see postmortem.hpp).
+    if (recorder_ != nullptr) recorder_->note_checkpoint(last_good_);
     if (config_.snapshot_dir.empty()) return true;
     try {
         state::write_snapshot_file(slot_path(next_slot_), last_good_);
@@ -208,6 +263,9 @@ bool Supervisor::warm_restore() {
         try {
             if (restore_from_bytes(bytes)) {
                 bump(stats_.warm_restores, counters_.warm_restores);
+                // Re-base the replay timeline: from this recorder seq on,
+                // the live pipeline's state IS these bytes.
+                note_restore_checkpoint(bytes);
                 return true;
             }
         } catch (const std::exception&) {
@@ -238,6 +296,14 @@ bool Supervisor::warm_restore() {
 void Supervisor::cold_restart() {
     pipeline_ = make_pipeline();
     bump(stats_.cold_restarts, counters_.cold_restarts);
+    // Re-base the replay timeline on the from-scratch state.
+    if (recorder_ != nullptr) {
+        try {
+            note_restore_checkpoint(serialize_pipeline());
+        } catch (const std::exception&) {
+            // Serialisation failing must not take the restart down.
+        }
+    }
     consecutive_warm_restores_ = 0;
     backoff_remaining_ = 0;
     frames_since_snapshot_ = 0;
@@ -264,8 +330,55 @@ std::size_t Supervisor::backoff_frames(std::size_t attempt) {
 void Supervisor::restore_from_file(const std::string& path) {
     std::vector<std::uint8_t> bytes = state::read_snapshot_file(path);
     restore_from_bytes(bytes);  // throws on rejection; pipeline_ kept
+    note_restore_checkpoint(bytes);
     last_good_ = std::move(bytes);
     frames_since_snapshot_ = 0;
+}
+
+void Supervisor::note_restore_checkpoint(
+    const std::vector<std::uint8_t>& bytes) {
+    if (recorder_ != nullptr) recorder_->note_checkpoint(bytes);
+}
+
+std::string Supervisor::dump_path(std::size_t slot) const {
+    const std::string& dir =
+        config_.dump_dir.empty() ? config_.snapshot_dir : config_.dump_dir;
+    return dir + "/" + config_.snapshot_basename + ".dump" +
+           std::to_string(slot) + ".brfr";
+}
+
+std::string Supervisor::dump_now(const std::string& path,
+                                 std::string_view reason) {
+    if (recorder_ == nullptr) return "";
+    std::string target = path;
+    if (target.empty()) {
+        if (config_.dump_dir.empty() && config_.snapshot_dir.empty())
+            return "";
+        target = dump_path(next_dump_);
+    }
+    try {
+        write_flight_dump_file(target, *recorder_, radar_, pipeline_config_,
+                               reason);
+    } catch (const std::exception&) {
+        // Dumping is best-effort by contract: a full disk must not turn
+        // an absorbed pipeline fault into a supervisor crash.
+        bump(stats_.dump_failures, counters_.dump_failures);
+        return "";
+    }
+    if (path.empty()) next_dump_ ^= 1u;
+    bump(stats_.dumps, counters_.dumps);
+    last_dump_path_ = target;
+    recorder_->record_event(obs::RecorderEvent::kDump, last_wall_s_);
+    return target;
+}
+
+void Supervisor::escalation_dump(std::string_view reason) {
+    // Crash-or-escalation path: push the buffered trace tail out first —
+    // if the next step takes the process down, the JSONL stream still
+    // ends at the incident, not seconds before it.
+    if (trace_ != nullptr) trace_->flush();
+    if (!config_.dump_on_fault) return;
+    dump_now("", reason);
 }
 
 }  // namespace blinkradar::core

@@ -37,7 +37,9 @@
 
 #include "common/random.hpp"
 #include "core/pipeline.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace blinkradar::core {
 
@@ -78,6 +80,26 @@ struct SupervisorConfig {
 
     /// Seed for the jitter stream (forked; independent of everything).
     std::uint64_t seed = 1;
+
+    /// Attach an always-on obs::FlightRecorder to the supervised
+    /// pipeline (the black box survives pipeline replacement, so the
+    /// supervisor owns it). Disable for batch evaluation sweeps where
+    /// post-mortem capture is dead weight (eval::run_recovery_session
+    /// does).
+    bool flight_recorder = true;
+
+    /// Ring depths / cadences for the recorder when enabled.
+    obs::FlightRecorderConfig recorder;
+
+    /// Write a flight dump (rotating <basename>.dump{0,1}.brfr) on the
+    /// first exception of a fault run, on every warm restore / cold
+    /// restart, and on a stall-watchdog fire.
+    bool dump_on_fault = true;
+
+    /// Directory for dump files; empty falls back to snapshot_dir, and
+    /// with both empty the recorder still records but nothing is written
+    /// automatically (dump_now() with an explicit path still works).
+    std::string dump_dir;
 };
 
 /// Plain mirror of the supervisor.* metrics, available without a
@@ -93,6 +115,8 @@ struct SupervisorStats {
     std::uint64_t restore_failures = 0;  ///< snapshot sources that failed
     std::uint64_t backoff_skipped = 0;   ///< frames skipped while backing off
     std::uint64_t stalls = 0;            ///< watchdog trips
+    std::uint64_t dumps = 0;             ///< flight dumps written
+    std::uint64_t dump_failures = 0;     ///< dump writes that failed
 };
 
 /// Crash-safe run loop around a BlinkRadarPipeline. Feed frames through
@@ -110,9 +134,13 @@ public:
     /// the injection point the crash drills and tests use.
     using FaultHook = std::function<void(std::uint64_t frame_index)>;
 
+    /// `trace` (optional, e.g. obs::TraceSink::from_env) is passed to
+    /// every supervised pipeline and flushed on every escalation step so
+    /// a crash cannot swallow the buffered tail of the JSONL stream.
     Supervisor(const radar::RadarConfig& radar, PipelineConfig pipeline_config,
                SupervisorConfig config = {},
-               obs::MetricsRegistry* metrics = nullptr);
+               obs::MetricsRegistry* metrics = nullptr,
+               obs::TraceSink* trace = nullptr);
 
     /// Process one frame under supervision. Never throws for pipeline
     /// faults (contract violations in the supervisor's own use of the
@@ -139,6 +167,24 @@ public:
     /// True once at least one checkpoint exists (memory or disk).
     bool has_snapshot() const noexcept { return !last_good_.empty(); }
 
+    /// The attached flight recorder (null when disabled by config).
+    const obs::FlightRecorder* flight_recorder() const noexcept {
+        return recorder_.get();
+    }
+
+    /// Write a flight dump now, to `path` (or, when empty, to the next
+    /// rotating automatic slot). Returns the path written, or "" when no
+    /// recorder is attached or no directory is configured/given. Never
+    /// throws: a failed write is counted in stats().dump_failures.
+    std::string dump_now(const std::string& path = "",
+                         std::string_view reason = "manual");
+
+    /// Path of the most recent successfully written flight dump ("" if
+    /// none yet).
+    const std::string& last_dump_path() const noexcept {
+        return last_dump_path_;
+    }
+
     /// Frame index (process() calls so far).
     std::uint64_t frame_index() const noexcept { return stats_.frames; }
 
@@ -160,11 +206,23 @@ private:
     std::size_t backoff_frames(std::size_t attempt);
     double now();
     FrameResult skipped_result() const;
+    std::string dump_path(std::size_t slot) const;
+    /// Automatic dump + escalation trace flush (no-ops when disabled).
+    void escalation_dump(std::string_view reason);
+    void note_restore_checkpoint(const std::vector<std::uint8_t>& bytes);
 
     radar::RadarConfig radar_;
     PipelineConfig pipeline_config_;
     SupervisorConfig config_;
     obs::MetricsRegistry* metrics_ = nullptr;
+    obs::TraceSink* trace_ = nullptr;
+
+    /// The black box. Owned here, not by the pipeline: recovery replaces
+    /// pipelines, and the incident record must survive the swap.
+    std::unique_ptr<obs::FlightRecorder> recorder_;
+    std::size_t next_dump_ = 0;           ///< dump slot to overwrite next
+    bool fault_dump_written_ = false;     ///< one auto-dump per fault run
+    std::string last_dump_path_;
 
     std::unique_ptr<BlinkRadarPipeline> pipeline_;
 
@@ -201,6 +259,8 @@ private:
         obs::Counter* restore_failures = nullptr;
         obs::Counter* backoff_skipped = nullptr;
         obs::Counter* stalls = nullptr;
+        obs::Counter* dumps = nullptr;
+        obs::Counter* dump_failures = nullptr;
     } counters_;
 };
 

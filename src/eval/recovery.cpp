@@ -46,6 +46,10 @@ RecoverySession run_recovery_session(const sim::ScenarioConfig& scenario,
     sup_config.snapshot_interval_frames = snapshot_interval_frames;
     sup_config.seed = scenario.seed * 31 + drill.seed;
     sup_config.stall_timeout_s = 0.0;  // no wall-clock in a batch replay
+    // Batch drills measure recovery policy, not post-mortems: the flight
+    // recorder's raw-frame ring is dead weight across thousands of
+    // simulated crashes, so leave the black box off here.
+    sup_config.flight_recorder = false;
     core::Supervisor supervisor(session.radar, pipeline, sup_config);
 
     RecoverySession out;

@@ -16,6 +16,14 @@ std::unique_ptr<TraceSink> TraceSink::from_env() {
     return std::make_unique<TraceSink>(path);
 }
 
+TraceSink::~TraceSink() {
+    flush();
+}
+
+void TraceSink::flush() {
+    out_.flush();
+}
+
 void TraceSink::write_line(std::string_view line) {
     out_.write(line.data(), static_cast<std::streamsize>(line.size()));
     out_.put('\n');

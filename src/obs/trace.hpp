@@ -28,8 +28,16 @@ public:
     /// set and non-empty, nullptr otherwise.
     static std::unique_ptr<TraceSink> from_env();
 
+    ~TraceSink();
+
     /// Append one JSONL record (the newline is added here).
     void write_line(std::string_view line);
+
+    /// Push buffered lines to the OS. The stream buffers for throughput,
+    /// so a crash can swallow the most interesting tail of the trace;
+    /// the Supervisor flushes on every escalation step, and the
+    /// destructor flushes so a clean shutdown never loses lines either.
+    void flush();
 
     const std::string& path() const noexcept { return path_; }
     std::size_t lines_written() const noexcept { return lines_; }

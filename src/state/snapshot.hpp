@@ -76,8 +76,25 @@ class StateWriter {
 public:
     StateWriter();
 
+    /// Construct reusing `recycle`'s storage (contents are discarded,
+    /// capacity is kept). Steady-state writers — the flight recorder's
+    /// periodic replay-base checkpoints — round-robin a spare buffer
+    /// through this constructor so serialisation stops allocating once
+    /// the buffer has grown to the working-set size.
+    explicit StateWriter(std::vector<std::uint8_t>&& recycle);
+
     void begin_section(std::uint32_t tag, std::uint16_t version);
     void end_section();
+
+    /// Switch end_section() to writing a zero CRC placeholder instead of
+    /// computing the real checksum. Checksumming is by far the dominant
+    /// cost of serialising large states (the table-driven CRC runs at a
+    /// few ns/byte, ~30x the bulk-copy cost), so hot-path writers — the
+    /// flight recorder's periodic in-memory replay-base checkpoints —
+    /// defer it and call seal_section_crcs() once, at dump time, on the
+    /// rare buffers that actually leave the process. A deferred
+    /// container MUST be sealed before it is handed to StateReader.
+    void defer_crcs() noexcept { defer_crc_ = true; }
 
     void write_u8(std::uint8_t v);
     void write_u16(std::uint16_t v);
@@ -105,7 +122,16 @@ private:
     std::size_t section_header_ = 0;  ///< offset of the open section
     bool in_section_ = false;
     bool finished_ = false;
+    bool defer_crc_ = false;
 };
+
+/// Recompute and fill in every section CRC of a finished container in
+/// place. Idempotent on an already-sealed container; the complement of
+/// StateWriter::defer_crcs(). Throws SnapshotError when the container's
+/// structure (header, section lengths) does not parse — a deferred
+/// buffer can only legitimately come from a StateWriter, so structural
+/// damage means the caller handed over the wrong bytes.
+void seal_section_crcs(std::span<std::uint8_t> container);
 
 /// Parses and validates a snapshot container. Construction walks every
 /// section frame and checks structure and CRCs up front, so a reader

@@ -168,9 +168,76 @@ TEST(Snapshot, CsvHasOneRowPerMetric) {
               0u);
 }
 
+TEST(Snapshot, CsvQuotesAwkwardMetricNames) {
+    // Metric names are caller-chosen strings; a name carrying the CSV
+    // delimiter or quotes must round-trip through the RFC-4180 quoting
+    // CsvWriter applies, not shift every column after it.
+    MetricsRegistry r;
+    r.counter("weird,name").inc(7);
+    r.gauge("has\"quote").set(1.5);
+    const std::string path = ::testing::TempDir() + "br_obs_quoted.csv";
+    snapshot_to_csv(r, path);
+    const std::string text = read_all(path);
+    std::remove(path.c_str());
+    EXPECT_NE(text.find("counter,\"weird,name\",,,,,,,7"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("gauge,\"has\"\"quote\",,,,,,,1.5"),
+              std::string::npos)
+        << text;
+}
+
 TEST(StageTimer, NullHistogramIsInert) {
     { const StageTimer t(nullptr); }
     SUCCEED();
+}
+
+#if defined(BLINKRADAR_OBS_TSC)
+TEST(StageTimer, UncalibratedTscReadsZeroNeverGarbage) {
+    // Before calibrate_clock() runs, the tick ratio is 0 and spans must
+    // record as 0 ns — never a raw (huge) tick count leaking into the
+    // histogram. Restore the calibration afterwards for later tests.
+    const double saved = detail::g_ns_per_tick.load();
+    detail::g_ns_per_tick.store(0.0);
+    LatencyHistogram h;
+    {
+        const StageTimer t(&h);
+        volatile double sink = 0.0;
+        for (int i = 0; i < 20'000; ++i) sink = sink + 1.0;
+    }
+    detail::g_ns_per_tick.store(saved);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.sum_ns(), 0u);
+}
+#else
+TEST(StageTimer, SteadyClockFallbackRecordsRealDurations) {
+    // Without the TSC path the timer must still measure via
+    // steady_clock with a unit tick ratio.
+    EXPECT_EQ(detail::ns_per_tick(), 1.0);
+    LatencyHistogram h;
+    {
+        const StageTimer t(&h);
+        volatile double sink = 0.0;
+        for (int i = 0; i < 20'000; ++i) sink = sink + 1.0;
+    }
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_GT(h.sum_ns(), 0u);
+}
+#endif
+
+TEST(StageTimer, CalibrationSurvivesAndTimesAfterReset) {
+    // calibrate_clock() is idempotent and must leave the timer able to
+    // measure a real duration (the steady fallback inside calibration).
+    detail::calibrate_clock();
+    detail::calibrate_clock();
+    LatencyHistogram h;
+    {
+        const StageTimer t(&h);
+        volatile double sink = 0.0;
+        for (int i = 0; i < 200'000; ++i) sink = sink + 1.0;
+    }
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_GT(h.sum_ns(), 0u);
 }
 
 TEST(StageTimer, RecordsScopeDurationAndMirrorsLastNs) {
@@ -218,6 +285,18 @@ TEST(TraceSink, FromEnvHonoursGatingVariable) {
 TEST(TraceSink, ThrowsOnUnopenablePath) {
     EXPECT_THROW(TraceSink("/nonexistent-dir/trace.jsonl"),
                  std::runtime_error);
+}
+
+TEST(TraceSink, FlushMakesRecordsVisibleWhileOpen) {
+    // The supervisor flushes the trace before writing a crash dump so
+    // the last records are on disk even if the process dies right after;
+    // flush() must publish without waiting for the destructor.
+    const std::string path = ::testing::TempDir() + "br_obs_flush.jsonl";
+    TraceSink sink(path);
+    sink.write_line("{\"last\": true}");
+    sink.flush();
+    EXPECT_EQ(read_all(path), "{\"last\": true}\n");
+    std::remove(path.c_str());
 }
 
 }  // namespace

@@ -132,6 +132,51 @@ TEST(PipelineAllocation, InstrumentedFramePathIsAllocationFree) {
               warmup + measured);
 }
 
+TEST(PipelineAllocation, FlightRecorderFramePathIsAllocationFree) {
+    // The black box shares the contract too: once every ring has wrapped
+    // and all three checkpoint buffers are warm, recording a frame is
+    // slot-recycling assignments only. Small rings + a fast checkpoint
+    // cadence make the 400-frame warmup cover every steady-state path
+    // (ring wrap, profile tap, metrics snap, checkpoint rotation).
+    sim::ScenarioConfig sc;
+    Rng rng(11);
+    sc.driver = physio::sample_participants(1, rng).front();
+    sc.duration_s = 40.0;
+    sc.seed = 12;
+    const sim::SimulatedSession s = sim::simulate_session(sc);
+
+    PipelineConfig cfg;
+    cfg.update_interval_frames = 1u << 20;
+    cfg.reselect_interval_frames = 1u << 20;
+    obs::FlightRecorderConfig rec_cfg;
+    rec_cfg.raw_ring_frames = 128;
+    rec_cfg.tap_ring_frames = 128;
+    rec_cfg.event_ring = 64;
+    rec_cfg.profile_ring = 16;
+    rec_cfg.profile_interval_frames = 8;
+    rec_cfg.metrics_ring = 8;
+    rec_cfg.metrics_interval_frames = 64;
+    rec_cfg.checkpoint_interval_frames = 64;
+    obs::FlightRecorder recorder(rec_cfg);
+    BlinkRadarPipeline pipeline(s.radar, cfg, nullptr, nullptr, &recorder);
+
+    const std::size_t warmup = 400;
+    const std::size_t measured = 250;
+    ASSERT_GE(s.frames.size(), warmup + measured);
+    for (std::size_t i = 0; i < warmup; ++i) pipeline.process(s.frames[i]);
+    ASSERT_TRUE(pipeline.selected_bin().has_value());
+    const std::size_t restarts_before = pipeline.restarts();
+
+    const std::size_t before = g_alloc_count.load();
+    for (std::size_t i = warmup; i < warmup + measured; ++i)
+        pipeline.process(s.frames[i]);
+    const std::size_t after = g_alloc_count.load();
+
+    ASSERT_EQ(pipeline.restarts(), restarts_before);
+    EXPECT_EQ(after - before, 0u);
+    EXPECT_EQ(recorder.seq(), warmup + measured);
+}
+
 TEST(PipelineAllocation, CountingAllocatorIsLive) {
     const std::size_t before = g_alloc_count.load();
     auto* v = new std::vector<double>(64);

@@ -23,8 +23,9 @@ namespace {
 constexpr std::uint32_t kTagA = state::make_tag("AAAA");
 constexpr std::uint32_t kTagB = state::make_tag("BBBB");
 
-std::vector<std::uint8_t> sample_snapshot() {
+std::vector<std::uint8_t> sample_snapshot(bool defer_crcs = false) {
     StateWriter w;
+    if (defer_crcs) w.defer_crcs();
     w.begin_section(kTagA, 1);
     w.write_u8(0x5A);
     w.write_u16(0xBEEF);
@@ -300,6 +301,49 @@ TEST(StateSnapshot, MissingFileThrows) {
     EXPECT_THROW(state::write_snapshot_file(
                      "/nonexistent/dir/never_here.snap", sample_snapshot()),
                  state::SnapshotError);
+}
+
+TEST(StateSnapshot, DeferredCrcsSealToTheExactEagerBytes) {
+    // A deferred writer emits zero CRC placeholders: the container must
+    // be rejected as-is, and seal_section_crcs must produce exactly the
+    // bytes an eager writer would have.
+    const std::vector<std::uint8_t> eager = sample_snapshot();
+    std::vector<std::uint8_t> deferred = sample_snapshot(/*defer_crcs=*/true);
+
+    ASSERT_EQ(deferred.size(), eager.size());
+    EXPECT_NE(deferred, eager);  // placeholder CRCs differ
+    EXPECT_THROW(StateReader{deferred}, state::SnapshotError);
+
+    state::seal_section_crcs(deferred);
+    EXPECT_EQ(deferred, eager);
+    EXPECT_NO_THROW(StateReader{deferred});
+
+    // Sealing is idempotent, including on eagerly written containers.
+    state::seal_section_crcs(deferred);
+    EXPECT_EQ(deferred, eager);
+}
+
+TEST(StateSnapshot, SealRejectsStructuralDamage) {
+    std::vector<std::uint8_t> bytes = sample_snapshot();
+    EXPECT_NO_THROW(state::seal_section_crcs(bytes));
+
+    std::vector<std::uint8_t> short_header(bytes.begin(), bytes.begin() + 4);
+    EXPECT_THROW(state::seal_section_crcs(short_header),
+                 state::SnapshotError);
+
+    std::vector<std::uint8_t> bad_magic = bytes;
+    bad_magic[0] ^= 0xFF;
+    EXPECT_THROW(state::seal_section_crcs(bad_magic), state::SnapshotError);
+
+    // Inflate the first section's payload length past the container.
+    std::vector<std::uint8_t> bad_len = bytes;
+    bad_len[8 + 8] = 0xFF;
+    bad_len[8 + 9] = 0xFF;
+    EXPECT_THROW(state::seal_section_crcs(bad_len), state::SnapshotError);
+
+    // Cut mid-section so the section header itself is truncated.
+    std::vector<std::uint8_t> cut(bytes.begin(), bytes.begin() + 8 + 6);
+    EXPECT_THROW(state::seal_section_crcs(cut), state::SnapshotError);
 }
 
 TEST(StateSnapshot, TagNameFormatsPrintableAndBinaryTags) {

@@ -1,0 +1,333 @@
+// br_inspect: decode, export, and replay BlinkRadar flight dumps.
+//
+//   br_inspect <dump.brfr>                 human-readable summary
+//   br_inspect <dump.brfr> --csv PREFIX    PREFIX_{taps,events,metrics,
+//                                          profiles}.csv artifacts
+//   br_inspect <dump.brfr> --jsonl PATH    one JSON record per tap
+//   br_inspect <dump.brfr> --replay        re-run the captured frames
+//                                          through a pipeline restored
+//                                          from the co-dumped state and
+//                                          cross-check bit-identical
+//                                          FrameResults
+//
+// Exit status: 0 on success (and verified replay), 1 when --replay found
+// divergence or no usable replay base, 2 on usage errors or a dump the
+// state layer rejects (truncated / bit-flipped — every section is CRC32
+// checked).
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/csv.hpp"
+#include "core/frame_guard.hpp"
+#include "core/postmortem.hpp"
+#include "state/snapshot.hpp"
+
+namespace {
+
+using namespace blinkradar;
+
+int usage() {
+    std::fprintf(stderr,
+                 "usage: br_inspect <dump.brfr> [--csv PREFIX] "
+                 "[--jsonl PATH] [--replay]\n");
+    return 2;
+}
+
+const char* health_name(std::uint8_t h) {
+    return core::to_string(static_cast<core::HealthState>(h));
+}
+
+const char* verdict_name(std::uint8_t v) {
+    return core::to_string(static_cast<core::FrameVerdict>(v));
+}
+
+void print_summary(const core::DecodedDump& dump) {
+    const obs::FlightDump& f = dump.flight;
+    std::printf("flight dump: reason \"%s\", %" PRIu64 " frames recorded\n",
+                f.reason.c_str(), f.seq_at_dump);
+    std::printf(
+        "  radar: %zu bins, %.1f Hz frames, carrier %.2f GHz\n",
+        dump.configs.radar.n_bins(), dump.configs.radar.frame_rate_hz(),
+        dump.configs.radar.carrier_hz / 1e9);
+    if (!f.raw.empty())
+        std::printf("  raw ring: %zu frames, seq %" PRIu64 "..%" PRIu64
+                    " (t %.3f..%.3f s)\n",
+                    f.raw.size(), f.raw.front().seq, f.raw.back().seq,
+                    f.raw.front().frame.timestamp_s,
+                    f.raw.back().frame.timestamp_s);
+    else
+        std::printf("  raw ring: empty\n");
+    std::printf("  taps: %zu, profiles: %zu, metrics snapshots: %zu\n",
+                f.taps.size(), f.profiles.size(), f.metrics.size());
+    std::printf("  checkpoints:");
+    if (f.checkpoints.empty()) std::printf(" none");
+    for (const auto& c : f.checkpoints)
+        std::printf(" seq %" PRIu64 " (%zu bytes)", c.seq, c.bytes.size());
+    std::printf("\n");
+
+    std::printf("  events (%zu):\n", f.events.size());
+    for (const obs::TapEvent& ev : f.events) {
+        const auto type = static_cast<obs::RecorderEvent>(ev.type);
+        std::printf("    seq %6" PRIu64 "  t %9.3f  %-24s", ev.seq, ev.t,
+                    obs::to_string(type));
+        switch (type) {
+            case obs::RecorderEvent::kHealthTransition:
+                std::printf(" %s -> %s",
+                            health_name(static_cast<std::uint8_t>(ev.a)),
+                            health_name(static_cast<std::uint8_t>(ev.b)));
+                break;
+            case obs::RecorderEvent::kBinSwitch:
+                std::printf(" bin %.0f -> %.0f", ev.a, ev.b);
+                break;
+            case obs::RecorderEvent::kBlink:
+                std::printf(" peak %.3f s, strength %.2f", ev.a, ev.b);
+                break;
+            case obs::RecorderEvent::kCheckpoint:
+                std::printf(" %.0f bytes", ev.a);
+                break;
+            case obs::RecorderEvent::kSupervisorBackoff:
+                std::printf(" skip %.0f frames", ev.a);
+                break;
+            case obs::RecorderEvent::kSupervisorStall:
+                std::printf(" gap %.2f s", ev.a);
+                break;
+            default:
+                break;
+        }
+        std::printf("\n");
+    }
+
+    if (!f.taps.empty()) {
+        std::printf("  last taps:\n");
+        const std::size_t start = f.taps.size() > 8 ? f.taps.size() - 8 : 0;
+        for (std::size_t i = start; i < f.taps.size(); ++i) {
+            const obs::FrameTap& tap = f.taps[i];
+            std::printf("    seq %6" PRIu64 "  t %9.3f  %-11s %-11s bin %4" PRId64
+                        "  d %+.4e%s%s\n",
+                        tap.seq, tap.t, verdict_name(tap.verdict),
+                        health_name(tap.health), tap.selected_bin,
+                        tap.waveform, tap.cold_start ? "  [cold]" : "",
+                        tap.has_blink ? "  [blink]" : "");
+        }
+    }
+}
+
+void export_csv(const core::DecodedDump& dump, const std::string& prefix) {
+    const obs::FlightDump& f = dump.flight;
+
+    CsvWriter taps(prefix + "_taps.csv",
+                   {"seq", "t", "verdict", "health", "cold_start",
+                    "restarted", "blink", "selected_bin", "bin_i", "bin_q",
+                    "fit_cx", "fit_cy", "fit_radius", "fit_residual",
+                    "waveform", "levd_threshold", "levd_sigma",
+                    "blink_peak_s", "blink_duration_s", "blink_magnitude",
+                    "blink_strength", "repaired_samples", "bridged_frames"});
+    for (const obs::FrameTap& tap : f.taps) {
+        taps.row(std::vector<std::string>{
+            std::to_string(tap.seq), std::to_string(tap.t),
+            verdict_name(tap.verdict), health_name(tap.health),
+            tap.cold_start ? "1" : "0", tap.restarted ? "1" : "0",
+            tap.has_blink ? "1" : "0", std::to_string(tap.selected_bin),
+            std::to_string(tap.bin_iq.real()),
+            std::to_string(tap.bin_iq.imag()), std::to_string(tap.fit_cx),
+            std::to_string(tap.fit_cy), std::to_string(tap.fit_radius),
+            std::to_string(tap.fit_residual), std::to_string(tap.waveform),
+            std::to_string(tap.levd_threshold),
+            std::to_string(tap.levd_sigma),
+            std::to_string(tap.blink_peak_s),
+            std::to_string(tap.blink_duration_s),
+            std::to_string(tap.blink_magnitude),
+            std::to_string(tap.blink_strength),
+            std::to_string(tap.repaired_samples),
+            std::to_string(tap.bridged_frames)});
+    }
+
+    CsvWriter events(prefix + "_events.csv", {"seq", "t", "type", "a", "b"});
+    for (const obs::TapEvent& ev : f.events) {
+        events.row(std::vector<std::string>{
+            std::to_string(ev.seq), std::to_string(ev.t),
+            obs::to_string(static_cast<obs::RecorderEvent>(ev.type)),
+            std::to_string(ev.a), std::to_string(ev.b)});
+    }
+
+    CsvWriter metrics(prefix + "_metrics.csv",
+                      {"seq", "t", "frames", "blinks", "restarts",
+                       "quarantined", "repaired", "bridged", "gaps",
+                       "signal_losses", "warm_restarts", "fault_rate",
+                       "levd_threshold", "levd_sigma"});
+    for (const obs::MetricsSnap& m : f.metrics) {
+        metrics.row(std::vector<double>{
+            static_cast<double>(m.seq), m.t, static_cast<double>(m.frames),
+            static_cast<double>(m.blinks), static_cast<double>(m.restarts),
+            static_cast<double>(m.quarantined),
+            static_cast<double>(m.repaired), static_cast<double>(m.bridged),
+            static_cast<double>(m.gaps),
+            static_cast<double>(m.signal_losses),
+            static_cast<double>(m.warm_restarts), m.fault_rate,
+            m.levd_threshold, m.levd_sigma});
+    }
+
+    // Long format: one row per (frame, bin) keeps the file trivially
+    // plottable (pivot on seq) without a bins-wide header.
+    CsvWriter profiles(prefix + "_profiles.csv",
+                       {"seq", "bin", "pre_i", "pre_q", "sub_i", "sub_q"});
+    for (const auto& p : f.profiles) {
+        for (std::size_t b = 0; b < p.pre.size(); ++b) {
+            profiles.row(std::vector<double>{
+                static_cast<double>(p.seq), static_cast<double>(b),
+                p.pre[b].real(), p.pre[b].imag(),
+                b < p.sub.size() ? p.sub[b].real() : 0.0,
+                b < p.sub.size() ? p.sub[b].imag() : 0.0});
+        }
+    }
+
+    std::printf("wrote %s_{taps,events,metrics,profiles}.csv\n",
+                prefix.c_str());
+}
+
+void append_json_double(std::string& out, double v) {
+    char buf[32];
+    const int n = std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out.append(buf, static_cast<std::size_t>(n > 0 ? n : 0));
+}
+
+void export_jsonl(const core::DecodedDump& dump, const std::string& path) {
+    // Same spirit as the BLINKRADAR_TRACE stream: one self-contained
+    // JSON object per frame tap, numbers at round-trip precision.
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    if (out == nullptr)
+        throw std::runtime_error("br_inspect: cannot open " + path);
+    std::string line;
+    line.reserve(512);
+    for (const obs::FrameTap& tap : dump.flight.taps) {
+        line.clear();
+        line += "{\"seq\": " + std::to_string(tap.seq);
+        line += ", \"t\": ";
+        append_json_double(line, tap.t);
+        line += ", \"verdict\": \"";
+        line += verdict_name(tap.verdict);
+        line += "\", \"health\": \"";
+        line += health_name(tap.health);
+        line += "\", \"cold_start\": ";
+        line += tap.cold_start ? "true" : "false";
+        line += ", \"restarted\": ";
+        line += tap.restarted ? "true" : "false";
+        line += ", \"blink\": ";
+        line += tap.has_blink ? "true" : "false";
+        line += ", \"selected_bin\": " + std::to_string(tap.selected_bin);
+        line += ", \"bin_iq\": [";
+        append_json_double(line, tap.bin_iq.real());
+        line += ", ";
+        append_json_double(line, tap.bin_iq.imag());
+        line += "], \"fit\": {\"cx\": ";
+        append_json_double(line, tap.fit_cx);
+        line += ", \"cy\": ";
+        append_json_double(line, tap.fit_cy);
+        line += ", \"radius\": ";
+        append_json_double(line, tap.fit_radius);
+        line += ", \"residual\": ";
+        append_json_double(line, tap.fit_residual);
+        line += "}, \"waveform\": ";
+        append_json_double(line, tap.waveform);
+        line += ", \"levd\": {\"threshold\": ";
+        append_json_double(line, tap.levd_threshold);
+        line += ", \"sigma\": ";
+        append_json_double(line, tap.levd_sigma);
+        line += "}";
+        if (tap.has_blink) {
+            line += ", \"blink_event\": {\"peak_s\": ";
+            append_json_double(line, tap.blink_peak_s);
+            line += ", \"duration_s\": ";
+            append_json_double(line, tap.blink_duration_s);
+            line += ", \"magnitude\": ";
+            append_json_double(line, tap.blink_magnitude);
+            line += ", \"strength\": ";
+            append_json_double(line, tap.blink_strength);
+            line += "}";
+        }
+        line += ", \"repaired_samples\": " +
+                std::to_string(tap.repaired_samples);
+        line += ", \"bridged_frames\": " + std::to_string(tap.bridged_frames);
+        line += "}\n";
+        std::fputs(line.c_str(), out);
+    }
+    std::fclose(out);
+    std::printf("wrote %zu tap records to %s\n", dump.flight.taps.size(),
+                path.c_str());
+}
+
+int run_replay(const core::DecodedDump& dump) {
+    const core::ReplayReport report = core::replay_flight_dump(dump);
+    std::printf("replay: %s\n", report.note.c_str());
+    if (report.from_cold)
+        std::printf("  base: cold pipeline (ring reaches back to frame 1)\n");
+    else
+        std::printf("  base: checkpoint at seq %" PRIu64 "\n",
+                    report.base_seq);
+    std::printf("  frames replayed: %" PRIu64 ", taps compared: %" PRIu64
+                ", crash frames (no tap): %" PRIu64 "\n",
+                report.frames_replayed, report.taps_compared,
+                report.taps_missing);
+    std::printf("  re-bases across checkpoints: %" PRIu64
+                ", replay faults: %" PRIu64 "\n",
+                report.rebases, report.replay_faults);
+    for (const core::ReplayMismatch& m : report.mismatches)
+        std::printf("  MISMATCH seq %" PRIu64 " %s: recorded %.17g, "
+                    "replayed %.17g\n",
+                    m.seq, m.field.c_str(), m.recorded, m.replayed);
+    if (report.mismatch_count > report.mismatches.size())
+        std::printf("  (%" PRIu64 " further mismatches not shown)\n",
+                    report.mismatch_count -
+                        static_cast<std::uint64_t>(report.mismatches.size()));
+    return report.ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string dump_path;
+    std::string csv_prefix;
+    std::string jsonl_path;
+    bool replay = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--csv" && i + 1 < argc) {
+            csv_prefix = argv[++i];
+        } else if (arg == "--jsonl" && i + 1 < argc) {
+            jsonl_path = argv[++i];
+        } else if (arg == "--replay") {
+            replay = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage();
+        } else if (dump_path.empty()) {
+            dump_path = arg;
+        } else {
+            return usage();
+        }
+    }
+    if (dump_path.empty()) return usage();
+
+    core::DecodedDump dump;
+    try {
+        dump = core::read_flight_dump_file(dump_path);
+    } catch (const blinkradar::state::SnapshotError& e) {
+        std::fprintf(stderr, "br_inspect: %s: %s\n", dump_path.c_str(),
+                     e.what());
+        return 2;
+    }
+
+    try {
+        print_summary(dump);
+        if (!csv_prefix.empty()) export_csv(dump, csv_prefix);
+        if (!jsonl_path.empty()) export_jsonl(dump, jsonl_path);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "br_inspect: %s\n", e.what());
+        return 2;
+    }
+    if (replay) return run_replay(dump);
+    return 0;
+}
