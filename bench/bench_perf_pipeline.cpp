@@ -65,15 +65,40 @@ private:
     std::uint64_t n_ = 0;
 };
 
+/// Config pinned to one DSP path, immune to the BLINKRADAR_DSP_PATH
+/// environment override (benches must measure what their name says).
+core::PipelineConfig pinned(core::DspPath path) {
+    core::PipelineConfig config;
+    config.dsp_path = path;
+    return config;
+}
+
+// The legacy interleaved-complex reference path (pre-SoA hot path);
+// kept pinned so the committed baseline numbers stay comparable.
 void BM_PipelinePerFrame(benchmark::State& state) {
     const auto& s = session();
-    core::BlinkRadarPipeline pipeline(s.radar);
+    core::BlinkRadarPipeline pipeline(s.radar, pinned(core::DspPath::kScalar));
     FrameReplayer replay(s);
     for (auto _ : state)
         benchmark::DoNotOptimize(pipeline.process(replay.next()));
     state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_PipelinePerFrame);
+
+// The production default: fused SoA kernels through the best SIMD
+// backend for the host. The ratio to BM_PipelinePerFrame is the
+// headline speedup of the vector frame path; also the uninstrumented
+// baseline scripts/check_metrics_overhead.sh pairs the instrumented
+// variants below against.
+void BM_PipelinePerFrameSimd(benchmark::State& state) {
+    const auto& s = session();
+    core::BlinkRadarPipeline pipeline(s.radar, pinned(core::DspPath::kSimd));
+    FrameReplayer replay(s);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(pipeline.process(replay.next()));
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PipelinePerFrameSimd);
 
 /// Global registry the stage-breakdown snapshot is written from after the
 /// run (see main); fed by BM_PipelinePerFrameMetrics.
@@ -83,11 +108,12 @@ obs::MetricsRegistry& bench_registry() {
 }
 
 // Same workload with the observability layer attached; the delta versus
-// BM_PipelinePerFrame is the total metrics overhead (budget: <2 %,
-// enforced by scripts/check_metrics_overhead.sh).
+// BM_PipelinePerFrameSimd is the total metrics overhead (budget: <2 %,
+// enforced by scripts/check_metrics_overhead.sh). Fills the stage.* and
+// kernel.* histograms BENCH_perf_stages.json is written from.
 void BM_PipelinePerFrameMetrics(benchmark::State& state) {
     const auto& s = session();
-    core::BlinkRadarPipeline pipeline(s.radar, core::PipelineConfig{},
+    core::BlinkRadarPipeline pipeline(s.radar, pinned(core::DspPath::kSimd),
                                       &bench_registry());
     FrameReplayer replay(s);
     for (auto _ : state)
@@ -96,8 +122,24 @@ void BM_PipelinePerFrameMetrics(benchmark::State& state) {
 }
 BENCHMARK(BM_PipelinePerFrameMetrics);
 
+// Instrumented scalar path, registered under a "scalar." prefix in the
+// same registry: BENCH_perf_stages.json then carries both paths' stage
+// histograms side by side (stage.* vs scalar.stage.*) for the per-stage
+// before/after table in the README.
+void BM_PipelinePerFrameScalarMetrics(benchmark::State& state) {
+    const auto& s = session();
+    core::PipelineConfig config = pinned(core::DspPath::kScalar);
+    config.metrics_prefix = "scalar.";
+    core::BlinkRadarPipeline pipeline(s.radar, config, &bench_registry());
+    FrameReplayer replay(s);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(pipeline.process(replay.next()));
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PipelinePerFrameScalarMetrics);
+
 // Same workload with the flight recorder attached at default ring
-// depths; the delta versus BM_PipelinePerFrame is the black-box
+// depths; the delta versus BM_PipelinePerFrameSimd is the black-box
 // overhead, gated by the same <2 % budget. (Self-checkpointing is off
 // by default — see FlightRecorderConfig — so this measures the
 // always-on rings, which is what every supervised deployment pays.)
@@ -105,7 +147,7 @@ void BM_PipelinePerFrameRecorder(benchmark::State& state) {
     const auto& s = session();
     static obs::FlightRecorder recorder;
     recorder.clear();
-    core::BlinkRadarPipeline pipeline(s.radar, core::PipelineConfig{},
+    core::BlinkRadarPipeline pipeline(s.radar, pinned(core::DspPath::kSimd),
                                       nullptr, nullptr, &recorder);
     FrameReplayer replay(s);
     for (auto _ : state)

@@ -3,7 +3,8 @@
 # pipeline (BM_PipelinePerFrameMetrics) and the black-box pipeline
 # (BM_PipelinePerFrameRecorder, flight recorder at default ring depths)
 # must each run within MAX_OVERHEAD_PCT (default 2%) of the
-# uninstrumented baseline (BM_PipelinePerFrame).
+# uninstrumented baseline (BM_PipelinePerFrameSimd — all three run the
+# production SIMD frame path, so the deltas isolate the instrumentation).
 #
 # Builds the Release preset and measures the overhead with two layers of
 # noise rejection, one per noise source:
@@ -48,7 +49,7 @@ if setarch "$(uname -m)" -R true 2>/dev/null; then
 fi
 for ((run = 0; run < runs; ++run)); do
     "${launcher[@]}" "${build_dir}/bench/bench_perf_pipeline" \
-        --benchmark_filter='^BM_PipelinePerFrame(Metrics|Recorder)?$' \
+        --benchmark_filter='^BM_PipelinePerFrame(Simd|Metrics|Recorder)$' \
         --benchmark_repetitions="${reps}" \
         --benchmark_min_time=0.1 \
         --benchmark_enable_random_interleaving=true \
@@ -80,7 +81,7 @@ for variant in ("Metrics", "Recorder"):
     run_deltas = []
     run_scales = []
     for path_index, times in enumerate(runs):
-        base = times.get("BM_PipelinePerFrame", {})
+        base = times.get("BM_PipelinePerFrameSimd", {})
         instrumented = times.get(name, {})
         pairs = sorted(set(base) & set(instrumented))
         if not pairs:

@@ -8,7 +8,10 @@ tolerance. Two report schemas are understood, auto-detected per file:
   - google-benchmark JSON (BENCH_perf.json): per benchmark, the median
     of iteration cpu_times is compared;
   - the blinkradar-obs-v1 metrics snapshot (BENCH_perf_stages.json):
-    per stage histogram, p50_ns is compared.
+    per stage/kernel histogram, mean_ns, p50_ns and p99_ns are each
+    compared as separate entries ("stage.frame_total/p99"), so a
+    kernel-level regression fails CI with the stage and the percentile
+    that moved named in the verdict.
 
 Only slowdowns fail the gate; speedups are reported but pass (refresh
 the baseline to bank them). Benchmarks present on one side only are
@@ -45,20 +48,28 @@ def gbench_medians(report):
     return {name: statistics.median(ts) for name, ts in times.items()}
 
 
-def stage_p50s(report):
-    """name -> p50_ns from a blinkradar-obs-v1 metrics snapshot."""
-    return {
-        name: hist["p50_ns"]
-        for name, hist in report.get("histograms", {}).items()
-        if hist.get("count", 0) > 0
-    }
+def stage_stats(report):
+    """"name/stat" -> ns for each histogram's mean, p50 and p99.
+
+    Mean catches broad kernel regressions, p50 the typical frame, p99
+    the spike behaviour (e.g. the bin-selection scan) — a regression in
+    any one fails with that stat named.
+    """
+    stats = {}
+    for name, hist in report.get("histograms", {}).items():
+        if hist.get("count", 0) <= 0:
+            continue
+        for stat in ("mean_ns", "p50_ns", "p99_ns"):
+            if stat in hist:
+                stats[f"{name}/{stat[:-3]}"] = hist[stat]
+    return stats
 
 
 def extract(report, path):
     if "benchmarks" in report:
         return gbench_medians(report)
     if report.get("schema") == "blinkradar-obs-v1":
-        return stage_p50s(report)
+        return stage_stats(report)
     sys.exit(f"{path}: unrecognized report schema")
 
 

@@ -66,6 +66,18 @@ void RollingBinVariance::variances_into(std::vector<double>& out) const {
     for (std::size_t b = 0; b < sum_sq_.size(); ++b) out[b] = variance(b);
 }
 
+void RollingBinVariance::variances_into(
+    std::vector<double>& out, const dsp::KernelTable& kernels) const {
+    out.resize(sum_sq_.size());
+    if (count_ == 0) {
+        std::fill(out.begin(), out.end(), 0.0);
+        return;
+    }
+    kernels.variances_from_sums(sum_i_.data(), sum_q_.data(), sum_sq_.data(),
+                                sum_sq_.size(),
+                                static_cast<double>(count_), out.data());
+}
+
 namespace {
 constexpr std::uint32_t kRollingVarTag = state::make_tag("RVAR");
 constexpr std::uint16_t kRollingVarVersion = 1;
@@ -178,6 +190,76 @@ std::optional<BinSelection> BinSelector::select(
     return select(FrameWindowView(make_frame_view(window)));
 }
 
+std::optional<BinSelection> BinSelector::select_soa(
+    SoaWindowView window, std::span<const double> variances,
+    SelectScratch& scratch) const {
+    BR_EXPECTS(window.size() >= 8);
+    BR_EXPECTS(!window.empty() && variances.size() == window.front()->size());
+    if (config_.selection_mode == BinSelectionMode::kMaxPower)
+        return select_max_power_soa(window, scratch.column);
+
+    // Significance gate, as in select_arc_variance but allocation-free.
+    scratch.in_range.assign(
+        variances.begin() + static_cast<std::ptrdiff_t>(min_bin_),
+        variances.begin() + static_cast<std::ptrdiff_t>(max_bin_ + 1));
+    const double floor = dsp::median_inplace(scratch.in_range);
+    const double significance = floor * config_.min_variance_factor;
+
+    scratch.candidates.clear();
+    for (std::size_t b = min_bin_; b <= max_bin_; ++b)
+        if (variances[b] > significance) scratch.candidates.push_back(b);
+    if (scratch.candidates.empty()) return std::nullopt;
+
+    // Cap the fits per pass. The uncapped scalar select() occasionally
+    // fits dozens of bins when the scene is busy (the 4 ms bin_selection
+    // spikes), and most of those fits are the chest's rotation bins —
+    // which dominate by raw variance and which the arc gates reject
+    // anyway. So: fit in descending-variance order but count only
+    // candidates that *survive* the gates against the cap, stopping once
+    // top_candidates arc-like bins have been scored. A cap on raw
+    // variance rank would instead spend the whole budget on the chest
+    // and never reach the eye bins at all.
+    std::sort(scratch.candidates.begin(), scratch.candidates.end(),
+              [&variances](std::size_t a, std::size_t b) {
+                  return variances[a] != variances[b]
+                             ? variances[a] > variances[b]
+                             : a < b;
+              });
+    std::optional<BinSelection> best_gated;
+    std::size_t gated = 0;
+    for (const std::size_t b : scratch.candidates) {
+        const std::optional<BinSelection> sel =
+            score_bin_soa(window, b, scratch.column);
+        if (!sel) continue;
+        if (!best_gated || sel->score > best_gated->score) best_gated = sel;
+        if (config_.top_candidates > 0 &&
+            ++gated >= config_.top_candidates)
+            break;
+    }
+    if (!best_gated) return std::nullopt;
+
+    // Local refinement: the early stop can cut the scan just short of the
+    // true carrier. Adjacent bins share the arc's signal (the pulse's
+    // range point-spread spans several bins), so the score varies
+    // smoothly with range — hill-climb to the local maximum, a handful of
+    // extra fits at most.
+    for (int step = 0; step < 8; ++step) {
+        const std::size_t b = best_gated->bin;
+        std::optional<BinSelection> improved;
+        for (const std::size_t nb : {b - 1, b + 1}) {
+            if (nb < min_bin_ || nb > max_bin_) continue;
+            if (variances[nb] <= significance) continue;
+            const std::optional<BinSelection> sel =
+                score_bin_soa(window, nb, scratch.column);
+            if (!sel || sel->score <= best_gated->score) continue;
+            if (!improved || sel->score > improved->score) improved = sel;
+        }
+        if (!improved) break;
+        best_gated = improved;
+    }
+    return best_gated;
+}
+
 namespace {
 
 // Angular extent of the trajectory around the fitted centre: max - min of
@@ -186,8 +268,16 @@ namespace {
 // through multiple full turns every breath. This is the "arc, not
 // rotation" signature the paper's Fig. 10 illustrates. Extent (rather
 // than total travel) is used so sample noise does not accumulate.
+//
+// `bail` short-circuits the walk once the extent reaches it: the extent
+// only ever grows, so any return value >= bail is interchangeable with
+// the full walk's for a caller that rejects at bail — which lets the
+// selection hot path drop a rotating chest bin after ~a dozen atan2
+// calls instead of walking the whole window (the dominant cost of the
+// uncapped 4 ms selection spikes). Accepted bins always complete the
+// full (bit-identical) walk.
 double angular_extent(const dsp::ComplexSignal& column,
-                      const dsp::CircleFit& fit) {
+                      const dsp::CircleFit& fit, double bail) {
     double cumulative = 0.0;
     double lo = 0.0;
     double hi = 0.0;
@@ -202,6 +292,7 @@ double angular_extent(const dsp::ComplexSignal& column,
             if (std::abs(rot) > 0.0) cumulative += std::arg(rot);
             lo = std::min(lo, cumulative);
             hi = std::max(hi, cumulative);
+            if (hi - lo >= bail) return hi - lo;
         }
         prev = v;
         have_prev = true;
@@ -252,18 +343,35 @@ std::optional<BinSelection> BinSelector::score_bin(FrameWindowView window,
     dsp::ComplexSignal column(window.size());
     for (std::size_t t = 0; t < window.size(); ++t)
         column[t] = (*window[t])[bin];
+    return score_column(column, bin);
+}
 
+std::optional<BinSelection> BinSelector::score_bin_soa(
+    SoaWindowView window, std::size_t bin,
+    dsp::ComplexSignal& column_scratch) const {
+    BR_EXPECTS(!window.empty());
+    BR_EXPECTS(bin < window.front()->size());
+    column_scratch.resize(window.size());
+    for (std::size_t t = 0; t < window.size(); ++t)
+        column_scratch[t] = window[t]->at(bin);
+    return score_column(column_scratch, bin);
+}
+
+std::optional<BinSelection> BinSelector::score_column(
+    const dsp::ComplexSignal& column, std::size_t bin) const {
     const dsp::CircleFit fit = dsp::fit_circle_pratt(column);
     if (!fit.ok || fit.radius <= 0.0) return std::nullopt;
-    const double extent = angular_extent(column, fit);
-    if (extent >= constants::kPi || extent <= 1e-3) return std::nullopt;
-    const double var = dsp::scatter_variance(column);
+    // Gates are conjunctive, so ordering is free — run the O(n)
+    // multiply-add radius gate before the atan2-heavy extent walk.
     // Radius plausibility: a short noisy arc lets the algebraic fit run
     // away to an enormous circle; such a fit explains nothing about the
     // dynamic vector and must not be allowed to win on any score.
+    const double var = dsp::scatter_variance(column);
     const double spread = std::sqrt(var);
     if (fit.radius > 8.0 * spread || fit.radius < 0.5 * spread)
         return std::nullopt;
+    const double extent = angular_extent(column, fit, constants::kPi);
+    if (extent >= constants::kPi || extent <= 1e-3) return std::nullopt;
     const double score =
         var / (fit.rms_residual * fit.rms_residual + 1e-9 * var);
     return BinSelection{bin, var, score, fit};
@@ -294,6 +402,30 @@ std::optional<BinSelection> BinSelector::select_max_power(
     sel.bin = best_bin;
     sel.variance = dsp::scatter_variance(column);
     sel.fit = dsp::fit_circle_pratt(column);
+    sel.score = best_power;
+    return sel;
+}
+
+std::optional<BinSelection> BinSelector::select_max_power_soa(
+    SoaWindowView window, dsp::ComplexSignal& column_scratch) const {
+    const std::size_t n_bins = window.front()->size();
+    std::size_t best_bin = min_bin_;
+    double best_power = -1.0;
+    for (std::size_t b = min_bin_; b <= max_bin_ && b < n_bins; ++b) {
+        double acc = 0.0;
+        for (const auto* f : window) acc += std::norm(f->at(b));
+        if (acc > best_power) {
+            best_power = acc;
+            best_bin = b;
+        }
+    }
+    column_scratch.resize(window.size());
+    for (std::size_t t = 0; t < window.size(); ++t)
+        column_scratch[t] = window[t]->at(best_bin);
+    BinSelection sel;
+    sel.bin = best_bin;
+    sel.variance = dsp::scatter_variance(column_scratch);
+    sel.fit = dsp::fit_circle_pratt(column_scratch);
     sel.score = best_power;
     return sel;
 }

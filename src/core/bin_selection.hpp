@@ -21,6 +21,7 @@
 #include "core/pipeline_config.hpp"
 #include "dsp/circle_fit.hpp"
 #include "dsp/dsp_types.hpp"
+#include "dsp/frame_kernels.hpp"
 #include "radar/config.hpp"
 #include "state/snapshot.hpp"
 
@@ -38,6 +39,9 @@ struct BinSelection {
 /// time, inner = bins). A span of frame pointers rather than of frames so
 /// ring-buffer-backed windows can be viewed without copying frame data.
 using FrameWindowView = std::span<const dsp::ComplexSignal* const>;
+
+/// Same, over structure-of-arrays frames (the SoA frame path's window).
+using SoaWindowView = std::span<const dsp::IqPlanes* const>;
 
 /// Incremental per-bin 2-D I/Q scatter variance over a sliding window.
 /// Maintains running sums of I, Q and |z|^2 per bin so that periodic bin
@@ -76,6 +80,22 @@ public:
     /// reused).
     void variances_into(std::vector<double>& out) const;
 
+    /// Same through the SIMD kernel table; bit-identical to the loop
+    /// above on every backend (see dsp/frame_kernels.hpp).
+    void variances_into(std::vector<double>& out,
+                        const dsp::KernelTable& kernels) const;
+
+    /// Direct access to the running sums plus manual count bookkeeping,
+    /// for the fused background+variance kernel which updates the sums
+    /// in the same pass that subtracts the background (see
+    /// KernelTable::background_var_fused). The kernel mutates the arrays;
+    /// the caller tells the tracker how the frame count changed.
+    double* sum_i_data() noexcept { return sum_i_.data(); }
+    double* sum_q_data() noexcept { return sum_q_.data(); }
+    double* sum_sq_data() noexcept { return sum_sq_.data(); }
+    void note_push() noexcept { ++count_; }
+    void note_evict() noexcept { --count_; }
+
     /// Snapshot the running sums (section "RVAR"). The sums are saved
     /// rather than recomputed from the frame window on restore because
     /// they carry the accumulated floating-point reassociation of every
@@ -109,6 +129,26 @@ public:
     std::optional<BinSelection> select(FrameWindowView window,
                                        std::span<const double> variances) const;
 
+    /// Caller-owned scratch for select_soa() so the periodic reselection
+    /// pass allocates nothing once warmed up.
+    struct SelectScratch {
+        std::vector<double> in_range;
+        std::vector<std::size_t> candidates;
+        dsp::ComplexSignal column;
+    };
+
+    /// Allocation-free SoA-window selection for the vector frame path.
+    /// Unlike select(), the fit fan-out is capped: candidates are fitted
+    /// in descending-variance order until config.top_candidates of them
+    /// survive the arc gates, then a short hill-climb refines to the
+    /// local score maximum — bounding the worst-case fits per pass while
+    /// still skipping past the high-variance rotation (chest) bins the
+    /// gates reject. The scalar select() stays uncapped as the
+    /// reference; per-candidate scoring is identical.
+    std::optional<BinSelection> select_soa(SoaWindowView window,
+                                           std::span<const double> variances,
+                                           SelectScratch& scratch) const;
+
     /// Convenience overload for contiguous windows (tests/benches).
     std::optional<BinSelection> select(
         const std::vector<dsp::ComplexSignal>& window) const;
@@ -127,6 +167,13 @@ public:
     std::optional<BinSelection> score_bin(
         const std::vector<dsp::ComplexSignal>& window, std::size_t bin) const;
 
+    /// SoA-window variant of score_bin: gathers the bin's slow-time
+    /// column into `column_scratch` and applies the identical fit, gates
+    /// and score.
+    std::optional<BinSelection> score_bin_soa(
+        SoaWindowView window, std::size_t bin,
+        dsp::ComplexSignal& column_scratch) const;
+
     std::size_t min_bin() const noexcept { return min_bin_; }
     std::size_t max_bin() const noexcept { return max_bin_; }
 
@@ -134,6 +181,11 @@ private:
     std::optional<BinSelection> select_arc_variance(
         FrameWindowView window, std::span<const double> variances) const;
     std::optional<BinSelection> select_max_power(FrameWindowView window) const;
+    std::optional<BinSelection> select_max_power_soa(
+        SoaWindowView window, dsp::ComplexSignal& column_scratch) const;
+    /// The fit/gate/score sequence shared by every score_bin variant.
+    std::optional<BinSelection> score_column(const dsp::ComplexSignal& column,
+                                             std::size_t bin) const;
 
     PipelineConfig config_;
     std::size_t min_bin_;

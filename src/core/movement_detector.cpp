@@ -17,23 +17,27 @@ MovementDetector::MovementDetector(const PipelineConfig& config,
         config.movement_median_window_s * frame_rate_hz);
     BR_ENSURES(window_frames_ >= 8);
     diffs_.reset_capacity(window_frames_);
-    median_scratch_.reserve(window_frames_);
+    sorted_diffs_.reserve(window_frames_);
 }
 
 void MovementDetector::reset() {
     previous_.clear();
+    previous_soa_.clear();
     diffs_.clear();
+    sorted_diffs_.clear();
     last_diff_ = 0.0;
 }
 
 double MovementDetector::median_difference() const {
-    std::vector<double>& v = median_scratch_;
-    v.clear();
-    for (std::size_t i = 0; i < diffs_.size(); ++i) v.push_back(diffs_[i]);
-    const std::size_t mid = v.size() / 2;
-    std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid),
-                     v.end());
-    return v[mid];
+    // The upper-middle order statistic, as std::nth_element(mid) returns.
+    return sorted_diffs_[sorted_diffs_.size() / 2];
+}
+
+void MovementDetector::rebuild_sorted() {
+    sorted_diffs_.clear();
+    for (std::size_t i = 0; i < diffs_.size(); ++i)
+        sorted_diffs_.push_back(diffs_[i]);
+    std::sort(sorted_diffs_.begin(), sorted_diffs_.end());
 }
 
 namespace {
@@ -43,7 +47,10 @@ constexpr std::uint16_t kMovementVersion = 1;
 
 void MovementDetector::save_state(state::StateWriter& writer) const {
     writer.begin_section(kMovementTag, kMovementVersion);
-    writer.write_complex_span(previous_);
+    if (soa_)
+        writer.write_complex_planes(previous_soa_.i, previous_soa_.q);
+    else
+        writer.write_complex_span(previous_);
     writer.write_size(diffs_.size());
     for (std::size_t i = 0; i < diffs_.size(); ++i)
         writer.write_f64(diffs_[i]);
@@ -70,7 +77,15 @@ void MovementDetector::restore_state(state::StateReader& reader) {
     for (std::size_t i = 0; i < n_diffs; ++i)
         diffs_.push_back(reader.read_f64());
     previous_ = std::move(previous);
+    // Fill both representations so either frame path continues bit-exactly
+    // from the restore; the next push()/push_soa() re-establishes soa_.
+    previous_soa_.resize(previous_.size());
+    for (std::size_t b = 0; b < previous_.size(); ++b) {
+        previous_soa_.i[b] = previous_[b].real();
+        previous_soa_.q[b] = previous_[b].imag();
+    }
     last_diff_ = reader.read_f64();
+    rebuild_sorted();
     reader.close_section();
 }
 
@@ -78,14 +93,36 @@ bool MovementDetector::push(const dsp::ComplexSignal& frame) {
     BR_EXPECTS(!frame.empty());
     if (previous_.size() != frame.size()) {
         previous_.assign(frame.begin(), frame.end());
+        soa_ = false;
         return false;
     }
     double diff = 0.0;
     for (std::size_t b = 0; b < frame.size(); ++b)
         diff += std::norm(frame[b] - previous_[b]);
     previous_.assign(frame.begin(), frame.end());  // same size: no realloc
-    last_diff_ = diff;
+    soa_ = false;
+    return judge_and_record(diff);
+}
 
+bool MovementDetector::push_soa(const dsp::IqPlanes& frame,
+                                const dsp::KernelTable& kernels) {
+    BR_EXPECTS(!frame.empty());
+    if (previous_soa_.size() != frame.size()) {
+        previous_soa_ = frame;
+        soa_ = true;
+        return false;
+    }
+    const double diff = kernels.movement_energy(
+        frame.i.data(), frame.q.data(), previous_soa_.i.data(),
+        previous_soa_.q.data(), frame.size());
+    previous_soa_.i.assign(frame.i.begin(), frame.i.end());
+    previous_soa_.q.assign(frame.q.begin(), frame.q.end());
+    soa_ = true;
+    return judge_and_record(diff);
+}
+
+bool MovementDetector::judge_and_record(double diff) {
+    last_diff_ = diff;
     bool triggered = false;
     // Only judge once the median window is at least half full, so the
     // first seconds establish a baseline instead of firing spuriously.
@@ -96,7 +133,19 @@ bool MovementDetector::push(const dsp::ComplexSignal& frame) {
     }
     // A triggered frame's difference is *not* pushed into the history —
     // one posture shift spans many frames and would poison the median.
-    if (!triggered) diffs_.push_back(diff);  // ring evicts past the window
+    if (!triggered) {
+        if (diffs_.size() == window_frames_) {
+            // The ring evicts its oldest entry; drop it from the sorted
+            // mirror first (any equal element is interchangeable).
+            const auto it = std::lower_bound(sorted_diffs_.begin(),
+                                             sorted_diffs_.end(), diffs_[0]);
+            sorted_diffs_.erase(it);
+        }
+        diffs_.push_back(diff);  // ring evicts past the window
+        sorted_diffs_.insert(std::upper_bound(sorted_diffs_.begin(),
+                                              sorted_diffs_.end(), diff),
+                             diff);
+    }
     return triggered;
 }
 

@@ -13,6 +13,7 @@
 #include "common/ring_buffer.hpp"
 #include "core/pipeline_config.hpp"
 #include "dsp/dsp_types.hpp"
+#include "dsp/frame_kernels.hpp"
 #include "state/snapshot.hpp"
 
 namespace blinkradar::core {
@@ -25,6 +26,14 @@ public:
 
     /// Feed one frame; true when a large movement is detected.
     bool push(const dsp::ComplexSignal& frame);
+
+    /// Structure-of-arrays variant: identical judgement logic with the
+    /// difference energy computed by `kernels`. The kernel's fixed-stripe
+    /// reduction order differs from push()'s single accumulator, so the
+    /// two variants agree only to rounding — a pipeline must stick to one
+    /// (see core::DspPath).
+    bool push_soa(const dsp::IqPlanes& frame,
+                  const dsp::KernelTable& kernels);
 
     /// Forget all history (used after the pipeline restarts so the
     /// movement that caused the restart is not re-detected).
@@ -39,13 +48,28 @@ public:
 
 private:
     double median_difference() const;
+    /// Shared tail of push()/push_soa(): record `diff`, judge against the
+    /// rolling median, grow the history on non-triggered frames.
+    bool judge_and_record(double diff);
+    /// Rebuild the sorted mirror from the ring (restore/reset paths).
+    void rebuild_sorted();
 
     PipelineConfig config_;
     std::size_t window_frames_;
     dsp::ComplexSignal previous_;
+    dsp::IqPlanes previous_soa_;
     RingBuffer<double> diffs_;
-    mutable std::vector<double> median_scratch_;
+    /// diffs_ kept in ascending order, maintained incrementally by
+    /// binary-search insert/erase (O(log n) search + O(n) memmove on ~100
+    /// doubles) so the per-frame median is an array read instead of an
+    /// O(n) copy + nth_element. Bit-identical: the k-th order statistic
+    /// of the same multiset.
+    std::vector<double> sorted_diffs_;
     double last_diff_ = 0.0;
+    /// True when the held frame lives in previous_soa_ (last fed via
+    /// push_soa()); save_state() interleaves so the MOVD wire format is
+    /// representation-independent.
+    bool soa_ = false;
 };
 
 }  // namespace blinkradar::core

@@ -11,7 +11,7 @@ namespace blinkradar::core {
 namespace {
 
 constexpr std::uint32_t kTagConfigs = state::make_tag("FRCF");
-constexpr std::uint16_t kConfigsVersion = 1;
+constexpr std::uint16_t kConfigsVersion = 2;
 
 /// Bit-pattern double equality: replay verification must distinguish
 /// -0.0 from 0.0 and treat NaN == NaN (a repeated NaN is *correct*
@@ -76,6 +76,10 @@ void save_flight_configs(state::StateWriter& writer,
     writer.write_f64(pipeline.guard.degraded_fault_rate);
     writer.write_u64(pipeline.guard.lost_after_quarantines);
 
+    // v2: the resolved DSP path, so replay rebuilds the pipeline on the
+    // same per-frame arithmetic that produced the recording.
+    writer.write_u8(static_cast<std::uint8_t>(pipeline.dsp_path));
+
     writer.end_section();
 }
 
@@ -137,6 +141,12 @@ FlightConfigs load_flight_configs(state::StateReader& reader) {
     c.pipeline.guard.health_window_s = reader.read_f64();
     c.pipeline.guard.degraded_fault_rate = reader.read_f64();
     c.pipeline.guard.lost_after_quarantines = reader.read_size();
+
+    // v1 dumps predate the DSP-path choice; they were recorded by the
+    // scalar-only build.
+    c.pipeline.dsp_path =
+        version >= 2 ? static_cast<DspPath>(reader.read_u8())
+                     : DspPath::kScalar;
 
     reader.close_section();
     return c;

@@ -1,7 +1,11 @@
 #include "core/preprocess.hpp"
 
+#include <algorithm>
+
 #include "common/contracts.hpp"
+#include "dsp/frame_kernels.hpp"
 #include "dsp/smoothing.hpp"
+#include "obs/stage_timer.hpp"
 
 namespace blinkradar::core {
 
@@ -44,6 +48,46 @@ void Preprocessor::apply_into(const radar::RadarFrame& frame,
 
     // Smoothing (moving-average) stage of the cascade.
     dsp::moving_average_into(aligned_, smooth_window_, out.bins, prefix_);
+}
+
+void Preprocessor::apply_soa(const radar::RadarFrame& frame,
+                             dsp::IqPlanes& out,
+                             const obs::KernelTimers* timers) const {
+    BR_EXPECTS(!frame.bins.empty());
+    const dsp::KernelTable& kern = dsp::active_kernels();
+    const std::size_t n = frame.bins.size();
+    in_planes_.resize(n);
+    kern.deinterleave(frame.bins.data(), n, in_planes_.i.data(),
+                      in_planes_.q.data());
+
+    {
+        obs::StageTimer t(timers ? timers->preprocess_fir : nullptr);
+        fir_.filter_planes_into(in_planes_, filtered_planes_);
+    }
+
+    // Group-delay alignment: shift both planes by gd with edge hold,
+    // mirroring the complex loop in apply_into() element for element.
+    const std::size_t gd = static_cast<std::size_t>(fir_.group_delay_samples());
+    aligned_planes_.resize(n);
+    const std::size_t m = n > gd ? n - gd : 0;
+    std::copy(filtered_planes_.i.begin() + static_cast<std::ptrdiff_t>(gd),
+              filtered_planes_.i.begin() + static_cast<std::ptrdiff_t>(gd + m),
+              aligned_planes_.i.begin());
+    std::copy(filtered_planes_.q.begin() + static_cast<std::ptrdiff_t>(gd),
+              filtered_planes_.q.begin() + static_cast<std::ptrdiff_t>(gd + m),
+              aligned_planes_.q.begin());
+    const double edge_i = m > 0 ? aligned_planes_.i[m - 1] : 0.0;
+    const double edge_q = m > 0 ? aligned_planes_.q[m - 1] : 0.0;
+    std::fill(aligned_planes_.i.begin() + static_cast<std::ptrdiff_t>(m),
+              aligned_planes_.i.end(), edge_i);
+    std::fill(aligned_planes_.q.begin() + static_cast<std::ptrdiff_t>(m),
+              aligned_planes_.q.end(), edge_q);
+
+    {
+        obs::StageTimer t(timers ? timers->preprocess_smooth : nullptr);
+        dsp::moving_average_planes_into(aligned_planes_, smooth_window_, out,
+                                        prefix_planes_);
+    }
 }
 
 namespace {

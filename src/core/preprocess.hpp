@@ -10,6 +10,7 @@
 
 #include "core/pipeline_config.hpp"
 #include "dsp/fir.hpp"
+#include "obs/kernel_timers.hpp"
 #include "radar/frame.hpp"
 #include "state/snapshot.hpp"
 
@@ -33,6 +34,13 @@ public:
     void apply_into(const radar::RadarFrame& frame,
                     radar::RadarFrame& out) const;
 
+    /// Structure-of-arrays variant for the vector frame path: same cascade
+    /// (FIR -> group-delay alignment -> smoothing) on I/Q planes through
+    /// the active SIMD kernels; component-wise bit-identical to
+    /// apply_into(). `timers` (optional) receives per-kernel latencies.
+    void apply_soa(const radar::RadarFrame& frame, dsp::IqPlanes& out,
+                   const obs::KernelTimers* timers = nullptr) const;
+
     /// Apply to a whole series (convenience for batch analysis).
     radar::FrameSeries apply(const radar::FrameSeries& series) const;
 
@@ -55,6 +63,10 @@ private:
     mutable dsp::ComplexSignal filtered_;
     mutable dsp::ComplexSignal aligned_;
     mutable dsp::ComplexSignal prefix_;
+    mutable dsp::IqPlanes in_planes_;
+    mutable dsp::IqPlanes filtered_planes_;
+    mutable dsp::IqPlanes aligned_planes_;
+    mutable dsp::IqPlanes prefix_planes_;
 };
 
 }  // namespace blinkradar::core

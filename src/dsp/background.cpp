@@ -5,7 +5,10 @@
 namespace blinkradar::dsp {
 
 LoopbackFilter::LoopbackFilter(std::size_t n_bins, double alpha)
-    : background_(n_bins, Complex(0.0, 0.0)), alpha_(alpha) {
+    : background_(n_bins, Complex(0.0, 0.0)),
+      bg_i_(n_bins, 0.0),
+      bg_q_(n_bins, 0.0),
+      alpha_(alpha) {
     BR_EXPECTS(n_bins >= 1);
     BR_EXPECTS(alpha > 0.0 && alpha < 1.0);
 }
@@ -31,6 +34,23 @@ void LoopbackFilter::process_into(std::span<const Complex> frame,
         out[b] = frame[b] - background_[b];
         background_[b] = (1.0 - alpha_) * background_[b] + alpha_ * frame[b];
     }
+    soa_ = false;
+}
+
+void LoopbackFilter::prime_soa(const IqPlanes& frame) {
+    BR_EXPECTS(frame.size() == background_.size());
+    bg_i_ = frame.i;
+    bg_q_ = frame.q;
+    primed_ = true;
+    soa_ = true;
+}
+
+void LoopbackFilter::begin_soa_frame(const IqPlanes& frame) {
+    if (!primed_) {
+        prime_soa(frame);
+        return;
+    }
+    soa_ = true;
 }
 
 void LoopbackFilter::reset() noexcept { primed_ = false; }
@@ -43,7 +63,16 @@ constexpr std::uint16_t kBackgroundVersion = 1;
 void LoopbackFilter::save_state(state::StateWriter& writer) const {
     writer.begin_section(kBackgroundTag, kBackgroundVersion);
     writer.write_bool(primed_);
-    writer.write_complex_span(background_);
+    if (soa_) {
+        // Interleave the SoA planes so the wire format is independent of
+        // which representation holds the live estimate.
+        save_scratch_.resize(bg_i_.size());
+        for (std::size_t b = 0; b < bg_i_.size(); ++b)
+            save_scratch_[b] = Complex(bg_i_[b], bg_q_[b]);
+        writer.write_complex_span(save_scratch_);
+    } else {
+        writer.write_complex_span(background_);
+    }
     writer.end_section();
 }
 
@@ -64,6 +93,11 @@ void LoopbackFilter::restore_state(state::StateReader& reader) {
             std::to_string(background_.size()));
     primed_ = primed;
     background_ = std::move(restored);
+    // Fill both representations so either frame path continues bit-exactly.
+    for (std::size_t b = 0; b < background_.size(); ++b) {
+        bg_i_[b] = background_[b].real();
+        bg_q_[b] = background_[b].imag();
+    }
     reader.close_section();
 }
 

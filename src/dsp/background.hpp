@@ -38,6 +38,28 @@ public:
     /// Current background estimate (one complex value per bin).
     const ComplexSignal& background() const noexcept { return background_; }
 
+    /// Whether the background has been seeded with a first frame. The
+    /// structure-of-arrays frame path (see dsp/frame_kernels.hpp) keeps
+    /// the estimate in I/Q planes and runs the exponential update inside
+    /// the fused kernel; it primes explicitly via prime_soa() and then
+    /// reads/writes the planes directly.
+    bool primed() const noexcept { return primed_; }
+
+    /// Seed the SoA background planes with `frame` (the first frame after
+    /// construction or reset()), mirroring the implicit priming of
+    /// process_into().
+    void prime_soa(const IqPlanes& frame);
+
+    /// Ensure the SoA planes hold the live estimate before the fused
+    /// kernel runs: primes from `frame` when unprimed, otherwise just
+    /// marks the planes live (they are already valid — filled by ongoing
+    /// SoA processing or by restore_state()).
+    void begin_soa_frame(const IqPlanes& frame);
+
+    /// SoA background planes for the fused kernel. Valid after prime_soa().
+    RealSignal& bg_i() noexcept { return bg_i_; }
+    RealSignal& bg_q() noexcept { return bg_q_; }
+
     /// Reset the background to the next incoming frame (used after a
     /// detected large body movement, when the old background is stale).
     void reset() noexcept;
@@ -53,8 +75,16 @@ public:
 
 private:
     ComplexSignal background_;
+    RealSignal bg_i_;
+    RealSignal bg_q_;
     double alpha_;
     bool primed_ = false;
+    /// True when the live estimate is in the SoA planes (last primed via
+    /// prime_soa()), false when it is in background_. A filter only ever
+    /// uses one representation between snapshots; save_state() interleaves
+    /// the planes so the BKGD wire format is identical either way.
+    bool soa_ = false;
+    mutable ComplexSignal save_scratch_;
 };
 
 /// Batch background subtraction: subtract the per-bin slow-time mean from

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <complex>
+#include <cstddef>
 #include <vector>
 
 namespace blinkradar::dsp {
@@ -14,5 +15,28 @@ using RealSignal = std::vector<double>;
 
 /// Complex-valued signal, one sample per element.
 using ComplexSignal = std::vector<Complex>;
+
+/// Structure-of-arrays complex signal: the I and Q components stored in
+/// separate contiguous planes. The per-frame hot path uses this layout so
+/// the vector kernels (see dsp/frame_kernels.hpp) load W consecutive
+/// samples of one component per instruction instead of gathering every
+/// other double of an interleaved ComplexSignal. Element `b` corresponds
+/// to Complex(i[b], q[b]).
+struct IqPlanes {
+    RealSignal i;
+    RealSignal q;
+
+    std::size_t size() const noexcept { return i.size(); }
+    bool empty() const noexcept { return i.empty(); }
+    void resize(std::size_t n) {
+        i.resize(n);
+        q.resize(n);
+    }
+    void clear() noexcept {
+        i.clear();
+        q.clear();
+    }
+    Complex at(std::size_t b) const { return Complex(i[b], q[b]); }
+};
 
 }  // namespace blinkradar::dsp

@@ -6,6 +6,7 @@
 
 #include "common/contracts.hpp"
 #include "common/units.hpp"
+#include "dsp/frame_kernels.hpp"
 
 namespace blinkradar::dsp {
 
@@ -98,27 +99,14 @@ void transform(std::span<Complex> data, bool inverse) {
     // butterfly that more than doubles the transform time.
     double* const d = reinterpret_cast<double*>(data.data());
     const double* const twd = reinterpret_cast<const double*>(tw);
+    // Each stage runs through the active kernel table; every backend's
+    // fft_pass is bit-identical to the scalar butterfly loop (the AVX2
+    // variant pairs adjacent butterflies with lane-exact arithmetic).
+    const KernelTable& kern = active_kernels();
     std::size_t stage_base = 0;
     for (std::size_t len = 2; len <= n; len <<= 1) {
-        const std::size_t half = len / 2;
-        const double* const stage_tw = twd + 2 * stage_base;
-        for (std::size_t i = 0; i < n; i += len) {
-            for (std::size_t k = 0; k < half; ++k) {
-                const std::size_t a = 2 * (i + k);
-                const std::size_t b = a + 2 * half;
-                const double wr = stage_tw[2 * k];
-                const double wi = stage_tw[2 * k + 1];
-                const double vr = d[b] * wr - d[b + 1] * wi;
-                const double vi = d[b] * wi + d[b + 1] * wr;
-                const double ur = d[a];
-                const double ui = d[a + 1];
-                d[a] = ur + vr;
-                d[a + 1] = ui + vi;
-                d[b] = ur - vr;
-                d[b + 1] = ui - vi;
-            }
-        }
-        stage_base += half;
+        kern.fft_pass(d, twd + 2 * stage_base, n, len);
+        stage_base += len / 2;
     }
     if (inverse) {
         const double inv_n = 1.0 / static_cast<double>(n);

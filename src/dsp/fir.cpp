@@ -5,6 +5,7 @@
 
 #include "common/contracts.hpp"
 #include "common/units.hpp"
+#include "dsp/frame_kernels.hpp"
 
 namespace blinkradar::dsp {
 
@@ -113,6 +114,14 @@ void FirFilter::filter_into(std::span<const Complex> input,
         for (std::size_t k = 0; k <= k_max; ++k) acc += taps_[k] * input[n - k];
         out[n] = acc;
     }
+}
+
+void FirFilter::filter_planes_into(const IqPlanes& input, IqPlanes& out) const {
+    BR_EXPECTS(input.empty() || input.i.data() != out.i.data());
+    out.resize(input.size());
+    active_kernels().fir2(input.i.data(), input.q.data(), input.size(),
+                          taps_.data(), taps_.size(), out.i.data(),
+                          out.q.data());
 }
 
 RealSignal FirFilter::filtfilt(std::span<const double> input) const {

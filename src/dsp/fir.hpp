@@ -53,6 +53,12 @@ public:
     void filter_into(std::span<const double> input, RealSignal& out) const;
     void filter_into(std::span<const Complex> input, ComplexSignal& out) const;
 
+    /// Structure-of-arrays variant for the vector frame path: filters both
+    /// I/Q planes in one call through the active SIMD kernel table. `out`
+    /// is resized to the input size and must not alias the input.
+    /// Component-wise bit-identical to the complex filter_into().
+    void filter_planes_into(const IqPlanes& input, IqPlanes& out) const;
+
     /// Zero-phase filtering: forward pass, reverse, forward pass, reverse.
     /// Doubles the magnitude response in dB but removes the group delay;
     /// used where waveform timing matters (blink event localisation).

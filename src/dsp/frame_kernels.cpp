@@ -1,0 +1,63 @@
+#include "dsp/frame_kernels.hpp"
+
+#include <cstdlib>
+#include <string_view>
+
+#include "dsp/frame_kernels_impl.hpp"
+
+namespace blinkradar::dsp {
+
+const KernelTable& scalar_kernels() noexcept {
+    static const KernelTable table =
+        detail::make_kernel_table<detail::ScalarVec>("scalar");
+    return table;
+}
+
+#if defined(BLINKRADAR_HAVE_AVX2_TU)
+namespace detail {
+// Defined in frame_kernels_avx2.cpp, the only TU built with -mavx2.
+const KernelTable& avx2_kernel_table() noexcept;
+}  // namespace detail
+#endif
+
+const KernelTable* avx2_kernels() noexcept {
+#if defined(BLINKRADAR_HAVE_AVX2_TU) && \
+    (defined(__x86_64__) || defined(__i386__))
+    static const bool supported = __builtin_cpu_supports("avx2");
+    return supported ? &detail::avx2_kernel_table() : nullptr;
+#else
+    return nullptr;
+#endif
+}
+
+const KernelTable* neon_kernels() noexcept {
+#if defined(__ARM_NEON)
+    static const KernelTable table =
+        detail::make_kernel_table<detail::NeonVec>("neon");
+    return &table;
+#else
+    return nullptr;
+#endif
+}
+
+const KernelTable& active_kernels() noexcept {
+    static const KernelTable& table = []() -> const KernelTable& {
+        if (const char* env = std::getenv("BLINKRADAR_SIMD_BACKEND")) {
+            const std::string_view want(env);
+            if (want == "scalar") return scalar_kernels();
+            if (want == "avx2") {
+                if (const KernelTable* t = avx2_kernels()) return *t;
+            }
+            if (want == "neon") {
+                if (const KernelTable* t = neon_kernels()) return *t;
+            }
+            // Unknown or unavailable backend: fall through to auto.
+        }
+        if (const KernelTable* t = avx2_kernels()) return *t;
+        if (const KernelTable* t = neon_kernels()) return *t;
+        return scalar_kernels();
+    }();
+    return table;
+}
+
+}  // namespace blinkradar::dsp

@@ -1,0 +1,18 @@
+// The single translation unit built with -mavx2 (see src/dsp/CMakeLists.txt).
+// Everything AVX2 lives here so the rest of the build keeps the default
+// architecture baseline; frame_kernels.cpp gates the table behind a
+// runtime __builtin_cpu_supports("avx2") check.
+#if !defined(__AVX2__)
+#error "frame_kernels_avx2.cpp must be compiled with -mavx2"
+#endif
+
+#include "dsp/frame_kernels_impl.hpp"
+
+namespace blinkradar::dsp::detail {
+
+const KernelTable& avx2_kernel_table() noexcept {
+    static const KernelTable table = make_kernel_table<Avx2Vec>("avx2");
+    return table;
+}
+
+}  // namespace blinkradar::dsp::detail

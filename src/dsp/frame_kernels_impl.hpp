@@ -1,0 +1,273 @@
+// Generic kernel bodies, instantiated once per SIMD backend.
+//
+// Included by frame_kernels.cpp (scalar, NEON) and frame_kernels_avx2.cpp
+// (AVX2, compiled with -mavx2). Every kernel is written so that its
+// per-element operation sequence is independent of the vector width W —
+// see the bit-exactness contract in frame_kernels.hpp.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+#include "dsp/frame_kernels.hpp"
+#include "dsp/simd.hpp"
+
+namespace blinkradar::dsp::detail {
+
+template <class V>
+struct Kernels {
+    // Layout shuffles stay scalar on every backend: at the pipeline's
+    // ~151 bins the shuffle-heavy vector variants measure no faster, and
+    // a shared loop is trivially bit-identical everywhere.
+    static void deinterleave(const Complex* in, std::size_t n, double* re,
+                             double* im) {
+        // std::complex guarantees array-oriented access (re, im) pairs.
+        const double* d = reinterpret_cast<const double*>(in);
+        for (std::size_t j = 0; j < n; ++j) {
+            re[j] = d[2 * j];
+            im[j] = d[2 * j + 1];
+        }
+    }
+
+    static void interleave(const double* re, const double* im, std::size_t n,
+                           Complex* out) {
+        double* d = reinterpret_cast<double*>(out);
+        for (std::size_t j = 0; j < n; ++j) {
+            d[2 * j] = re[j];
+            d[2 * j + 1] = im[j];
+        }
+    }
+
+    static void fir2(const double* xi, const double* xq, std::size_t n,
+                     const double* taps, std::size_t n_taps, double* yi,
+                     double* yq) {
+        // Start-up transient: outputs with fewer than n_taps history
+        // samples, scalar with the exact legacy expression.
+        const std::size_t start = std::min(n_taps - 1, n);
+        for (std::size_t out = 0; out < start; ++out) {
+            double ai = 0.0;
+            double aq = 0.0;
+            for (std::size_t k = 0; k <= out; ++k) {
+                ai += taps[k] * xi[out - k];
+                aq += taps[k] * xq[out - k];
+            }
+            yi[out] = ai;
+            yq[out] = aq;
+        }
+        // Main region: vectorize across outputs. Lane j of a block
+        // accumulates taps[k] * x[out+j-k] for k ascending — the same
+        // per-output operation order as the scalar loop.
+        std::size_t out = start;
+        for (; out + V::W <= n; out += V::W) {
+            V ai = V::zero();
+            V aq = V::zero();
+            for (std::size_t k = 0; k < n_taps; ++k) {
+                const V t = V::broadcast(taps[k]);
+                ai = ai + t * V::loadu(xi + out - k);
+                aq = aq + t * V::loadu(xq + out - k);
+            }
+            ai.storeu(yi + out);
+            aq.storeu(yq + out);
+        }
+        for (; out < n; ++out) {
+            double ai = 0.0;
+            double aq = 0.0;
+            for (std::size_t k = 0; k < n_taps; ++k) {
+                ai += taps[k] * xi[out - k];
+                aq += taps[k] * xq[out - k];
+            }
+            yi[out] = ai;
+            yq[out] = aq;
+        }
+    }
+
+    static void smooth_one(const double* pi, const double* pq, std::size_t n,
+                           std::size_t half, std::size_t j, double* oi,
+                           double* oq) {
+        const std::size_t lo = j >= half ? j - half : 0;
+        const std::size_t hi = std::min(j + half, n - 1);
+        const double count = static_cast<double>(hi - lo + 1);
+        oi[j] = (pi[hi + 1] - pi[lo]) / count;
+        oq[j] = (pq[hi + 1] - pq[lo]) / count;
+    }
+
+    static void smooth_from_prefix(const double* pi, const double* pq,
+                                   std::size_t n, std::size_t half,
+                                   double* oi, double* oq) {
+        const std::size_t full = 2 * half + 1;
+        std::size_t j = 0;
+        for (; j < std::min(half, n); ++j) smooth_one(pi, pq, n, half, j, oi, oq);
+        if (n >= full) {
+            // Interior: constant window, j in [half, n-1-half].
+            const std::size_t interior_end = n - half;  // exclusive
+            const V vcount = V::broadcast(static_cast<double>(full));
+            for (; j + V::W <= interior_end; j += V::W) {
+                const V si = V::loadu(pi + j + half + 1) - V::loadu(pi + j - half);
+                const V sq = V::loadu(pq + j + half + 1) - V::loadu(pq + j - half);
+                (si / vcount).storeu(oi + j);
+                (sq / vcount).storeu(oq + j);
+            }
+            for (; j < interior_end; ++j)
+                smooth_one(pi, pq, n, half, j, oi, oq);
+        }
+        for (; j < n; ++j) smooth_one(pi, pq, n, half, j, oi, oq);
+    }
+
+    static double movement_energy(const double* xi, const double* xq,
+                                  const double* pi, const double* pq,
+                                  std::size_t n) {
+        // Fixed four-stripe accumulation: element j always lands in
+        // partial sum j mod 4 with the same per-element arithmetic, so
+        // every backend (W = 1, 2, 4) produces the same four partials and
+        // the same final (s0+s1)+(s2+s3).
+        constexpr std::size_t kStripes = 4;
+        static_assert(kStripes % V::W == 0);
+        constexpr std::size_t kVecs = kStripes / V::W;
+        V acc[kVecs];
+        for (std::size_t s = 0; s < kVecs; ++s) acc[s] = V::zero();
+        std::size_t j = 0;
+        for (; j + kStripes <= n; j += kStripes) {
+            for (std::size_t s = 0; s < kVecs; ++s) {
+                const std::size_t o = j + s * V::W;
+                const V di = V::loadu(xi + o) - V::loadu(pi + o);
+                const V dq = V::loadu(xq + o) - V::loadu(pq + o);
+                acc[s] = acc[s] + (di * di + dq * dq);
+            }
+        }
+        double lanes[kStripes];
+        for (std::size_t s = 0; s < kVecs; ++s) acc[s].storeu(lanes + s * V::W);
+        for (; j < n; ++j) {
+            const double di = xi[j] - pi[j];
+            const double dq = xq[j] - pq[j];
+            lanes[j % kStripes] += di * di + dq * dq;
+        }
+        return (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+    }
+
+    static void background_var_fused(const double* xi, const double* xq,
+                                     std::size_t n, double alpha, double* bgi,
+                                     double* bgq, double* oi, double* oq,
+                                     const double* old_i, const double* old_q,
+                                     double* sum_i, double* sum_q,
+                                     double* sum_sq) {
+        const V va = V::broadcast(alpha);
+        const V vb = V::broadcast(1.0 - alpha);
+        std::size_t j = 0;
+        for (; j + V::W <= n; j += V::W) {
+            const V x_i = V::loadu(xi + j);
+            const V x_q = V::loadu(xq + j);
+            const V b_i = V::loadu(bgi + j);
+            const V b_q = V::loadu(bgq + j);
+            V s_i = V::loadu(sum_i + j);
+            V s_q = V::loadu(sum_q + j);
+            V s_sq = V::loadu(sum_sq + j);
+            if (old_i != nullptr) {
+                const V e_i = V::loadu(old_i + j);
+                const V e_q = V::loadu(old_q + j);
+                s_i = s_i - e_i;
+                s_q = s_q - e_q;
+                s_sq = s_sq - (e_i * e_i + e_q * e_q);
+            }
+            const V d_i = x_i - b_i;
+            const V d_q = x_q - b_q;
+            // The evicted frame may alias the output slot (a full ring
+            // recycles it); all old_* loads happened above.
+            d_i.storeu(oi + j);
+            d_q.storeu(oq + j);
+            s_i = s_i + d_i;
+            s_q = s_q + d_q;
+            s_sq = s_sq + (d_i * d_i + d_q * d_q);
+            s_i.storeu(sum_i + j);
+            s_q.storeu(sum_q + j);
+            s_sq.storeu(sum_sq + j);
+            (vb * b_i + va * x_i).storeu(bgi + j);
+            (vb * b_q + va * x_q).storeu(bgq + j);
+        }
+        const double one_minus_alpha = 1.0 - alpha;
+        for (; j < n; ++j) {
+            double s_i = sum_i[j];
+            double s_q = sum_q[j];
+            double s_sq = sum_sq[j];
+            if (old_i != nullptr) {
+                const double e_i = old_i[j];
+                const double e_q = old_q[j];
+                s_i -= e_i;
+                s_q -= e_q;
+                s_sq -= e_i * e_i + e_q * e_q;
+            }
+            const double d_i = xi[j] - bgi[j];
+            const double d_q = xq[j] - bgq[j];
+            oi[j] = d_i;
+            oq[j] = d_q;
+            sum_i[j] = s_i + d_i;
+            sum_q[j] = s_q + d_q;
+            sum_sq[j] = s_sq + (d_i * d_i + d_q * d_q);
+            bgi[j] = one_minus_alpha * bgi[j] + alpha * xi[j];
+            bgq[j] = one_minus_alpha * bgq[j] + alpha * xq[j];
+        }
+    }
+
+    static void variances_from_sums(const double* sum_i, const double* sum_q,
+                                    const double* sum_sq, std::size_t n,
+                                    double count, double* out) {
+        const V vn = V::broadcast(count);
+        const V zero = V::zero();
+        std::size_t j = 0;
+        for (; j + V::W <= n; j += V::W) {
+            const V mi = V::loadu(sum_i + j) / vn;
+            const V mq = V::loadu(sum_q + j) / vn;
+            const V var = V::loadu(sum_sq + j) / vn - (mi * mi + mq * mq);
+            V::max(var, zero).storeu(out + j);
+        }
+        for (; j < n; ++j) {
+            const double mi = sum_i[j] / count;
+            const double mq = sum_q[j] / count;
+            const double var = sum_sq[j] / count - (mi * mi + mq * mq);
+            out[j] = var > 0.0 ? var : 0.0;
+        }
+    }
+
+    static void fft_pass(double* d, const double* stage_tw, std::size_t n,
+                         std::size_t len) {
+        const std::size_t half = len / 2;
+        for (std::size_t i = 0; i < n; i += len) {
+            std::size_t k = 0;
+            if constexpr (V::kComplexButterfly) {
+                for (; k + 2 <= half; k += 2)
+                    V::butterflies2(d + 2 * (i + k), d + 2 * (i + k) + 2 * half,
+                                    stage_tw + 2 * k);
+            }
+            for (; k < half; ++k) {
+                const std::size_t a = 2 * (i + k);
+                const std::size_t b = a + 2 * half;
+                const double wr = stage_tw[2 * k];
+                const double wi = stage_tw[2 * k + 1];
+                const double vr = d[b] * wr - d[b + 1] * wi;
+                const double vi = d[b] * wi + d[b + 1] * wr;
+                const double ur = d[a];
+                const double ui = d[a + 1];
+                d[a] = ur + vr;
+                d[a + 1] = ui + vi;
+                d[b] = ur - vr;
+                d[b + 1] = ui - vi;
+            }
+        }
+    }
+};
+
+template <class V>
+inline KernelTable make_kernel_table(const char* name) noexcept {
+    KernelTable t;
+    t.name = name;
+    t.deinterleave = &Kernels<V>::deinterleave;
+    t.interleave = &Kernels<V>::interleave;
+    t.fir2 = &Kernels<V>::fir2;
+    t.smooth_from_prefix = &Kernels<V>::smooth_from_prefix;
+    t.movement_energy = &Kernels<V>::movement_energy;
+    t.background_var_fused = &Kernels<V>::background_var_fused;
+    t.variances_from_sums = &Kernels<V>::variances_from_sums;
+    t.fft_pass = &Kernels<V>::fft_pass;
+    return t;
+}
+
+}  // namespace blinkradar::dsp::detail

@@ -1,0 +1,155 @@
+// Portable double-lane SIMD shim for the per-frame DSP kernels.
+//
+// Each backend is a tiny value type with a uniform interface (width W,
+// zero/broadcast/loadu/storeu, + - * /, and a ternary-semantics max), so
+// the kernels in frame_kernels_impl.hpp are written once against a
+// template parameter and instantiated per backend:
+//
+//   - ScalarVec (W=1): always compiled; the fallback on any host, and the
+//     semantics reference the wider backends are held bit-identical to.
+//   - Avx2Vec (W=4): only defined when the including translation unit is
+//     compiled with -mavx2 (see frame_kernels_avx2.cpp; the rest of the
+//     build keeps the default architecture flags, so the AVX2 kernels
+//     live behind a runtime CPU check).
+//   - NeonVec (W=2): AArch64 NEON, defined under __ARM_NEON.
+//
+// Bit-exactness contract: every operation here is a lane-wise IEEE-754
+// double operation, and max(a, b) is defined as `a > b ? a : b` per lane
+// on every backend (including NaN and signed-zero behaviour: _mm256_max_pd
+// returns its *second* operand when the first is NaN or the operands are
+// equal, which matches the ternary with the (a, b) argument order used
+// below; NEON uses an explicit compare+select). Combined with the fixed
+// accumulator striping in the kernels, every backend produces bitwise
+// identical results — the backend choice is a pure speed knob.
+#pragma once
+
+#include <cstddef>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+#if defined(__ARM_NEON)
+#include <arm_neon.h>
+#endif
+
+namespace blinkradar::dsp::detail {
+
+struct ScalarVec {
+    static constexpr std::size_t W = 1;
+    /// No paired complex butterfly: fft_pass uses the scalar loop.
+    static constexpr bool kComplexButterfly = false;
+
+    double v;
+
+    static ScalarVec zero() noexcept { return {0.0}; }
+    static ScalarVec broadcast(double x) noexcept { return {x}; }
+    static ScalarVec loadu(const double* p) noexcept { return {*p}; }
+    void storeu(double* p) const noexcept { *p = v; }
+    static ScalarVec max(ScalarVec a, ScalarVec b) noexcept {
+        return {a.v > b.v ? a.v : b.v};
+    }
+    friend ScalarVec operator+(ScalarVec a, ScalarVec b) noexcept {
+        return {a.v + b.v};
+    }
+    friend ScalarVec operator-(ScalarVec a, ScalarVec b) noexcept {
+        return {a.v - b.v};
+    }
+    friend ScalarVec operator*(ScalarVec a, ScalarVec b) noexcept {
+        return {a.v * b.v};
+    }
+    friend ScalarVec operator/(ScalarVec a, ScalarVec b) noexcept {
+        return {a.v / b.v};
+    }
+};
+
+#if defined(__AVX2__)
+
+struct Avx2Vec {
+    static constexpr std::size_t W = 4;
+    static constexpr bool kComplexButterfly = true;
+
+    __m256d v;
+
+    static Avx2Vec zero() noexcept { return {_mm256_setzero_pd()}; }
+    static Avx2Vec broadcast(double x) noexcept { return {_mm256_set1_pd(x)}; }
+    static Avx2Vec loadu(const double* p) noexcept {
+        return {_mm256_loadu_pd(p)};
+    }
+    void storeu(double* p) const noexcept { _mm256_storeu_pd(p, v); }
+    // maxpd(a, b) returns b when a is NaN or a == b, exactly matching the
+    // scalar `a > b ? a : b` per lane (including -0.0 vs +0.0).
+    static Avx2Vec max(Avx2Vec a, Avx2Vec b) noexcept {
+        return {_mm256_max_pd(a.v, b.v)};
+    }
+    friend Avx2Vec operator+(Avx2Vec a, Avx2Vec b) noexcept {
+        return {_mm256_add_pd(a.v, b.v)};
+    }
+    friend Avx2Vec operator-(Avx2Vec a, Avx2Vec b) noexcept {
+        return {_mm256_sub_pd(a.v, b.v)};
+    }
+    friend Avx2Vec operator*(Avx2Vec a, Avx2Vec b) noexcept {
+        return {_mm256_mul_pd(a.v, b.v)};
+    }
+    friend Avx2Vec operator/(Avx2Vec a, Avx2Vec b) noexcept {
+        return {_mm256_div_pd(a.v, b.v)};
+    }
+
+    /// Two adjacent radix-2 FFT butterflies in one 256-bit lane set.
+    /// `a` and `b` each point at two interleaved complex values
+    /// (re0, im0, re1, im1); `w` at two interleaved twiddles. Per lane
+    /// this computes exactly the scalar butterfly
+    ///   v = b * w;  a' = a + v;  b' = a - v;
+    /// with the identical operation order (lane k re: b_r*w_r - b_i*w_i,
+    /// lane k im: b_i*w_r + b_r*w_i via addsub of the swapped product),
+    /// so results are bit-identical to the scalar loop.
+    static void butterflies2(double* a, double* b, const double* w) noexcept {
+        const __m256d av = _mm256_loadu_pd(a);
+        const __m256d bv = _mm256_loadu_pd(b);
+        const __m256d wv = _mm256_loadu_pd(w);
+        const __m256d wr = _mm256_movedup_pd(wv);          // wr0 wr0 wr1 wr1
+        const __m256d wi = _mm256_permute_pd(wv, 0b1111);  // wi0 wi0 wi1 wi1
+        const __m256d bswap = _mm256_permute_pd(bv, 0b0101);
+        // addsub: (br*wr - bi*wi, bi*wr + br*wi) per complex value.
+        const __m256d vv = _mm256_addsub_pd(_mm256_mul_pd(bv, wr),
+                                            _mm256_mul_pd(bswap, wi));
+        _mm256_storeu_pd(a, _mm256_add_pd(av, vv));
+        _mm256_storeu_pd(b, _mm256_sub_pd(av, vv));
+    }
+};
+
+#endif  // __AVX2__
+
+#if defined(__ARM_NEON)
+
+struct NeonVec {
+    static constexpr std::size_t W = 2;
+    static constexpr bool kComplexButterfly = false;
+
+    float64x2_t v;
+
+    static NeonVec zero() noexcept { return {vdupq_n_f64(0.0)}; }
+    static NeonVec broadcast(double x) noexcept { return {vdupq_n_f64(x)}; }
+    static NeonVec loadu(const double* p) noexcept { return {vld1q_f64(p)}; }
+    void storeu(double* p) const noexcept { vst1q_f64(p, v); }
+    // Explicit compare+select (not FMAX, whose NaN semantics differ from
+    // the ternary): bit-identical to `a > b ? a : b` per lane.
+    static NeonVec max(NeonVec a, NeonVec b) noexcept {
+        return {vbslq_f64(vcgtq_f64(a.v, b.v), a.v, b.v)};
+    }
+    friend NeonVec operator+(NeonVec a, NeonVec b) noexcept {
+        return {vaddq_f64(a.v, b.v)};
+    }
+    friend NeonVec operator-(NeonVec a, NeonVec b) noexcept {
+        return {vsubq_f64(a.v, b.v)};
+    }
+    friend NeonVec operator*(NeonVec a, NeonVec b) noexcept {
+        return {vmulq_f64(a.v, b.v)};
+    }
+    friend NeonVec operator/(NeonVec a, NeonVec b) noexcept {
+        return {vdivq_f64(a.v, b.v)};
+    }
+};
+
+#endif  // __ARM_NEON
+
+}  // namespace blinkradar::dsp::detail

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/contracts.hpp"
+#include "dsp/frame_kernels.hpp"
 
 namespace blinkradar::dsp {
 
@@ -94,6 +95,27 @@ void moving_average_into(std::span<const double> input, std::size_t window,
 void moving_average_into(std::span<const Complex> input, std::size_t window,
                          ComplexSignal& out, ComplexSignal& prefix) {
     moving_average_impl(input, window, out, prefix);
+}
+
+void moving_average_planes_into(const IqPlanes& input, std::size_t window,
+                                IqPlanes& out, IqPlanes& prefix) {
+    BR_EXPECTS(window >= 1);
+    BR_EXPECTS(input.empty() || (input.i.data() != out.i.data() &&
+                                 input.i.data() != prefix.i.data()));
+    const std::size_t n = input.size();
+    out.resize(n);
+    prefix.resize(n + 1);
+    // The prefix sums are inherently serial; the complex prefix above adds
+    // componentwise, so the per-plane sums are bit-identical to it.
+    prefix.i[0] = 0.0;
+    prefix.q[0] = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+        prefix.i[j + 1] = prefix.i[j] + input.i[j];
+        prefix.q[j + 1] = prefix.q[j] + input.q[j];
+    }
+    active_kernels().smooth_from_prefix(prefix.i.data(), prefix.q.data(), n,
+                                        window / 2, out.i.data(),
+                                        out.q.data());
 }
 
 RealSignal median_filter(std::span<const double> input, std::size_t window) {

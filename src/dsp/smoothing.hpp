@@ -29,6 +29,13 @@ void moving_average_into(std::span<const double> input, std::size_t window,
 void moving_average_into(std::span<const Complex> input, std::size_t window,
                          ComplexSignal& out, ComplexSignal& prefix);
 
+/// Structure-of-arrays variant for the vector frame path: smooths both
+/// I/Q planes in one call (prefix sums per plane, interior samples through
+/// the active SIMD kernel table). Component-wise bit-identical to the
+/// complex moving_average_into().
+void moving_average_planes_into(const IqPlanes& input, std::size_t window,
+                                IqPlanes& out, IqPlanes& prefix);
+
 /// Centred running median with an odd window size.
 RealSignal median_filter(std::span<const double> input, std::size_t window);
 

@@ -26,6 +26,18 @@ double stddev(std::span<const double> v) { return std::sqrt(variance(v)); }
 
 double median(std::span<const double> v) { return percentile(v, 50.0); }
 
+double median_inplace(std::span<double> v) {
+    BR_EXPECTS(!v.empty());
+    std::sort(v.begin(), v.end());
+    if (v.size() == 1) return v.front();
+    // Same interpolation as percentile(v, 50.0); 0.5 == 50.0/100.0 exactly.
+    const double pos = 0.5 * static_cast<double>(v.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, v.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
 double percentile(std::span<const double> v, double p) {
     BR_EXPECTS(!v.empty());
     BR_EXPECTS(p >= 0.0 && p <= 100.0);

@@ -23,6 +23,11 @@ double stddev(std::span<const double> v);
 /// Median (copies and partially sorts). Input must be non-empty.
 double median(std::span<const double> v);
 
+/// Allocation-free median for hot paths: sorts `v` in place (caller-owned
+/// scratch) and returns the same interpolated median as median(). Input
+/// must be non-empty.
+double median_inplace(std::span<double> v);
+
 /// Linear-interpolated percentile, p in [0, 100]. Input must be non-empty.
 double percentile(std::span<const double> v, double p);
 

@@ -1,0 +1,37 @@
+// Per-kernel latency histograms for the SoA frame path.
+//
+// The stage histograms (stage.preprocess, stage.background, ...) time
+// whole pipeline stages; after the SIMD refactor fused several stages
+// into single kernels, regressions inside one kernel would hide in the
+// stage aggregate. These timers give each hot kernel its own histogram
+// (kernel.preprocess_fir, kernel.background_fused, ...), duty-cycled with
+// the same detailed-frame sampling as the stage timers so the steady-state
+// cost stays at one branch per kernel.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace blinkradar::obs {
+
+struct KernelTimers {
+    LatencyHistogram* preprocess_fir = nullptr;
+    LatencyHistogram* preprocess_smooth = nullptr;
+    LatencyHistogram* movement_energy = nullptr;
+    LatencyHistogram* background_fused = nullptr;
+    LatencyHistogram* variance_scan = nullptr;
+
+    void register_in(MetricsRegistry& registry, const std::string& prefix) {
+        preprocess_fir = &registry.histogram(prefix + "kernel.preprocess_fir");
+        preprocess_smooth =
+            &registry.histogram(prefix + "kernel.preprocess_smooth");
+        movement_energy =
+            &registry.histogram(prefix + "kernel.movement_energy");
+        background_fused =
+            &registry.histogram(prefix + "kernel.background_fused");
+        variance_scan = &registry.histogram(prefix + "kernel.variance_scan");
+    }
+};
+
+}  // namespace blinkradar::obs

@@ -242,6 +242,26 @@ void StateWriter::write_complex_span(std::span<const dsp::Complex> v) {
     }
 }
 
+void StateWriter::write_complex_planes(std::span<const double> re,
+                                       std::span<const double> im) {
+    BR_EXPECTS(re.size() == im.size());
+    write_u64(re.size());
+    // Interleave while appending: same wire bytes as write_complex_span
+    // on the equivalent interleaved signal.
+    buf_.reserve(buf_.size() + re.size() * 2 * sizeof(double));
+    for (std::size_t j = 0; j < re.size(); ++j) {
+        if constexpr (std::endian::native == std::endian::little) {
+            const auto* pr = reinterpret_cast<const std::uint8_t*>(&re[j]);
+            const auto* pi = reinterpret_cast<const std::uint8_t*>(&im[j]);
+            buf_.insert(buf_.end(), pr, pr + sizeof(double));
+            buf_.insert(buf_.end(), pi, pi + sizeof(double));
+        } else {
+            write_f64(re[j]);
+            write_f64(im[j]);
+        }
+    }
+}
+
 void StateWriter::write_u8_span(std::span<const std::uint8_t> v) {
     write_u64(v.size());
     BR_EXPECTS(in_section_);
@@ -442,6 +462,39 @@ void StateReader::read_complex_into(dsp::ComplexSignal& out) {
     out.clear();
     out.reserve(n);
     for (std::size_t i = 0; i < n; ++i) out.push_back(read_complex());
+}
+
+void StateReader::read_complex_planes_into(std::vector<double>& re,
+                                           std::vector<double>& im) {
+    const std::size_t n = read_size();
+    need(n * 16 < n ? SIZE_MAX : n * 16);
+    re.resize(n);
+    im.resize(n);
+    for (std::size_t j = 0; j < n; ++j) {
+        double r = 0.0;
+        double i = 0.0;
+        if constexpr (std::endian::native == std::endian::little) {
+            std::memcpy(&r, bytes_.data() + cursor_ + j * 16, sizeof(double));
+            std::memcpy(&i, bytes_.data() + cursor_ + j * 16 + 8,
+                        sizeof(double));
+        } else {
+            std::uint64_t rb = 0;
+            std::uint64_t ib = 0;
+            for (std::size_t k = 0; k < 8; ++k) {
+                rb |= static_cast<std::uint64_t>(
+                          bytes_[cursor_ + j * 16 + k])
+                      << (8 * k);
+                ib |= static_cast<std::uint64_t>(
+                          bytes_[cursor_ + j * 16 + 8 + k])
+                      << (8 * k);
+            }
+            std::memcpy(&r, &rb, sizeof(double));
+            std::memcpy(&i, &ib, sizeof(double));
+        }
+        re[j] = r;
+        im[j] = i;
+    }
+    cursor_ += n * 16;
 }
 
 void StateReader::read_u8_into(std::vector<std::uint8_t>& out) {

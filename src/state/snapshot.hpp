@@ -109,6 +109,13 @@ public:
     void write_complex_span(std::span<const dsp::Complex> v);
     void write_u8_span(std::span<const std::uint8_t> v);
 
+    /// Write a structure-of-arrays complex signal (`re`/`im` of equal
+    /// length) with the exact wire bytes of write_complex_span on the
+    /// interleaved equivalent, so AoS and SoA holders of the same signal
+    /// produce identical sections.
+    void write_complex_planes(std::span<const double> re,
+                              std::span<const double> im);
+
     /// Seal the container and hand back the bytes. The writer is spent
     /// afterwards; begin a new one for the next snapshot.
     std::vector<std::uint8_t> finish();
@@ -166,6 +173,12 @@ public:
     void read_f64_into(std::vector<double>& out);
     void read_complex_into(dsp::ComplexSignal& out);
     void read_u8_into(std::vector<std::uint8_t>& out);
+
+    /// Read a complex-span field into structure-of-arrays planes
+    /// (deinterleaving); accepts exactly the bytes write_complex_span /
+    /// write_complex_planes produce.
+    void read_complex_planes_into(std::vector<double>& re,
+                                  std::vector<double>& im);
 
 private:
     struct SectionEntry {

@@ -1,0 +1,293 @@
+// The pipeline-level DSP path choice (core::DspPath): resolution of kAuto
+// (env override, default), snapshot/resume bit-exactness of the SoA path,
+// rejection of mixed-path restores via the PIPE fingerprint, wire-format
+// equality of the SoA snapshot serialization, and end-to-end agreement of
+// the two paths on detection outcomes.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "common/random.hpp"
+#include "core/pipeline.hpp"
+#include "physio/driver_profile.hpp"
+#include "sim/scenario.hpp"
+#include "state/snapshot.hpp"
+
+namespace blinkradar::core {
+namespace {
+
+sim::ScenarioConfig reference_scenario(std::uint64_t seed,
+                                       Seconds duration = 30.0) {
+    sim::ScenarioConfig sc;
+    Rng rng(42);
+    sc.driver = physio::sample_participants(1, rng).front();
+    sc.duration_s = duration;
+    sc.seed = seed;
+    return sc;
+}
+
+void expect_bitwise_eq(double a, double b, const char* what,
+                       std::size_t frame) {
+    std::uint64_t ab = 0, bb = 0;
+    std::memcpy(&ab, &a, sizeof(ab));
+    std::memcpy(&bb, &b, sizeof(bb));
+    EXPECT_EQ(ab, bb) << what << " diverged at replay frame " << frame
+                      << ": " << a << " vs " << b;
+}
+
+void expect_identical(const FrameResult& a, const FrameResult& b,
+                      std::size_t frame) {
+    ASSERT_EQ(a.blink.has_value(), b.blink.has_value())
+        << "blink presence diverged at replay frame " << frame;
+    if (a.blink) {
+        expect_bitwise_eq(a.blink->peak_s, b.blink->peak_s, "blink.peak_s",
+                          frame);
+        expect_bitwise_eq(a.blink->magnitude, b.blink->magnitude,
+                          "blink.magnitude", frame);
+    }
+    EXPECT_EQ(a.restarted, b.restarted) << "at replay frame " << frame;
+    EXPECT_EQ(a.cold_start, b.cold_start) << "at replay frame " << frame;
+    expect_bitwise_eq(a.waveform_value, b.waveform_value, "waveform_value",
+                      frame);
+    EXPECT_EQ(a.health, b.health) << "at replay frame " << frame;
+}
+
+std::vector<std::uint8_t> snapshot_of(const BlinkRadarPipeline& pipe) {
+    state::StateWriter writer;
+    pipe.save_state(writer);
+    return writer.finish();
+}
+
+/// RAII environment-variable override (tests run single-threaded).
+class ScopedEnv {
+public:
+    ScopedEnv(const char* name, const char* value) : name_(name) {
+        if (const char* old = std::getenv(name)) {
+            had_old_ = true;
+            old_ = old;
+        }
+        if (value != nullptr)
+            ::setenv(name, value, 1);
+        else
+            ::unsetenv(name);
+    }
+    ~ScopedEnv() {
+        if (had_old_)
+            ::setenv(name_, old_.c_str(), 1);
+        else
+            ::unsetenv(name_);
+    }
+
+private:
+    const char* name_;
+    bool had_old_ = false;
+    std::string old_;
+};
+
+TEST(DspPath, AutoResolvesToSimdByDefault) {
+    const ScopedEnv env("BLINKRADAR_DSP_PATH", nullptr);
+    const sim::SimulatedSession s =
+        simulate_session(reference_scenario(1, 1.0));
+    PipelineConfig config;  // dsp_path defaults to kAuto
+    const BlinkRadarPipeline pipe(s.radar, config);
+    EXPECT_EQ(pipe.dsp_path(), DspPath::kSimd);
+    // The resolved value is written back into the pipeline's config copy.
+    EXPECT_EQ(pipe.config().dsp_path, DspPath::kSimd);
+}
+
+TEST(DspPath, EnvOverridesAutoButNotExplicit) {
+    const sim::SimulatedSession s =
+        simulate_session(reference_scenario(1, 1.0));
+    {
+        const ScopedEnv env("BLINKRADAR_DSP_PATH", "scalar");
+        PipelineConfig config;
+        const BlinkRadarPipeline auto_pipe(s.radar, config);
+        EXPECT_EQ(auto_pipe.dsp_path(), DspPath::kScalar);
+
+        config.dsp_path = DspPath::kSimd;  // explicit beats env
+        const BlinkRadarPipeline explicit_pipe(s.radar, config);
+        EXPECT_EQ(explicit_pipe.dsp_path(), DspPath::kSimd);
+    }
+    {
+        const ScopedEnv env("BLINKRADAR_DSP_PATH", "simd");
+        PipelineConfig config;
+        const BlinkRadarPipeline pipe(s.radar, config);
+        EXPECT_EQ(pipe.dsp_path(), DspPath::kSimd);
+    }
+    {
+        // Unknown values fall through to the default.
+        const ScopedEnv env("BLINKRADAR_DSP_PATH", "quantum");
+        PipelineConfig config;
+        const BlinkRadarPipeline pipe(s.radar, config);
+        EXPECT_EQ(pipe.dsp_path(), DspPath::kSimd);
+    }
+}
+
+/// test_resume-style drill pinned to one explicit path: process [0,
+/// split), snapshot, restore into a fresh pipeline, replay the tail on
+/// both and require byte-identical results.
+void run_path_resume_drill(DspPath path, std::size_t split,
+                           std::size_t full_reselect_stride = 1) {
+    const sim::SimulatedSession s =
+        simulate_session(reference_scenario(7, 30.0));
+    PipelineConfig config;
+    config.dsp_path = path;
+    config.full_reselect_stride = full_reselect_stride;
+    ASSERT_LT(split, s.frames.size());
+
+    BlinkRadarPipeline original(s.radar, config);
+    for (std::size_t i = 0; i < split; ++i) original.process(s.frames[i]);
+
+    const std::vector<std::uint8_t> bytes = snapshot_of(original);
+    BlinkRadarPipeline restored(s.radar, config);
+    {
+        state::StateReader reader(bytes);
+        restored.restore_state(reader);
+    }
+
+    for (std::size_t i = split; i < s.frames.size(); ++i) {
+        const FrameResult a = original.process(s.frames[i]);
+        const FrameResult b = restored.process(s.frames[i]);
+        expect_identical(a, b, i);
+    }
+    ASSERT_EQ(original.blinks().size(), restored.blinks().size());
+    EXPECT_EQ(original.selected_bin(), restored.selected_bin());
+}
+
+TEST(DspPath, SimdSnapshotsRestoreBitIdentically) {
+    // Splits inside cold start, right after bin selection, and deep in
+    // steady state (SoA window ring partially evicted).
+    for (const std::size_t split : {20u, 70u, 600u}) {
+        SCOPED_TRACE("split=" + std::to_string(split));
+        run_path_resume_drill(DspPath::kSimd, split);
+    }
+}
+
+TEST(DspPath, ScalarSnapshotsRestoreBitIdentically) {
+    run_path_resume_drill(DspPath::kScalar, 300);
+}
+
+TEST(DspPath, KeepCheckStrideResumesBitIdentically) {
+    // full_reselect_stride > 1 (the opt-in keep-check reselect cadence)
+    // makes the local/full phase part of pipeline state; a mid-cadence
+    // snapshot must resume on the same phase or replay diverges at the
+    // next reselect.
+    run_path_resume_drill(DspPath::kSimd, 640, 4);
+}
+
+TEST(DspPath, KeepCheckStrideStillDetects) {
+    const sim::SimulatedSession s =
+        simulate_session(reference_scenario(2, 30.0));
+    PipelineConfig config;
+    config.dsp_path = DspPath::kSimd;
+    config.full_reselect_stride = 4;
+    BlinkRadarPipeline pipe(s.radar, config);
+    for (const auto& frame : s.frames) pipe.process(frame);
+    ASSERT_TRUE(pipe.selected_bin().has_value());
+    EXPECT_FALSE(pipe.blinks().empty());
+}
+
+TEST(DspPath, MixedPathRestoreIsRejectedBothWays) {
+    const sim::SimulatedSession s =
+        simulate_session(reference_scenario(3, 10.0));
+    PipelineConfig scalar_config;
+    scalar_config.dsp_path = DspPath::kScalar;
+    PipelineConfig simd_config;
+    simd_config.dsp_path = DspPath::kSimd;
+
+    BlinkRadarPipeline scalar_pipe(s.radar, scalar_config);
+    BlinkRadarPipeline simd_pipe(s.radar, simd_config);
+    for (std::size_t i = 0; i < 100; ++i) {
+        scalar_pipe.process(s.frames[i]);
+        simd_pipe.process(s.frames[i]);
+    }
+    const std::vector<std::uint8_t> scalar_bytes = snapshot_of(scalar_pipe);
+    const std::vector<std::uint8_t> simd_bytes = snapshot_of(simd_pipe);
+
+    {
+        BlinkRadarPipeline target(s.radar, simd_config);
+        state::StateReader reader(scalar_bytes);
+        EXPECT_THROW(target.restore_state(reader), state::SnapshotError);
+    }
+    {
+        BlinkRadarPipeline target(s.radar, scalar_config);
+        state::StateReader reader(simd_bytes);
+        EXPECT_THROW(target.restore_state(reader), state::SnapshotError);
+    }
+    // Matching paths still restore fine (the guard is the path byte, not
+    // some broader fingerprint drift).
+    {
+        BlinkRadarPipeline target(s.radar, simd_config);
+        state::StateReader reader(simd_bytes);
+        EXPECT_NO_THROW(target.restore_state(reader));
+    }
+}
+
+TEST(DspPath, PlanesSerializationMatchesComplexSpanBytes) {
+    Rng rng(5);
+    for (const std::size_t n : {0u, 1u, 5u, 151u}) {
+        dsp::ComplexSignal aos(n);
+        std::vector<double> re(n), im(n);
+        for (std::size_t j = 0; j < n; ++j) {
+            re[j] = rng.normal(0.0, 1.0);
+            im[j] = rng.normal(0.0, 1.0);
+            aos[j] = dsp::Complex(re[j], im[j]);
+        }
+        const std::uint32_t tag = state::make_tag("TEST");
+        state::StateWriter wa;
+        wa.begin_section(tag, 1);
+        wa.write_complex_span(aos);
+        wa.end_section();
+        state::StateWriter wb;
+        wb.begin_section(tag, 1);
+        wb.write_complex_planes(re, im);
+        wb.end_section();
+        const std::vector<std::uint8_t> ba = wa.finish();
+        const std::vector<std::uint8_t> bb = wb.finish();
+        ASSERT_EQ(ba, bb) << "wire bytes differ at n=" << n;
+
+        // And the SoA reader deinterleaves the complex-span bytes.
+        state::StateReader reader(ba);
+        ASSERT_EQ(reader.open_section(tag), 1);
+        std::vector<double> re2, im2;
+        reader.read_complex_planes_into(re2, im2);
+        ASSERT_EQ(re2.size(), n);
+        for (std::size_t j = 0; j < n; ++j) {
+            EXPECT_EQ(re[j], re2[j]);
+            EXPECT_EQ(im[j], im2[j]);
+        }
+    }
+}
+
+TEST(DspPath, PathsAgreeOnDetectionOutcomes) {
+    // The paths are deliberately not bit-identical (fused reduction order,
+    // capped selection), but on the reference scene they must tell the
+    // same story: same selected bin, blink counts within one event.
+    const sim::SimulatedSession s =
+        simulate_session(reference_scenario(2, 30.0));
+    PipelineConfig scalar_config;
+    scalar_config.dsp_path = DspPath::kScalar;
+    PipelineConfig simd_config;
+    simd_config.dsp_path = DspPath::kSimd;
+
+    BlinkRadarPipeline scalar_pipe(s.radar, scalar_config);
+    BlinkRadarPipeline simd_pipe(s.radar, simd_config);
+    for (const auto& frame : s.frames) {
+        scalar_pipe.process(frame);
+        simd_pipe.process(frame);
+    }
+    ASSERT_TRUE(scalar_pipe.selected_bin().has_value());
+    ASSERT_TRUE(simd_pipe.selected_bin().has_value());
+    EXPECT_EQ(*scalar_pipe.selected_bin(), *simd_pipe.selected_bin());
+    const auto diff =
+        static_cast<long long>(scalar_pipe.blinks().size()) -
+        static_cast<long long>(simd_pipe.blinks().size());
+    EXPECT_LE(std::abs(diff), 1)
+        << "scalar found " << scalar_pipe.blinks().size()
+        << " blinks, simd found " << simd_pipe.blinks().size();
+}
+
+}  // namespace
+}  // namespace blinkradar::core
