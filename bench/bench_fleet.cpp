@@ -1,0 +1,159 @@
+// Fleet-engine capacity bench: how many concurrent driver sessions one
+// process sustains at the radar's 25 fps, and the per-frame latency
+// tail while doing it. Prints a sessions/core scaling table and writes
+// BENCH_fleet.json (to argv[1], default the working directory) with the
+// gated lower-is-better numbers CI compares against the committed
+// baseline (scripts/compare_bench.py, schema "blinkradar-fleet-v1").
+//
+// The p99 frame-latency SLO is one 25 fps frame period (40 ms): a frame
+// whose processing outlasts its own period is late for a live stream no
+// matter how deep the queue. The pipeline needs ~10 us/frame, so this
+// only trips when something is catastrophically wrong — exactly what a
+// gate is for.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/thread_pool.hpp"
+#include "eval/report.hpp"
+#include "fleet/fleet_engine.hpp"
+#include "obs/metrics.hpp"
+
+using namespace blinkradar;
+
+namespace {
+
+constexpr double kFrameRateHz = 25.0;
+constexpr double kSloP99Ns = 40e6;  // one frame period
+
+struct FleetPoint {
+    std::size_t sessions = 0;
+    std::size_t frames = 0;
+    double wall_s = 0.0;
+    double frame_cost_ns = 0.0;  ///< core-ns per frame (wall * threads)
+    double p99_frame_ns = 0.0;   ///< merged per-frame latency tail
+    double sessions_per_core = 0.0;
+};
+
+FleetPoint run_point(const std::vector<sim::SimulatedSession>& sims,
+                     std::size_t n_sessions, ThreadPool& pool) {
+    fleet::FleetConfig cfg;
+    cfg.n_shards = std::max<std::size_t>(4, pool.size() * 2);
+    cfg.record_results = false;   // capacity run: events + stats only
+    cfg.collect_metrics = true;   // shared-prefix histograms -> fleet p99
+    cfg.per_session_metric_ids = false;
+    fleet::FleetEngine engine(cfg, &pool);
+
+    std::vector<fleet::SessionId> ids;
+    ids.reserve(n_sessions);
+    for (std::size_t s = 0; s < n_sessions; ++s)
+        ids.push_back(engine.create_session(sims[s % sims.size()].radar));
+
+    const std::size_t frames_per_session = sims.front().frames.size();
+    const std::size_t chunk =
+        static_cast<std::size_t>(kFrameRateHz);  // 1 s of stream per pump
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::size_t processed = 0;
+    for (std::size_t off = 0; off < frames_per_session; off += chunk) {
+        const std::size_t end =
+            std::min(off + chunk, frames_per_session);
+        for (std::size_t s = 0; s < n_sessions; ++s) {
+            const auto& frames = sims[s % sims.size()].frames;
+            for (std::size_t i = off; i < end; ++i)
+                engine.feed(ids[s], frames[i]);
+        }
+        processed += engine.pump();
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+
+    FleetPoint p;
+    p.sessions = n_sessions;
+    p.frames = processed;
+    p.wall_s = std::chrono::duration<double>(t1 - t0).count();
+    p.frame_cost_ns = p.wall_s * 1e9 *
+                      static_cast<double>(pool.size()) /
+                      static_cast<double>(processed);
+    // One session at 25 fps consumes 1/25 s of core time per second of
+    // stream when a frame costs frame_cost_ns; invert for capacity.
+    p.sessions_per_core = 1e9 / (kFrameRateHz * p.frame_cost_ns);
+
+    obs::MetricsRegistry merged;
+    engine.merge_metrics(merged);
+    p.p99_frame_ns =
+        merged.histogram("fleet.stage.frame_total").quantile_ns(0.99);
+    return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const std::string out_path = argc > 1 ? argv[1] : "BENCH_fleet.json";
+
+    // Four distinct simulated drivers, replicated round-robin across the
+    // fleet: distinct enough that sessions do real divergent work, cheap
+    // enough that simulation does not dominate the bench.
+    const auto drivers = benchutil::participants(4);
+    std::vector<sim::SimulatedSession> sims;
+    for (std::size_t i = 0; i < drivers.size(); ++i) {
+        sim::ScenarioConfig sc =
+            benchutil::reference_scenario(drivers[i], 7700 + 31 * i);
+        sc.duration_s = 20.0;
+        sims.push_back(sim::simulate_session(sc));
+    }
+
+    ThreadPool& pool = ThreadPool::shared();
+    eval::banner(std::cout, "Fleet engine: sessions per core at 25 fps");
+    std::printf("pool threads: %zu\n", pool.size());
+
+    const std::size_t sweep[] = {16, 64, 256};
+    std::vector<FleetPoint> points;
+    for (const std::size_t n : sweep)
+        points.push_back(run_point(sims, n, pool));
+
+    eval::AsciiTable table({"sessions", "frames", "wall (s)",
+                            "frame cost (us/core)", "sessions/core",
+                            "p99 frame (us)"});
+    for (const FleetPoint& p : points)
+        table.add_row({std::to_string(p.sessions), std::to_string(p.frames),
+                       eval::fmt(p.wall_s, 2),
+                       eval::fmt(p.frame_cost_ns / 1e3, 2),
+                       eval::fmt(p.sessions_per_core, 0),
+                       eval::fmt(p.p99_frame_ns / 1e3, 1)});
+    table.print(std::cout);
+
+    // Gate on the largest fleet: that is the capacity claim.
+    const FleetPoint& peak = points.back();
+    const bool slo_ok = peak.p99_frame_ns <= kSloP99Ns;
+    std::printf("p99 frame latency %.1f us vs %.0f ms SLO: %s\n",
+                peak.p99_frame_ns / 1e3, kSloP99Ns / 1e6,
+                slo_ok ? "ok" : "VIOLATED");
+
+    std::ofstream out(out_path);
+    out << "{\n  \"schema\": \"blinkradar-fleet-v1\",\n"
+        << "  \"threads\": " << pool.size() << ",\n"
+        << "  \"gated\": {\n"
+        << "    \"fleet.frame_cost_ns\": " << peak.frame_cost_ns << ",\n"
+        << "    \"fleet.p99_frame_ns\": " << peak.p99_frame_ns << "\n"
+        << "  },\n  \"points\": [\n";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const FleetPoint& p = points[i];
+        out << "    {\"sessions\": " << p.sessions
+            << ", \"frames\": " << p.frames << ", \"wall_s\": " << p.wall_s
+            << ", \"frame_cost_ns\": " << p.frame_cost_ns
+            << ", \"sessions_per_core_at_25fps\": " << p.sessions_per_core
+            << ", \"p99_frame_ns\": " << p.p99_frame_ns << "}"
+            << (i + 1 < points.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n  \"slo\": {\"p99_frame_ns_max\": " << kSloP99Ns
+        << ", \"ok\": " << (slo_ok ? "true" : "false") << "}\n}\n";
+    out.close();
+    std::printf("wrote %s (%zu fleet sizes)\n", out_path.c_str(),
+                points.size());
+    return slo_ok ? 0 : 1;
+}

@@ -11,7 +11,12 @@ tolerance. Two report schemas are understood, auto-detected per file:
     per stage/kernel histogram, mean_ns, p50_ns and p99_ns are each
     compared as separate entries ("stage.frame_total/p99"), so a
     kernel-level regression fails CI with the stage and the percentile
-    that moved named in the verdict.
+    that moved named in the verdict;
+  - the blinkradar-fleet-v1 capacity report (BENCH_fleet.json): the
+    "gated" block carries lower-is-better core-ns costs (per-frame
+    fleet cost and the p99 frame-latency tail at the largest fleet),
+    so a fleet-capacity regression fails the same slower-than-baseline
+    gate as everything else.
 
 Only slowdowns fail the gate; speedups are reported but pass (refresh
 the baseline to bank them). Benchmarks present on one side only are
@@ -65,11 +70,23 @@ def stage_stats(report):
     return stats
 
 
+def fleet_stats(report):
+    """The fleet report's pre-flattened gate block: name -> core-ns.
+
+    Only "gated" entries participate — the rest of the report (the
+    per-fleet-size points, sessions/core capacity) is informational and
+    includes higher-is-better numbers the slowdown gate must not read.
+    """
+    return {name: float(v) for name, v in report.get("gated", {}).items()}
+
+
 def extract(report, path):
     if "benchmarks" in report:
         return gbench_medians(report)
     if report.get("schema") == "blinkradar-obs-v1":
         return stage_stats(report)
+    if report.get("schema") == "blinkradar-fleet-v1":
+        return fleet_stats(report)
     sys.exit(f"{path}: unrecognized report schema")
 
 

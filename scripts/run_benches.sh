@@ -6,6 +6,8 @@
 #   BENCH_robustness.json  detection accuracy vs sensor-fault severity
 #   BENCH_recovery.json    crash-drill accuracy/downtime vs checkpoint
 #                          interval (the supervisor's snapshot cadence)
+#   BENCH_fleet.json       fleet-engine capacity (sessions/core at
+#                          25 fps) and the p99 frame-latency SLO
 #
 # Figure-reproduction harnesses are not run here — they print paper
 # tables and take minutes; run them from build/bench/ directly.
@@ -20,6 +22,7 @@ build_dir="${repo_root}/build-release"
 cmake --preset release -S "${repo_root}"
 cmake --build "${build_dir}" \
     --target bench_perf_pipeline bench_robustness_faults bench_recovery \
+    bench_fleet \
     -j "$(nproc)"
 
 # A user-supplied --benchmark_out in "$@" comes later and wins.
@@ -41,3 +44,6 @@ echo "wrote ${repo_root}/BENCH_robustness.json"
 
 "${build_dir}/bench/bench_recovery" "${repo_root}/BENCH_recovery.json"
 echo "wrote ${repo_root}/BENCH_recovery.json"
+
+"${build_dir}/bench/bench_fleet" "${repo_root}/BENCH_fleet.json"
+echo "wrote ${repo_root}/BENCH_fleet.json"

@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "common/contracts.hpp"
+#include "common/env_config.hpp"
 
 namespace blinkradar {
 
@@ -137,7 +138,11 @@ std::size_t ThreadPool::parse_thread_count(const char* text,
 std::size_t ThreadPool::shared_size() {
     const unsigned hw = std::thread::hardware_concurrency();
     const std::size_t fallback = hw >= 1 ? hw : 1;
-    return parse_thread_count(std::getenv("BLINKRADAR_THREADS"), fallback);
+    // Read the one-time process snapshot, not the live environment: a
+    // runtime setenv must never race this resolution (see env_config).
+    const std::string& text = process_config().threads;
+    return parse_thread_count(text.empty() ? nullptr : text.c_str(),
+                              fallback);
 }
 
 }  // namespace blinkradar

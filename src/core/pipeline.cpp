@@ -2,10 +2,10 @@
 
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
 #include <string_view>
 
 #include "common/contracts.hpp"
+#include "common/env_config.hpp"
 #include "obs/stage_timer.hpp"
 
 namespace blinkradar::core {
@@ -129,17 +129,17 @@ BlinkRadarPipeline::Instrumentation::Instrumentation(
 
 namespace {
 
-/// Resolve DspPath::kAuto at construction time: the environment variable
-/// BLINKRADAR_DSP_PATH (scalar | simd) decides, defaulting to the SIMD
-/// path. Explicit config values always win (the env hook exists so CI can
-/// drive the whole test suite down either path without code changes).
-DspPath resolve_dsp_path(DspPath requested) noexcept {
+/// Resolve DspPath::kAuto at construction time: the one-time process
+/// snapshot of BLINKRADAR_DSP_PATH (scalar | simd) decides, defaulting
+/// to the SIMD path. Explicit config values always win (the env hook
+/// exists so CI can drive the whole test suite down either path without
+/// code changes). Reading the snapshot — never the live environment —
+/// keeps concurrently constructed sessions on one consistent path.
+DspPath resolve_dsp_path(DspPath requested) {
     if (requested != DspPath::kAuto) return requested;
-    if (const char* env = std::getenv("BLINKRADAR_DSP_PATH")) {
-        const std::string_view v(env);
-        if (v == "scalar") return DspPath::kScalar;
-        if (v == "simd") return DspPath::kSimd;
-    }
+    const std::string_view v = process_config().dsp_path;
+    if (v == "scalar") return DspPath::kScalar;
+    if (v == "simd") return DspPath::kSimd;
     return DspPath::kSimd;
 }
 

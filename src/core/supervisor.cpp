@@ -38,6 +38,14 @@ Supervisor::Supervisor(const radar::RadarConfig& radar,
     BR_EXPECTS(config_.backoff_jitter >= 0.0 && config_.backoff_jitter < 1.0);
     BR_EXPECTS(config_.backoff_base_frames >= 1);
     BR_EXPECTS(config_.stall_timeout_s >= 0.0);
+    // Reclaim temp files a crashed predecessor left next to the slot
+    // files (and in the dump directory, when separate): the unique
+    // temp-name scheme never reuses them, so they are pure disk leaks.
+    if (!config_.snapshot_dir.empty())
+        state::cleanup_orphan_temps(config_.snapshot_dir);
+    if (!config_.dump_dir.empty() &&
+        config_.dump_dir != config_.snapshot_dir)
+        state::cleanup_orphan_temps(config_.dump_dir);
     // The recorder must exist before the first pipeline: every pipeline
     // this supervisor ever constructs shares it.
     if (config_.flight_recorder)

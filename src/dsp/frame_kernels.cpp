@@ -1,8 +1,8 @@
 #include "dsp/frame_kernels.hpp"
 
-#include <cstdlib>
 #include <string_view>
 
+#include "common/env_config.hpp"
 #include "dsp/frame_kernels_impl.hpp"
 
 namespace blinkradar::dsp {
@@ -41,9 +41,13 @@ const KernelTable* neon_kernels() noexcept {
 }
 
 const KernelTable& active_kernels() noexcept {
+    // The override comes from the one-time process config snapshot, not
+    // a live getenv, so concurrent first calls from two sessions can
+    // never race a runtime setenv (and always pick the same table; the
+    // magic static then pins it for the process).
     static const KernelTable& table = []() -> const KernelTable& {
-        if (const char* env = std::getenv("BLINKRADAR_SIMD_BACKEND")) {
-            const std::string_view want(env);
+        const std::string_view want = process_config().simd_backend;
+        if (!want.empty()) {
             if (want == "scalar") return scalar_kernels();
             if (want == "avx2") {
                 if (const KernelTable* t = avx2_kernels()) return *t;

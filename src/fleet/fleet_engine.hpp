@@ -1,0 +1,219 @@
+// Fleet engine: thousands of concurrent driver sessions per process.
+//
+// A deployment scenario the single-pipeline API cannot serve: one edge
+// gateway ingesting radar streams from a whole vehicle fleet, where each
+// driver is an independent BlinkRadarPipeline but the process must
+// multiplex them all over a handful of cores. The FleetEngine owns a
+// session table (create / feed / pump / evict / rehydrate / close) and
+// drains queued frames over the shared deterministic ThreadPool.
+//
+// Determinism contract (the load-bearing property, enforced by
+// tests/test_fleet.cpp): a fleet run is bit-identical to running the
+// same sessions sequentially, for ANY shard count and ANY pool size.
+// It follows from three rules:
+//
+//   1. A session is only ever drained whole by one worker at a time —
+//      frames are processed in feed order, and everything a frame's
+//      processing reads lives inside its session (pipeline state,
+//      autosnapshot, recovery counters, metrics registry).
+//   2. Recovery state is PER SESSION, never per shard. The escalation
+//      ladder (retry -> warm restore from the session's autosnapshot ->
+//      cold restart) consults only the session's own counters, so which
+//      worker happens to drain a session cannot change its recovery
+//      decisions. (This is why a shard does not get a core::Supervisor
+//      per session: Supervisor-style jittered backoff would couple
+//      recovery to wall time and break replayability; the fleet ladder
+//      is the same policy with the nondeterminism removed.)
+//   3. Scheduling only chooses WHICH worker drains a session, never
+//      WHAT the drain computes. Sessions are sharded by id % n_shards;
+//      each shard has an atomic claim cursor, and a worker that empties
+//      its own shard steals from the others round-robin — so one
+//      stalled session delays only its own shard's tail, not the pump.
+//
+// Memory: an idle session can be evicted — its full detection state is
+// serialised (the ~600 KB snapshot container from state/snapshot.hpp)
+// either in memory or to `spill_dir`, and the pipeline is destroyed.
+// The next pump() that finds queued frames rehydrates it bit-exactly.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "core/pipeline.hpp"
+#include "core/pipeline_config.hpp"
+#include "obs/metrics.hpp"
+#include "radar/config.hpp"
+#include "radar/frame.hpp"
+
+namespace blinkradar::fleet {
+
+/// Stable session handle; never reused within one engine.
+using SessionId = std::uint64_t;
+
+struct FleetConfig {
+    /// Shards the session table is partitioned into (id % n_shards).
+    /// Purely a scheduling knob: results are bit-identical for any
+    /// value >= 1. More shards means finer steal granularity.
+    std::size_t n_shards = 4;
+
+    /// Base pipeline configuration for every session (create_session
+    /// overloads can override per session). The metrics_prefix field is
+    /// managed by the engine — see metrics_prefix below.
+    core::PipelineConfig pipeline{};
+
+    /// Per-session autosnapshot cadence, in processed frames. The most
+    /// recent autosnapshot is the warm-restore point of the recovery
+    /// ladder and the eviction fast path. 0 disables autosnapshots
+    /// (recovery then escalates straight to cold restart).
+    std::size_t snapshot_interval_frames = 250;
+
+    /// Recovery ladder bounds, per session (counters reset on a
+    /// successful frame): how often a throwing frame is retried before
+    /// escalating, and how many warm restores are spent before a cold
+    /// restart.
+    std::size_t max_frame_retries = 1;
+    std::size_t max_warm_restores = 2;
+
+    /// When non-empty, evicted session state is written here (one
+    /// `session-<id>.snap` per session, crash-safe via
+    /// state::write_snapshot_file) instead of being kept in memory.
+    /// The engine sweeps orphaned temp files from the directory at
+    /// construction.
+    std::string spill_dir;
+
+    /// Keep every per-frame core::FrameResult per session (the
+    /// bit-identity tests compare these). Off for scale benches —
+    /// blink events and SessionStats are always kept.
+    bool record_results = true;
+
+    /// Attach a private obs::MetricsRegistry to every session. Merged
+    /// in ascending session-id order by merge_metrics().
+    bool collect_metrics = false;
+
+    /// Metric name prefix. With per_session_metric_ids every session
+    /// gets "<metrics_prefix>s<id>." (artifacts never collide); without
+    /// it all sessions share "<metrics_prefix>" and merge_metrics()
+    /// aggregates same-named series across the fleet.
+    std::string metrics_prefix = "fleet.";
+    bool per_session_metric_ids = true;
+};
+
+/// Per-session lifecycle/recovery counters (deterministic — part of the
+/// bit-identity surface).
+struct SessionStats {
+    std::uint64_t frames_processed = 0;  ///< frames fed through process()
+    std::uint64_t frames_dropped = 0;    ///< consumed by a cold restart
+    std::uint64_t blinks = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t warm_restores = 0;
+    std::uint64_t cold_restarts = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t rehydrations = 0;
+};
+
+/// Per-worker scheduling counters for one pump() (NOT deterministic —
+/// which worker drains which session depends on timing; only the union
+/// of drained sessions is fixed). Slot w is written exclusively by
+/// parallel_for worker w, so reads after pump() are race-free.
+struct ShardStats {
+    std::uint64_t sessions_drained = 0;
+    std::uint64_t frames_processed = 0;
+    std::uint64_t sessions_stolen = 0;  ///< drained from a foreign shard
+};
+
+/// Multiplexes N independent BlinkRadarPipeline sessions over the
+/// shared ThreadPool. Control operations (create/feed/evict/close/
+/// accessors) and pump() are mutually serialised by an internal lock,
+/// so the engine may be driven from several control threads; pump()
+/// itself fans out over the pool.
+class FleetEngine {
+public:
+    /// `pool` defaults to ThreadPool::shared(); it must outlive the
+    /// engine. Construction sweeps orphaned snapshot temps from
+    /// spill_dir (crashed-predecessor cleanup).
+    explicit FleetEngine(FleetConfig config, ThreadPool* pool = nullptr);
+    ~FleetEngine();
+
+    FleetEngine(const FleetEngine&) = delete;
+    FleetEngine& operator=(const FleetEngine&) = delete;
+
+    /// Create a session (pipeline constructed immediately). The second
+    /// overload overrides the base pipeline config for this session —
+    /// its metrics_prefix is still engine-managed.
+    SessionId create_session(const radar::RadarConfig& radar);
+    SessionId create_session(const radar::RadarConfig& radar,
+                             core::PipelineConfig overrides);
+
+    /// Queue frames for a session; processed in feed order by the next
+    /// pump(). Unknown id -> ContractViolation.
+    void feed(SessionId id, const radar::RadarFrame& frame);
+    void feed(SessionId id, const radar::FrameSeries& frames);
+
+    /// Drain every queued frame of every session over the pool.
+    /// Evicted sessions with queued frames are rehydrated first (on the
+    /// draining worker). Returns the number of frames processed.
+    std::size_t pump();
+
+    /// Serialise a session's state (to spill_dir or memory) and destroy
+    /// its pipeline. Queued frames, results, blinks, and stats survive;
+    /// the next pump() with queued frames rehydrates it. No-op when
+    /// already evicted.
+    void evict(SessionId id);
+
+    /// Destroy a session entirely (state, queue, results). Its id is
+    /// never reused. Removes the session's spill file, if any.
+    void close(SessionId id);
+
+    bool is_resident(SessionId id) const;
+    std::size_t session_count() const;
+    std::size_t resident_count() const;
+
+    /// Per-frame results (requires record_results; frames consumed by a
+    /// cold restart contribute no entry — see SessionStats::frames_dropped).
+    const std::vector<core::FrameResult>& results(SessionId id) const;
+
+    /// All blinks the session has emitted (survives evict/rehydrate).
+    const std::vector<core::DetectedBlink>& blinks(SessionId id) const;
+
+    const SessionStats& stats(SessionId id) const;
+
+    /// Scheduling counters of the most recent pump(), one slot per
+    /// parallel_for worker.
+    const std::vector<ShardStats>& last_pump_stats() const;
+
+    /// Merge every session's registry into `out`, ascending id order
+    /// (deterministic). No-op unless collect_metrics.
+    void merge_metrics(obs::MetricsRegistry& out) const;
+
+    const FleetConfig& config() const noexcept { return config_; }
+
+private:
+    struct Session;
+
+    Session& session_ref(SessionId id);
+    const Session& session_ref(SessionId id) const;
+    std::string spill_path(SessionId id) const;
+    void build_pipeline(Session& s) const;
+    void serialize_session(Session& s) const;
+    void rehydrate(Session& s) const;
+    void drain(Session& s, ShardStats& worker) const;
+    bool process_with_recovery(Session& s,
+                               const radar::RadarFrame& frame) const;
+
+    FleetConfig config_;
+    ThreadPool* pool_;
+    mutable std::mutex mutex_;  ///< serialises control ops and pump()
+    std::map<SessionId, std::unique_ptr<Session>> sessions_;
+    SessionId next_id_ = 0;
+    std::vector<ShardStats> last_pump_stats_;
+};
+
+}  // namespace blinkradar::fleet

@@ -29,11 +29,15 @@ double measure_ns_per_tick() noexcept {
 }  // namespace
 
 void calibrate_clock() noexcept {
-    // Concurrent first-time constructions may both measure; they store
-    // near-identical ratios, so last-writer-wins is fine.
-    if (g_ns_per_tick.load(std::memory_order_relaxed) == 0.0)
-        g_ns_per_tick.store(measure_ns_per_tick(),
-                            std::memory_order_relaxed);
+    // Magic static: concurrent first-time constructions serialize on the
+    // one-time measurement (C++11 initialization guard), so every
+    // session observes the *same* tick ratio — the old check-then-store
+    // let two racing constructors each measure and publish different
+    // ratios, skewing whichever histograms recorded between the stores.
+    // The store itself is idempotent (always the same value), so the
+    // relaxed atomic stays a plain load on the hot path.
+    static const double ratio = measure_ns_per_tick();
+    g_ns_per_tick.store(ratio, std::memory_order_relaxed);
 }
 #else
 void calibrate_clock() noexcept {}

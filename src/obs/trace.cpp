@@ -1,7 +1,8 @@
 #include "obs/trace.hpp"
 
-#include <cstdlib>
 #include <stdexcept>
+
+#include "common/env_config.hpp"
 
 namespace blinkradar::obs {
 
@@ -11,8 +12,10 @@ TraceSink::TraceSink(const std::string& path) : path_(path), out_(path) {
 }
 
 std::unique_ptr<TraceSink> TraceSink::from_env() {
-    const char* path = std::getenv("BLINKRADAR_TRACE");
-    if (path == nullptr || *path == '\0') return nullptr;
+    // One-time process snapshot (see common/env_config.hpp): a runtime
+    // setenv cannot race concurrent session construction here.
+    const std::string& path = process_config().trace_path;
+    if (path.empty()) return nullptr;
     return std::make_unique<TraceSink>(path);
 }
 

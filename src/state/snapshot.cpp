@@ -1,11 +1,23 @@
 #include "state/snapshot.hpp"
 
 #include <array>
+#include <atomic>
 #include <bit>
 #include <cctype>
+#include <cerrno>
+#include <charconv>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <limits>
+#include <optional>
+#include <string_view>
+
+#if !defined(_WIN32)
+#include <signal.h>
+#include <unistd.h>
+#endif
 
 #include "common/contracts.hpp"
 
@@ -507,9 +519,71 @@ void StateReader::read_u8_into(std::vector<std::uint8_t>& out) {
 
 // --------------------------------------------------------------- file IO
 
+namespace {
+
+std::uint64_t current_pid() noexcept {
+#if defined(_WIN32)
+    return 0;
+#else
+    return static_cast<std::uint64_t>(::getpid());
+#endif
+}
+
+/// True when `pid` names a live process we could be sharing the
+/// directory with. Conservative: any error other than "no such
+/// process" (e.g. EPERM on a foreign uid's process) counts as alive.
+bool pid_alive(std::uint64_t pid) noexcept {
+#if defined(_WIN32)
+    return true;  // no cheap liveness probe: never reclaim
+#else
+    if (pid == 0 || pid > static_cast<std::uint64_t>(
+                              std::numeric_limits<pid_t>::max()))
+        return false;
+    if (::kill(static_cast<pid_t>(pid), 0) == 0) return true;
+    return errno != ESRCH;
+#endif
+}
+
+/// Parse the writer pid out of a temp-file name of the form
+/// `<target>.tmp.<pid>.<counter>`; nullopt when the name is not ours.
+std::optional<std::uint64_t> temp_file_pid(std::string_view name) {
+    const std::size_t mark = name.rfind(".tmp.");
+    if (mark == std::string_view::npos) return std::nullopt;
+    const std::string_view tail = name.substr(mark + 5);  // "<pid>.<ctr>"
+    const std::size_t dot = tail.find('.');
+    if (dot == std::string_view::npos || dot == 0 ||
+        dot + 1 >= tail.size())
+        return std::nullopt;
+    std::uint64_t pid = 0;
+    const std::string_view pid_text = tail.substr(0, dot);
+    auto [p, ec] = std::from_chars(pid_text.data(),
+                                   pid_text.data() + pid_text.size(), pid);
+    if (ec != std::errc() || p != pid_text.data() + pid_text.size())
+        return std::nullopt;
+    const std::string_view ctr_text = tail.substr(dot + 1);
+    std::uint64_t ctr = 0;
+    auto [c, ec2] = std::from_chars(ctr_text.data(),
+                                    ctr_text.data() + ctr_text.size(), ctr);
+    if (ec2 != std::errc() || c != ctr_text.data() + ctr_text.size())
+        return std::nullopt;
+    return pid;
+}
+
+}  // namespace
+
 void write_snapshot_file(const std::string& path,
                          std::span<const std::uint8_t> bytes) {
-    const std::string tmp = path + ".tmp";
+    // The temp name is unique per writer — pid plus a process-wide
+    // monotonic counter — never a fixed `path + ".tmp"`: two concurrent
+    // writers targeting the same path (two fleet sessions, or a
+    // Supervisor slot write racing a flight-recorder dump) would
+    // otherwise interleave inside one temp file and publish a corrupt
+    // container via the rename.
+    static std::atomic<std::uint64_t> g_temp_counter{0};
+    const std::uint64_t serial =
+        g_temp_counter.fetch_add(1, std::memory_order_relaxed);
+    const std::string tmp = path + ".tmp." + std::to_string(current_pid()) +
+                            "." + std::to_string(serial);
     {
         std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
         if (!os.good())
@@ -518,16 +592,41 @@ void write_snapshot_file(const std::string& path,
         os.write(reinterpret_cast<const char*>(bytes.data()),
                  static_cast<std::streamsize>(bytes.size()));
         os.flush();
-        if (!os.good())
+        if (!os.good()) {
+            os.close();
+            std::remove(tmp.c_str());
             throw SnapshotError("snapshot: short write to " + tmp);
+        }
     }
     // Atomic publish: a crash before the rename leaves the previous
     // snapshot at `path` untouched; after it, the new one is complete.
+    // Concurrent writers each rename their own temp — last one wins
+    // with a complete file either way.
     if (std::rename(tmp.c_str(), path.c_str()) != 0) {
         std::remove(tmp.c_str());
         throw SnapshotError("snapshot: rename " + tmp + " -> " + path +
                             " failed");
     }
+}
+
+std::size_t cleanup_orphan_temps(const std::string& dir) {
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::directory_iterator it(dir, ec);
+    if (ec) return 0;
+    std::size_t removed = 0;
+    const std::uint64_t self = current_pid();
+    for (const fs::directory_entry& entry : it) {
+        if (!entry.is_regular_file(ec)) continue;
+        const std::string name = entry.path().filename().string();
+        const std::optional<std::uint64_t> pid = temp_file_pid(name);
+        // Only reclaim another (dead) writer's leavings: our own pid's
+        // temps may be in flight on a sibling thread right now, and a
+        // live foreign pid is presumed mid-write.
+        if (!pid || *pid == self || pid_alive(*pid)) continue;
+        if (fs::remove(entry.path(), ec) && !ec) ++removed;
+    }
+    return removed;
 }
 
 std::vector<std::uint8_t> read_snapshot_file(const std::string& path) {

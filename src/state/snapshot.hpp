@@ -197,11 +197,21 @@ private:
     std::size_t cursor_ = 0;  ///< absolute offset into bytes_
 };
 
-/// Crash-safe file write: the bytes land in `path + ".tmp"` first, are
-/// flushed, and are renamed over `path` — a crash mid-write leaves the
-/// previous snapshot intact. Throws SnapshotError on any I/O failure.
+/// Crash-safe file write: the bytes land in a writer-unique temp file
+/// (`path + ".tmp.<pid>.<counter>"`), are flushed, and are renamed over
+/// `path` — a crash mid-write leaves the previous snapshot intact, and
+/// concurrent writers to the same path (two fleet sessions, a Supervisor
+/// slot racing a flight-recorder dump) can never corrupt each other's
+/// in-flight bytes. Throws SnapshotError on any I/O failure.
 void write_snapshot_file(const std::string& path,
                          std::span<const std::uint8_t> bytes);
+
+/// Remove temp files (`*.tmp.<pid>.<counter>`) left in `dir` by writers
+/// that died before their rename. Only files whose embedded pid is no
+/// longer alive are touched — in-flight temps of this or any live
+/// process are kept. Returns the number of files removed; best-effort
+/// (I/O errors skip the file, an unreadable dir returns 0).
+std::size_t cleanup_orphan_temps(const std::string& dir);
 
 /// Read a whole snapshot file; SnapshotError when unreadable.
 std::vector<std::uint8_t> read_snapshot_file(const std::string& path);

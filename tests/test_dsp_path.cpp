@@ -9,6 +9,7 @@
 #include <cstring>
 #include <vector>
 
+#include "common/env_config.hpp"
 #include "common/random.hpp"
 #include "core/pipeline.hpp"
 #include "physio/driver_profile.hpp"
@@ -61,6 +62,9 @@ std::vector<std::uint8_t> snapshot_of(const BlinkRadarPipeline& pipe) {
 }
 
 /// RAII environment-variable override (tests run single-threaded).
+/// Production code reads the one-time process_config() snapshot, not
+/// getenv, so each change re-resolves the snapshot through the
+/// test-only reload hook.
 class ScopedEnv {
 public:
     ScopedEnv(const char* name, const char* value) : name_(name) {
@@ -72,12 +76,14 @@ public:
             ::setenv(name, value, 1);
         else
             ::unsetenv(name);
+        reload_process_config_for_testing();
     }
     ~ScopedEnv() {
         if (had_old_)
             ::setenv(name_, old_.c_str(), 1);
         else
             ::unsetenv(name_);
+        reload_process_config_for_testing();
     }
 
 private:

@@ -5,8 +5,10 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "common/env_config.hpp"
 #include "obs/metrics.hpp"
 #include "obs/stage_timer.hpp"
 #include "obs/trace.hpp"
@@ -269,16 +271,22 @@ TEST(TraceSink, WritesNewlineTerminatedRecords) {
 }
 
 TEST(TraceSink, FromEnvHonoursGatingVariable) {
+    // from_env reads the one-time process_config() snapshot, so every
+    // env change must be followed by the test-only reload hook.
     unsetenv("BLINKRADAR_TRACE");
+    reload_process_config_for_testing();
     EXPECT_EQ(TraceSink::from_env(), nullptr);
     setenv("BLINKRADAR_TRACE", "", 1);
+    reload_process_config_for_testing();
     EXPECT_EQ(TraceSink::from_env(), nullptr);
     const std::string path = ::testing::TempDir() + "br_obs_env.jsonl";
     setenv("BLINKRADAR_TRACE", path.c_str(), 1);
+    reload_process_config_for_testing();
     const auto sink = TraceSink::from_env();
     ASSERT_NE(sink, nullptr);
     EXPECT_EQ(sink->path(), path);
     unsetenv("BLINKRADAR_TRACE");
+    reload_process_config_for_testing();
     std::remove(path.c_str());
 }
 
@@ -298,6 +306,33 @@ TEST(TraceSink, FlushMakesRecordsVisibleWhileOpen) {
     EXPECT_EQ(read_all(path), "{\"last\": true}\n");
     std::remove(path.c_str());
 }
+
+// Regression for the calibrate_clock first-use race: many threads
+// racing the first calibration (the fleet constructs sessions
+// concurrently) must all leave behind one agreed tick ratio. The old
+// check-then-store let two racing callers each measure and publish
+// different ratios; with the magic-static guard every call re-stores
+// the same measured value, so the ratio is stable across calls no
+// matter the interleaving. Part of the TSan suite (see CMakePresets).
+#if defined(BLINKRADAR_OBS_TSC)
+TEST(ClockCalibration, ConcurrentFirstUseAgreesOnOneRatio) {
+    const std::size_t kThreads = 8;
+    std::vector<double> seen(kThreads, 0.0);
+    std::vector<std::thread> threads;
+    for (std::size_t t = 0; t < kThreads; ++t)
+        threads.emplace_back([&, t] {
+            detail::calibrate_clock();
+            seen[t] = detail::g_ns_per_tick.load(std::memory_order_relaxed);
+        });
+    for (auto& th : threads) th.join();
+    // Every thread observed a published ratio...
+    for (const double r : seen) EXPECT_GT(r, 0.0);
+    // ...and later calls can never move it (idempotent store).
+    const double settled = detail::g_ns_per_tick.load(std::memory_order_relaxed);
+    detail::calibrate_clock();
+    EXPECT_EQ(detail::g_ns_per_tick.load(std::memory_order_relaxed), settled);
+}
+#endif  // BLINKRADAR_OBS_TSC
 
 }  // namespace
 }  // namespace blinkradar::obs

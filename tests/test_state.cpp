@@ -6,10 +6,16 @@
 
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
+
+#if !defined(_WIN32)
+#include <unistd.h>
+#endif
 
 #include "common/random.hpp"
 #include "state/snapshot.hpp"
@@ -349,4 +355,115 @@ TEST(StateSnapshot, SealRejectsStructuralDamage) {
 TEST(StateSnapshot, TagNameFormatsPrintableAndBinaryTags) {
     EXPECT_EQ(state::tag_name(state::make_tag("LEVD")), "LEVD");
     EXPECT_EQ(state::tag_name(0x01020304u), "0x01020304");
+}
+
+// --- Concurrent-writer regression tests --------------------------------
+//
+// write_snapshot_file used to stage every write of a given target at the
+// fixed name `path + ".tmp"`: two concurrent writers (two fleet sessions
+// spilling, a Supervisor slot racing a flight-recorder dump) interleaved
+// their bytes in ONE temp file, and whichever renamed last could publish
+// a spliced container. The writer-unique temp names make each in-flight
+// write private; these tests fail on the pre-fix code.
+
+TEST(SnapshotConcurrency, ConcurrentWritersToOnePathNeverCorrupt) {
+    const std::string dir = testing::TempDir();
+    const std::string path = dir + "/blinkradar_concurrent.snap";
+    std::remove(path.c_str());
+
+    // Each thread repeatedly publishes its own distinctive payload; all
+    // payloads parse, so ANY interleaving of renames is fine — what must
+    // never happen is a file that is a byte-mix of two writers.
+    const std::size_t kThreads = 8;
+    const std::size_t kWrites = 25;
+    std::vector<std::vector<std::uint8_t>> payloads;
+    for (std::size_t t = 0; t < kThreads; ++t) {
+        StateWriter w;
+        w.begin_section(kTagA, 1);
+        w.write_u64(0xA0A0'0000'0000'0000ull + t);
+        for (std::size_t i = 0; i < 64; ++i) w.write_f64(t * 1000.0 + i);
+        w.end_section();
+        payloads.push_back(w.finish());
+    }
+
+    std::vector<std::thread> writers;
+    for (std::size_t t = 0; t < kThreads; ++t)
+        writers.emplace_back([&, t] {
+            for (std::size_t i = 0; i < kWrites; ++i)
+                state::write_snapshot_file(path, payloads[t]);
+        });
+    for (auto& th : writers) th.join();
+
+    // The published file is exactly one writer's payload, bit for bit.
+    const std::vector<std::uint8_t> final_bytes =
+        state::read_snapshot_file(path);
+    bool matches_one = false;
+    for (const auto& p : payloads) matches_one |= (final_bytes == p);
+    EXPECT_TRUE(matches_one);
+    // And parses cleanly (CRCs intact — no spliced container).
+    EXPECT_NO_THROW(state::StateReader{final_bytes});
+
+    // Every temp was renamed or removed; none leak.
+    std::size_t leftovers = 0;
+    for (const auto& entry : std::filesystem::directory_iterator(dir))
+        if (entry.path().filename().string().find(
+                "blinkradar_concurrent.snap.tmp") != std::string::npos)
+            ++leftovers;
+    EXPECT_EQ(leftovers, 0u);
+    std::remove(path.c_str());
+}
+
+TEST(SnapshotConcurrency, OrphanCleanupRemovesOnlyDeadWriterTemps) {
+    namespace fs = std::filesystem;
+    const std::string dir =
+        testing::TempDir() + "/blinkradar_orphan_test";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+
+    const auto touch = [&](const std::string& name) {
+        std::ofstream(dir + "/" + name) << "x";
+    };
+    // Orphan: pid far beyond any real pid space, certainly dead.
+    touch("state.snap.tmp.999999999.3");
+    // In-flight temp of THIS (live) process: must survive.
+#if !defined(_WIN32)
+    const std::string own_temp =
+        "state.snap.tmp." + std::to_string(::getpid()) + ".1";
+    touch(own_temp);
+#endif
+    // Not temp files at all: must survive.
+    touch("state.snap");
+    touch("state.snap.tmp");          // legacy fixed name: no pid field
+    touch("state.snap.tmp.notapid.2");
+
+    const std::size_t removed = state::cleanup_orphan_temps(dir);
+    EXPECT_EQ(removed, 1u);
+    EXPECT_FALSE(fs::exists(dir + "/state.snap.tmp.999999999.3"));
+#if !defined(_WIN32)
+    EXPECT_TRUE(fs::exists(dir + "/" + own_temp));
+#endif
+    EXPECT_TRUE(fs::exists(dir + "/state.snap"));
+    EXPECT_TRUE(fs::exists(dir + "/state.snap.tmp"));
+    EXPECT_TRUE(fs::exists(dir + "/state.snap.tmp.notapid.2"));
+
+    // Unreadable / missing directory: best-effort zero, never a throw.
+    EXPECT_EQ(state::cleanup_orphan_temps(dir + "/missing"), 0u);
+    fs::remove_all(dir);
+}
+
+TEST(SnapshotConcurrency, TempNamesAreUniquePerWrite) {
+    // The staging name embeds pid + a monotonic counter, so two writes
+    // from one process never share a temp either. Observe indirectly:
+    // two back-to-back writes both publish (rename wins), and no temp
+    // with this target prefix survives.
+    const std::string dir = testing::TempDir();
+    const std::string path = dir + "/blinkradar_unique.snap";
+    state::write_snapshot_file(path, sample_snapshot());
+    state::write_snapshot_file(path, sample_snapshot());
+    EXPECT_EQ(state::read_snapshot_file(path), sample_snapshot());
+    for (const auto& entry : std::filesystem::directory_iterator(dir))
+        EXPECT_EQ(entry.path().filename().string().find(
+                      "blinkradar_unique.snap.tmp"),
+                  std::string::npos);
+    std::remove(path.c_str());
 }
