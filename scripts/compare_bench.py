@@ -16,7 +16,11 @@ tolerance. Two report schemas are understood, auto-detected per file:
     "gated" block carries lower-is-better core-ns costs (per-frame
     fleet cost and the p99 frame-latency tail at the largest fleet),
     so a fleet-capacity regression fails the same slower-than-baseline
-    gate as everything else.
+    gate as everything else;
+  - the blinkradar-ingest-v1 capacity report (BENCH_ingest.json): same
+    "gated"-block shape, carrying the ingest path's per-frame core-ns
+    cost at the largest stream sweep and the p99 enqueue-to-result
+    latency at the paced 25 fps operating point.
 
 Only slowdowns fail the gate; speedups are reported but pass (refresh
 the baseline to bank them). Benchmarks present on one side only are
@@ -71,7 +75,7 @@ def stage_stats(report):
 
 
 def fleet_stats(report):
-    """The fleet report's pre-flattened gate block: name -> core-ns.
+    """A pre-flattened "gated" block (fleet/ingest): name -> core-ns.
 
     Only "gated" entries participate — the rest of the report (the
     per-fleet-size points, sessions/core capacity) is informational and
@@ -85,7 +89,8 @@ def extract(report, path):
         return gbench_medians(report)
     if report.get("schema") == "blinkradar-obs-v1":
         return stage_stats(report)
-    if report.get("schema") == "blinkradar-fleet-v1":
+    if report.get("schema") in ("blinkradar-fleet-v1",
+                                "blinkradar-ingest-v1"):
         return fleet_stats(report)
     sys.exit(f"{path}: unrecognized report schema")
 

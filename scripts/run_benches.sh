@@ -8,6 +8,9 @@
 #                          interval (the supervisor's snapshot cadence)
 #   BENCH_fleet.json       fleet-engine capacity (sessions/core at
 #                          25 fps) and the p99 frame-latency SLO
+#   BENCH_ingest.json      streaming-ingest capacity (streams/core at
+#                          25 fps), p99 enqueue->result latency, and
+#                          the shed-ladder activation point
 #
 # Figure-reproduction harnesses are not run here — they print paper
 # tables and take minutes; run them from build/bench/ directly.
@@ -22,7 +25,7 @@ build_dir="${repo_root}/build-release"
 cmake --preset release -S "${repo_root}"
 cmake --build "${build_dir}" \
     --target bench_perf_pipeline bench_robustness_faults bench_recovery \
-    bench_fleet \
+    bench_fleet bench_ingest \
     -j "$(nproc)"
 
 # A user-supplied --benchmark_out in "$@" comes later and wins.
@@ -47,3 +50,6 @@ echo "wrote ${repo_root}/BENCH_recovery.json"
 
 "${build_dir}/bench/bench_fleet" "${repo_root}/BENCH_fleet.json"
 echo "wrote ${repo_root}/BENCH_fleet.json"
+
+"${build_dir}/bench/bench_ingest" "${repo_root}/BENCH_ingest.json"
+echo "wrote ${repo_root}/BENCH_ingest.json"

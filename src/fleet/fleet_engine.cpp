@@ -37,6 +37,11 @@ struct FleetEngine::Session {
     std::size_t consecutive_failures = 0;
     std::size_t warm_restores_spent = 0;
 
+    /// Pump count at creation or the last pump that drained this session
+    /// — the residency policy's LRU/idle clock (pump counts, not wall
+    /// time, so eviction decisions replay exactly).
+    std::uint64_t last_active_pump = 0;
+
     std::deque<radar::RadarFrame> inbox;
     std::vector<core::FrameResult> results;
     std::vector<core::DetectedBlink> blinks;
@@ -103,6 +108,7 @@ SessionId FleetEngine::create_session(const radar::RadarConfig& radar,
             : config_.metrics_prefix;
     if (config_.collect_metrics)
         s->metrics = std::make_unique<obs::MetricsRegistry>();
+    s->last_active_pump = engine_stats_.pumps;  // creation counts as activity
     build_pipeline(*s);
     sessions_.emplace(id, std::move(s));
     return id;
@@ -111,6 +117,11 @@ SessionId FleetEngine::create_session(const radar::RadarConfig& radar,
 void FleetEngine::feed(SessionId id, const radar::RadarFrame& frame) {
     const std::lock_guard<std::mutex> lock(mutex_);
     session_ref(id).inbox.push_back(frame);
+}
+
+void FleetEngine::feed(SessionId id, radar::RadarFrame&& frame) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    session_ref(id).inbox.push_back(std::move(frame));
 }
 
 void FleetEngine::feed(SessionId id, const radar::FrameSeries& frames) {
@@ -132,9 +143,7 @@ void FleetEngine::serialize_session(Session& s) const {
     }
 }
 
-void FleetEngine::evict(SessionId id) {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    Session& s = session_ref(id);
+void FleetEngine::evict_locked(Session& s) {
     if (s.evicted) return;
     serialize_session(s);
     s.pipeline.reset();
@@ -144,6 +153,55 @@ void FleetEngine::evict(SessionId id) {
     s.autosnapshot.shrink_to_fit();
     s.evicted = true;
     ++s.stats.evictions;
+}
+
+void FleetEngine::evict(SessionId id) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    evict_locked(session_ref(id));
+}
+
+void FleetEngine::enforce_residency_locked() {
+    const ResidencyPolicy& policy = config_.residency;
+    if (policy.max_resident == 0 && policy.evict_idle_after_pumps == 0)
+        return;
+
+    // Idle timer first: a session untouched for the configured number of
+    // pumps is spilled regardless of the budget. Sessions with queued
+    // frames are skipped — the next pump would rehydrate them anyway.
+    if (policy.evict_idle_after_pumps > 0) {
+        for (auto& [id, s] : sessions_) {
+            if (s->evicted || !s->inbox.empty()) continue;
+            if (engine_stats_.pumps - s->last_active_pump >=
+                policy.evict_idle_after_pumps) {
+                evict_locked(*s);
+                ++engine_stats_.idle_evictions;
+            }
+        }
+    }
+
+    // Then the budget: evict least-recently-active first until the
+    // resident count fits. Candidates are collected in ascending-id
+    // order and stably sorted by last_active_pump, so ties break by id —
+    // fully deterministic, no wall clock anywhere.
+    if (policy.max_resident > 0) {
+        std::vector<Session*> resident;
+        for (auto& [id, s] : sessions_)
+            if (!s->evicted) resident.push_back(s.get());
+        if (resident.size() <= policy.max_resident) return;
+        std::stable_sort(resident.begin(), resident.end(),
+                         [](const Session* a, const Session* b) {
+                             return a->last_active_pump <
+                                    b->last_active_pump;
+                         });
+        std::size_t n_resident = resident.size();
+        for (Session* s : resident) {
+            if (n_resident <= policy.max_resident) break;
+            if (!s->inbox.empty()) continue;  // never evict queued work
+            evict_locked(*s);
+            ++engine_stats_.budget_evictions;
+            --n_resident;
+        }
+    }
 }
 
 void FleetEngine::rehydrate(Session& s) const {
@@ -163,15 +221,28 @@ void FleetEngine::rehydrate(Session& s) const {
     ++s.stats.rehydrations;
 }
 
-void FleetEngine::close(SessionId id) {
+SessionStats FleetEngine::close(SessionId id) {
+    // Drain-then-release. Because pump() holds mutex_ for its whole
+    // call, a close() racing a pump serialises cleanly behind it — but
+    // frames fed AFTER the last pump would previously be discarded
+    // without a trace. Draining them here (inline, on the closing
+    // thread) upholds the engine-wide invariant that every accepted
+    // frame is either processed or counted as dropped.
     const std::lock_guard<std::mutex> lock(mutex_);
     const auto it = sessions_.find(id);
     BR_EXPECTS(it != sessions_.end());
+    Session& s = *it->second;
+    if (!s.inbox.empty()) {
+        ShardStats scratch;
+        drain(s, scratch);
+    }
+    const SessionStats final_stats = s.stats;
     if (!config_.spill_dir.empty()) {
         std::error_code ec;
         fs::remove(spill_path(id), ec);  // best-effort
     }
     sessions_.erase(it);
+    return final_stats;
 }
 
 bool FleetEngine::is_resident(SessionId id) const {
@@ -212,6 +283,21 @@ const SessionStats& FleetEngine::stats(SessionId id) const {
 const std::vector<ShardStats>& FleetEngine::last_pump_stats() const {
     const std::lock_guard<std::mutex> lock(mutex_);
     return last_pump_stats_;
+}
+
+void FleetEngine::set_residency_policy(ResidencyPolicy policy) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    config_.residency = policy;
+}
+
+ResidencyPolicy FleetEngine::residency_policy() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return config_.residency;
+}
+
+const EngineStats& FleetEngine::engine_stats() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return engine_stats_;
 }
 
 void FleetEngine::merge_metrics(obs::MetricsRegistry& out) const {
@@ -296,15 +382,19 @@ std::size_t FleetEngine::pump() {
     const std::lock_guard<std::mutex> lock(mutex_);
 
     const std::size_t n_shards = config_.n_shards;
+    ++engine_stats_.pumps;
 
     // Ready sessions, sharded by id. Ascending-id within each shard
     // (map order) — not required for bit-identity, but it makes steal
-    // traces reproducible enough to read.
+    // traces reproducible enough to read. Draining counts as activity
+    // for the residency policy's pump-count clock.
     std::vector<std::vector<Session*>> shard(n_shards);
     for (auto& [id, s] : sessions_)
-        if (!s->inbox.empty())
+        if (!s->inbox.empty()) {
+            s->last_active_pump = engine_stats_.pumps;
             shard[static_cast<std::size_t>(id % n_shards)].push_back(
                 s.get());
+        }
 
     std::vector<std::atomic<std::size_t>> cursor(n_shards);
     for (auto& c : cursor) c.store(0, std::memory_order_relaxed);
@@ -328,6 +418,12 @@ std::size_t FleetEngine::pump() {
             }
         }
     });
+
+    // Residency policy runs after the drain, while every inbox the pump
+    // saw is empty — so "has queued frames" below means "fed during this
+    // pump by another control thread", exactly the sessions not worth
+    // spilling.
+    enforce_residency_locked();
 
     std::size_t total = 0;
     for (const ShardStats& st : stats) total += st.frames_processed;

@@ -58,6 +58,24 @@ namespace blinkradar::fleet {
 /// Stable session handle; never reused within one engine.
 using SessionId = std::uint64_t;
 
+/// Engine-enforced residency budget. The evict/rehydrate *mechanism*
+/// has existed since the engine landed; this is the *policy* on top:
+/// after every pump the engine itself evicts sessions, least recently
+/// active first, until the resident count fits the budget, plus any
+/// session idle past the idle timer. "Activity" is measured in pump
+/// counts, not wall time, so the policy's decisions replay exactly
+/// (bit-identity at any shard/thread count is preserved — eviction is
+/// bit-exact, and who gets evicted depends only on the feed/pump
+/// sequence). Sessions with queued frames are never policy-evicted:
+/// they would rehydrate on the very next pump, pure churn.
+struct ResidencyPolicy {
+    /// Max resident (pipeline-alive) sessions after a pump; 0 = no cap.
+    std::size_t max_resident = 0;
+    /// Evict a session whose last processed frame is at least this many
+    /// pumps in the past; 0 = no idle timer.
+    std::uint64_t evict_idle_after_pumps = 0;
+};
+
 struct FleetConfig {
     /// Shards the session table is partitioned into (id % n_shards).
     /// Purely a scheduling knob: results are bit-identical for any
@@ -104,6 +122,11 @@ struct FleetConfig {
     /// aggregates same-named series across the fleet.
     std::string metrics_prefix = "fleet.";
     bool per_session_metric_ids = true;
+
+    /// Engine-enforced eviction policy (see ResidencyPolicy). Adjustable
+    /// at runtime via set_residency_policy — the ingest front-end's shed
+    /// ladder tightens it under overload.
+    ResidencyPolicy residency{};
 };
 
 /// Per-session lifecycle/recovery counters (deterministic — part of the
@@ -127,6 +150,13 @@ struct ShardStats {
     std::uint64_t sessions_drained = 0;
     std::uint64_t frames_processed = 0;
     std::uint64_t sessions_stolen = 0;  ///< drained from a foreign shard
+};
+
+/// Engine-wide lifecycle counters (deterministic).
+struct EngineStats {
+    std::uint64_t pumps = 0;
+    std::uint64_t budget_evictions = 0;  ///< max_resident LRU evictions
+    std::uint64_t idle_evictions = 0;    ///< idle-timer evictions
 };
 
 /// Multiplexes N independent BlinkRadarPipeline sessions over the
@@ -153,8 +183,10 @@ public:
                              core::PipelineConfig overrides);
 
     /// Queue frames for a session; processed in feed order by the next
-    /// pump(). Unknown id -> ContractViolation.
+    /// pump(). Unknown id -> ContractViolation. The rvalue overload
+    /// moves the frame in (the ingest front-end's zero-copy hand-off).
     void feed(SessionId id, const radar::RadarFrame& frame);
+    void feed(SessionId id, radar::RadarFrame&& frame);
     void feed(SessionId id, const radar::FrameSeries& frames);
 
     /// Drain every queued frame of every session over the pool.
@@ -168,9 +200,13 @@ public:
     /// already evicted.
     void evict(SessionId id);
 
-    /// Destroy a session entirely (state, queue, results). Its id is
-    /// never reused. Removes the session's spill file, if any.
-    void close(SessionId id);
+    /// Destroy a session: drain-then-release. Frames still queued (fed
+    /// after the last pump) are processed first — closing a session must
+    /// never silently discard accepted work — then the session's state,
+    /// results and spill file are released. Returns the final lifecycle
+    /// stats (the last observable trace of the session). Its id is never
+    /// reused.
+    SessionStats close(SessionId id);
 
     bool is_resident(SessionId id) const;
     std::size_t session_count() const;
@@ -193,6 +229,12 @@ public:
     /// (deterministic). No-op unless collect_metrics.
     void merge_metrics(obs::MetricsRegistry& out) const;
 
+    /// Replace the residency policy (takes effect at the next pump).
+    void set_residency_policy(ResidencyPolicy policy);
+    ResidencyPolicy residency_policy() const;
+
+    const EngineStats& engine_stats() const;
+
     const FleetConfig& config() const noexcept { return config_; }
 
 private:
@@ -203,6 +245,8 @@ private:
     std::string spill_path(SessionId id) const;
     void build_pipeline(Session& s) const;
     void serialize_session(Session& s) const;
+    void evict_locked(Session& s);
+    void enforce_residency_locked();
     void rehydrate(Session& s) const;
     void drain(Session& s, ShardStats& worker) const;
     bool process_with_recovery(Session& s,
@@ -214,6 +258,7 @@ private:
     std::map<SessionId, std::unique_ptr<Session>> sessions_;
     SessionId next_id_ = 0;
     std::vector<ShardStats> last_pump_stats_;
+    EngineStats engine_stats_;
 };
 
 }  // namespace blinkradar::fleet

@@ -1,0 +1,116 @@
+#include "ingest/byte_source.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace blinkradar::ingest {
+
+// ------------------------------------------------------- MemoryByteSource
+
+MemoryByteSource::MemoryByteSource(std::vector<std::uint8_t> bytes,
+                                   std::size_t max_per_read)
+    : bytes_(std::move(bytes)), max_per_read_(max_per_read) {}
+
+std::size_t MemoryByteSource::read(std::uint8_t* out, std::size_t max) {
+    const std::size_t n = std::min({max, max_per_read_,
+                                    bytes_.size() - offset_});
+    std::copy_n(bytes_.data() + offset_, n, out);
+    offset_ += n;
+    return n;
+}
+
+// ------------------------------------------------------- FileReplaySource
+
+FileReplaySource::FileReplaySource(std::string path)
+    : path_(std::move(path)) {
+    file_ = std::fopen(path_.c_str(), "rb");
+    if (file_ == nullptr)
+        throw std::runtime_error("FileReplaySource: cannot open " + path_);
+}
+
+FileReplaySource::~FileReplaySource() {
+    if (file_ != nullptr) std::fclose(file_);
+}
+
+std::size_t FileReplaySource::read(std::uint8_t* out, std::size_t max) {
+    if (file_ == nullptr || eof_) return 0;
+    const std::size_t n = std::fread(out, 1, max, file_);
+    offset_ += n;
+    if (n < max && std::feof(file_)) eof_ = true;
+    return n;
+}
+
+bool FileReplaySource::exhausted() const { return eof_; }
+
+void FileReplaySource::reconnect() {
+    // Re-open and seek back to the last byte actually delivered — the
+    // decoder's resynchronisation handles anything the transport mangled,
+    // so the source only has to avoid silently skipping bytes.
+    if (file_ != nullptr) std::fclose(file_);
+    eof_ = false;
+    file_ = std::fopen(path_.c_str(), "rb");
+    if (file_ == nullptr) return;  // still gone; next watchdog retries
+    if (std::fseek(file_, static_cast<long>(offset_), SEEK_SET) != 0) {
+        std::fclose(file_);
+        file_ = nullptr;
+    }
+}
+
+// --------------------------------------------------------------- BytePipe
+
+class BytePipe::Source : public ByteSource {
+public:
+    explicit Source(BytePipe* pipe) : pipe_(pipe) {}
+
+    std::size_t read(std::uint8_t* out, std::size_t max) override {
+        const std::lock_guard<std::mutex> lock(pipe_->mutex_);
+        const std::size_t n = std::min(max, pipe_->buf_.size());
+        std::copy_n(pipe_->buf_.begin(), n, out);
+        pipe_->buf_.erase(pipe_->buf_.begin(),
+                          pipe_->buf_.begin() +
+                              static_cast<std::ptrdiff_t>(n));
+        return n;
+    }
+
+    bool exhausted() const override {
+        const std::lock_guard<std::mutex> lock(pipe_->mutex_);
+        return pipe_->closed_ && pipe_->buf_.empty();
+    }
+
+private:
+    BytePipe* pipe_;
+};
+
+BytePipe::BytePipe(std::size_t capacity_bytes)
+    : capacity_(capacity_bytes) {}
+
+std::size_t BytePipe::write(std::span<const std::uint8_t> bytes) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return 0;
+    const std::size_t room = capacity_ - std::min(capacity_, buf_.size());
+    const std::size_t n = std::min(room, bytes.size());
+    buf_.insert(buf_.end(), bytes.begin(),
+                bytes.begin() + static_cast<std::ptrdiff_t>(n));
+    return n;
+}
+
+void BytePipe::close() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+}
+
+std::size_t BytePipe::buffered() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return buf_.size();
+}
+
+bool BytePipe::closed() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+}
+
+std::unique_ptr<ByteSource> BytePipe::make_source() {
+    return std::make_unique<Source>(this);
+}
+
+}  // namespace blinkradar::ingest

@@ -1,0 +1,154 @@
+// Bounded per-stream frame queue with an explicit backpressure policy.
+//
+// One queue sits between each stream's wire decoder and the fleet
+// engine. It is the place where "producer faster than consumer" becomes
+// a *decision* instead of an accident:
+//
+//   kBlock      - push() refuses (kWouldBlock); the front-end stops
+//                 consuming the stream's bytes, so pressure propagates
+//                 back through the decoder buffer into the pipe/file.
+//   kDropOldest - the oldest queued frame is evicted to admit the new
+//                 one (live streams: stale frames are worthless).
+//   kDropNewest - the incoming frame is discarded (replay integrity:
+//                 what is queued stays intact).
+//
+// Every drop is counted here and — because a dropped frame leaves a
+// timestamp gap in what the consumer eventually sees — surfaces
+// downstream as a FrameGuard bridged/lost gap. Nothing is ever lost
+// silently: decoded == delivered + dropped + still queued, an identity
+// the ingest tests assert per stream.
+//
+// Locking: a single producer (the front-end's poll phase) and a single
+// consumer (its delivery phase) touch the queue, today from the same
+// thread. Operations still take the per-queue mutex so alternative
+// drivers (a producer thread pushing decoded frames directly) stay
+// correct; the lock is uncontended in the single-driver arrangement and
+// costs nanoseconds. Drop decisions depend only on occupancy — i.e. on
+// the push/pop *sequence*, never on wall-clock timing — which is what
+// keeps overload runs bit-identical across shard/thread sweeps.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "radar/frame.hpp"
+
+namespace blinkradar::ingest {
+
+enum class BackpressurePolicy : std::uint8_t {
+    kBlock = 0,
+    kDropOldest = 1,
+    kDropNewest = 2,
+};
+inline const char* to_string(BackpressurePolicy policy) noexcept {
+    switch (policy) {
+        case BackpressurePolicy::kBlock: return "block";
+        case BackpressurePolicy::kDropOldest: return "drop_oldest";
+        case BackpressurePolicy::kDropNewest: return "drop_newest";
+    }
+    return "?";
+}
+
+enum class PushOutcome : std::uint8_t {
+    kAccepted = 0,      ///< enqueued, nothing displaced
+    kWouldBlock = 1,    ///< refused (kBlock policy, queue full)
+    kDroppedOldest = 2, ///< enqueued, oldest queued frame evicted
+    kDroppedNewest = 3, ///< discarded (kDropNewest policy, queue full)
+};
+
+/// Deterministic queue counters (part of the no-silent-loss identity).
+struct FrameQueueStats {
+    std::uint64_t accepted = 0;
+    std::uint64_t dropped_oldest = 0;
+    std::uint64_t dropped_newest = 0;
+    std::uint64_t would_block = 0;
+
+    std::uint64_t dropped() const noexcept {
+        return dropped_oldest + dropped_newest;
+    }
+};
+
+class BoundedFrameQueue {
+public:
+    explicit BoundedFrameQueue(std::size_t capacity,
+                               BackpressurePolicy policy)
+        : capacity_(capacity == 0 ? 1 : capacity), policy_(policy) {}
+
+    /// Admit one frame under the current policy. `enqueue_tick` is the
+    /// front-end tick stamping the frame's queue age (latency metrics).
+    PushOutcome push(radar::RadarFrame&& frame, std::uint64_t enqueue_tick) {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (q_.size() >= capacity_) {
+            switch (policy_) {
+                case BackpressurePolicy::kBlock:
+                    ++stats_.would_block;
+                    return PushOutcome::kWouldBlock;
+                case BackpressurePolicy::kDropNewest:
+                    ++stats_.dropped_newest;
+                    return PushOutcome::kDroppedNewest;
+                case BackpressurePolicy::kDropOldest:
+                    q_.pop_front();
+                    ++stats_.dropped_oldest;
+                    q_.push_back({std::move(frame), enqueue_tick});
+                    ++stats_.accepted;
+                    return PushOutcome::kDroppedOldest;
+            }
+        }
+        q_.push_back({std::move(frame), enqueue_tick});
+        ++stats_.accepted;
+        return PushOutcome::kAccepted;
+    }
+
+    /// Pop up to `max` oldest frames into `frames`; appends each frame's
+    /// queue age in ticks (now - enqueue) to `ages`. Returns the count.
+    std::size_t pop_into(std::size_t max, std::uint64_t now_tick,
+                         std::vector<radar::RadarFrame>& frames,
+                         std::vector<std::uint64_t>& ages) {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        std::size_t n = 0;
+        while (n < max && !q_.empty()) {
+            frames.push_back(std::move(q_.front().frame));
+            ages.push_back(now_tick - q_.front().enqueue_tick);
+            q_.pop_front();
+            ++n;
+        }
+        return n;
+    }
+
+    std::size_t size() const {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        return q_.size();
+    }
+    std::size_t capacity() const noexcept { return capacity_; }
+
+    BackpressurePolicy policy() const {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        return policy_;
+    }
+    /// The shed ladder's "force drop_oldest on laggards" hook.
+    void set_policy(BackpressurePolicy policy) {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        policy_ = policy;
+    }
+
+    FrameQueueStats stats() const {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        return stats_;
+    }
+
+private:
+    struct Entry {
+        radar::RadarFrame frame;
+        std::uint64_t enqueue_tick = 0;
+    };
+
+    mutable std::mutex mutex_;
+    std::deque<Entry> q_;
+    std::size_t capacity_;
+    BackpressurePolicy policy_;
+    FrameQueueStats stats_;
+};
+
+}  // namespace blinkradar::ingest

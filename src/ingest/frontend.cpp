@@ -1,0 +1,534 @@
+#include "ingest/frontend.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/contracts.hpp"
+
+namespace blinkradar::ingest {
+
+const char* to_string(ShedLevel level) noexcept {
+    switch (level) {
+        case ShedLevel::kNormal: return "normal";
+        case ShedLevel::kWidenSampling: return "widen_sampling";
+        case ShedLevel::kForceDropOldest: return "force_drop_oldest";
+        case ShedLevel::kEvictIdle: return "evict_idle";
+        case ShedLevel::kRefuseAdmissions: return "refuse_admissions";
+    }
+    return "?";
+}
+
+/// Everything one stream owns. Touched only by the driving thread; the
+/// source is the boundary to producer threads (BytePipe locks inside).
+struct IngestFrontend::Stream {
+    Stream(StreamId id_, StreamConfig config_,
+           std::unique_ptr<ByteSource> source_, Rng rng_)
+        : id(id_),
+          config(config_),
+          source(std::move(source_)),
+          decoder(config_.max_payload_bytes),
+          queue(config_.queue_capacity, config_.policy),
+          configured_policy(config_.policy),
+          rng(rng_) {}
+
+    StreamId id;
+    StreamConfig config;
+    std::unique_ptr<ByteSource> source;
+    WireDecoder decoder;
+    BoundedFrameQueue queue;
+    BackpressurePolicy configured_policy;
+    bool policy_forced = false;  ///< shed ladder overrode the policy
+    Rng rng;                     ///< watchdog jitter (forked, per stream)
+
+    std::optional<fleet::SessionId> session;
+    /// Block-policy holding slot: the one decoded frame the full queue
+    /// refused. While occupied the stream reads no further bytes, so
+    /// pressure backs up into the decoder buffer and then the source.
+    std::optional<radar::RadarFrame> holding;
+
+    std::uint64_t stall_run = 0;  ///< consecutive silent ticks
+    std::uint64_t reconnects = 0;
+    std::uint64_t backoff_attempts = 0;
+    std::uint64_t next_reconnect_tick = 0;
+
+    std::uint64_t bytes_read = 0;
+    std::uint64_t delivered = 0;
+
+    std::vector<std::uint8_t> read_buf;  ///< recycled read scratch
+};
+
+/// Metric handles registered once at construction (hot paths only
+/// touch integers — the registry contract).
+struct IngestFrontend::Metrics {
+    obs::Counter* delivered = nullptr;
+    obs::Counter* dropped = nullptr;
+    obs::Counter* opened = nullptr;
+    obs::Counter* closed = nullptr;
+    obs::Counter* refused_tokens = nullptr;
+    obs::Counter* refused_shed = nullptr;
+    obs::Counter* reconnects = nullptr;
+    obs::Counter* shed_transitions = nullptr;
+    obs::Gauge* load = nullptr;
+    obs::Gauge* shed_level = nullptr;
+    obs::Gauge* backlog = nullptr;
+    obs::Gauge* tokens = nullptr;
+    obs::Gauge* bytes_in = nullptr;
+    obs::Gauge* frames_decoded = nullptr;
+    obs::Gauge* decode_errors = nullptr;
+    obs::Gauge* quarantined_bytes = nullptr;
+    obs::LatencyHistogram* pump_ns = nullptr;
+    obs::LatencyHistogram* queue_age_ticks = nullptr;
+};
+
+IngestFrontend::IngestFrontend(IngestConfig config,
+                               fleet::FleetEngine& engine,
+                               obs::MetricsRegistry* metrics,
+                               obs::TraceSink* trace)
+    : config_(std::move(config)),
+      engine_(engine),
+      metrics_(metrics),
+      trace_(trace),
+      master_rng_(config_.seed),
+      tokens_(config_.admission.capacity),
+      latency_stride_(config_.governor.latency_stride_normal) {
+    const GovernorConfig& g = config_.governor;
+    BR_EXPECTS(g.budget_frames_per_tick >= 1);
+    BR_EXPECTS(g.widen_at < g.force_drop_at &&
+               g.force_drop_at < g.evict_at && g.evict_at < g.refuse_at);
+    BR_EXPECTS(g.engage_ticks >= 1 && g.release_ticks >= 1);
+    BR_EXPECTS(g.latency_stride_normal >= 1 && g.latency_stride_shed >= 1);
+    BR_EXPECTS(config_.admission.capacity >= 1.0);
+    if (metrics_ != nullptr) {
+        const std::string& p = config_.metrics_prefix;
+        m_ = std::make_unique<Metrics>();
+        m_->delivered = &metrics_->counter(p + "frames.delivered");
+        m_->dropped = &metrics_->counter(p + "frames.dropped");
+        m_->opened = &metrics_->counter(p + "streams.opened");
+        m_->closed = &metrics_->counter(p + "streams.closed");
+        m_->refused_tokens = &metrics_->counter(p + "streams.refused_tokens");
+        m_->refused_shed = &metrics_->counter(p + "streams.refused_shed");
+        m_->reconnects = &metrics_->counter(p + "watchdog.reconnects");
+        m_->shed_transitions = &metrics_->counter(p + "shed.transitions");
+        m_->load = &metrics_->gauge(p + "load");
+        m_->shed_level = &metrics_->gauge(p + "shed.level");
+        m_->backlog = &metrics_->gauge(p + "backlog");
+        m_->tokens = &metrics_->gauge(p + "admission.tokens");
+        m_->bytes_in = &metrics_->gauge(p + "bytes_in");
+        m_->frames_decoded = &metrics_->gauge(p + "frames.decoded");
+        m_->decode_errors = &metrics_->gauge(p + "decode.errors");
+        m_->quarantined_bytes = &metrics_->gauge(p + "decode.quarantined_bytes");
+        m_->pump_ns = &metrics_->histogram(p + "pump_ns");
+        m_->queue_age_ticks = &metrics_->histogram(p + "queue_age_ticks");
+    }
+}
+
+IngestFrontend::~IngestFrontend() = default;
+
+void IngestFrontend::trace_line(const std::string& line) {
+    if (trace_ != nullptr) trace_->write_line(line);
+}
+
+IngestFrontend::Stream& IngestFrontend::stream_ref(StreamId id) {
+    const auto it = streams_.find(id);
+    BR_EXPECTS(it != streams_.end());
+    return *it->second;
+}
+
+const IngestFrontend::Stream& IngestFrontend::stream_ref(
+    StreamId id) const {
+    const auto it = streams_.find(id);
+    BR_EXPECTS(it != streams_.end());
+    return *it->second;
+}
+
+Admission IngestFrontend::open_stream(std::unique_ptr<ByteSource> source) {
+    return open_stream(std::move(source), config_.stream);
+}
+
+Admission IngestFrontend::open_stream(std::unique_ptr<ByteSource> source,
+                                      StreamConfig config) {
+    BR_EXPECTS(source != nullptr);
+    BR_EXPECTS(config.queue_capacity >= 1);
+    BR_EXPECTS(config.read_budget_bytes >= 1);
+    BR_EXPECTS(config.max_deliver_per_tick >= 1);
+    if (level_ >= ShedLevel::kRefuseAdmissions) {
+        if (m_) m_->refused_shed->inc();
+        trace_line("{\"ev\":\"ingest.refuse\",\"why\":\"shed\",\"tick\":" +
+                   std::to_string(tick_) + "}");
+        return {AdmissionOutcome::kRefusedShed, 0};
+    }
+    if (tokens_ < 1.0) {
+        if (m_) m_->refused_tokens->inc();
+        trace_line("{\"ev\":\"ingest.refuse\",\"why\":\"tokens\",\"tick\":" +
+                   std::to_string(tick_) + "}");
+        return {AdmissionOutcome::kRefusedTokens, 0};
+    }
+    tokens_ -= 1.0;
+    const StreamId id = next_stream_id_++;
+    streams_.emplace(id, std::make_unique<Stream>(id, config,
+                                                  std::move(source),
+                                                  master_rng_.fork()));
+    if (m_) m_->opened->inc();
+    trace_line("{\"ev\":\"ingest.open\",\"stream\":" + std::to_string(id) +
+               ",\"tick\":" + std::to_string(tick_) + "}");
+    return {AdmissionOutcome::kAdmitted, id};
+}
+
+void IngestFrontend::poll_stream(Stream& s) {
+    bool progress = false;
+
+    // Retry the holding slot first — it is the oldest undecoded frame.
+    if (s.holding) {
+        const PushOutcome out = s.queue.push(std::move(*s.holding), tick_);
+        if (out != PushOutcome::kWouldBlock) {
+            // (push only moves from its argument when it enqueues, so
+            // the held frame is intact on kWouldBlock.)
+            s.holding.reset();
+            progress = true;
+        }
+    }
+
+    // Backpressure: while the stream is blocked we do not consume source
+    // bytes. A BytePipe then fills and its writers see short writes; a
+    // file simply waits.
+    const bool blocked =
+        s.holding.has_value() ||
+        (s.queue.policy() == BackpressurePolicy::kBlock &&
+         s.queue.size() >= s.queue.capacity());
+
+    std::size_t bytes = 0;
+    if (!blocked) {
+        s.read_buf.resize(s.config.read_budget_bytes);
+        bytes = s.source->read(s.read_buf.data(), s.read_buf.size());
+        if (bytes > 0) {
+            s.bytes_read += bytes;
+            s.decoder.push({s.read_buf.data(), bytes});
+            progress = true;
+        }
+    }
+
+    // Decode until the buffer runs dry or the queue refuses a frame.
+    while (!s.holding) {
+        std::optional<DecodedRecord> rec = s.decoder.next();
+        if (!rec) break;
+        progress = true;
+        switch (rec->type) {
+            case RecordType::kHello:
+                s.session = engine_.create_session(rec->hello.radar);
+                trace_line("{\"ev\":\"ingest.hello\",\"stream\":" +
+                           std::to_string(s.id) + ",\"session\":" +
+                           std::to_string(*s.session) + ",\"tag\":" +
+                           std::to_string(rec->hello.stream_tag) + "}");
+                break;
+            case RecordType::kFrame: {
+                const PushOutcome out =
+                    s.queue.push(std::move(rec->frame), tick_);
+                if (out == PushOutcome::kWouldBlock)
+                    s.holding = std::move(rec->frame);
+                else if (out == PushOutcome::kDroppedOldest ||
+                         out == PushOutcome::kDroppedNewest)
+                    if (m_) m_->dropped->inc();
+                break;
+            }
+            case RecordType::kBye:
+                break;  // decoder latches saw_bye; stream_done() reads it
+        }
+    }
+
+    if (progress) {
+        s.stall_run = 0;
+        s.backoff_attempts = 0;
+    } else if (!blocked && bytes == 0 && !s.source->exhausted()) {
+        ++s.stall_run;  // genuinely silent upstream, not our refusal
+    }
+}
+
+std::size_t IngestFrontend::deliver() {
+    // Global budget, ascending stream id, per-stream fairness cap. The
+    // order is fixed, so which frames ship on which tick — and therefore
+    // every downstream result — replays exactly. When the budget runs
+    // out, later streams keep their frames queued; that is the duty
+    // cycle the queues (and the governor watching them) are for.
+    std::size_t budget = config_.governor.budget_frames_per_tick;
+    std::size_t total = 0;
+    for (auto& [id, sp] : streams_) {
+        if (budget == 0) break;
+        Stream& s = *sp;
+        if (!s.session) continue;
+        deliver_frames_.clear();
+        deliver_ages_.clear();
+        const std::size_t want =
+            std::min(budget, s.config.max_deliver_per_tick);
+        const std::size_t n =
+            s.queue.pop_into(want, tick_, deliver_frames_, deliver_ages_);
+        for (std::size_t i = 0; i < n; ++i)
+            engine_.feed(*s.session, std::move(deliver_frames_[i]));
+        if (m_ != nullptr)
+            for (std::size_t i = 0; i < n; ++i)
+                m_->queue_age_ticks->record(deliver_ages_[i]);
+        s.delivered += n;
+        budget -= n;
+        total += n;
+    }
+    if (m_) m_->delivered->inc(total);
+    return total;
+}
+
+void IngestFrontend::run_watchdogs() {
+    for (auto& [id, sp] : streams_) {
+        Stream& s = *sp;
+        if (s.stall_run < s.config.stall_ticks) continue;
+        if (tick_ < s.next_reconnect_tick) continue;  // backing off
+        s.source->reconnect();
+        ++s.reconnects;
+        if (m_) m_->reconnects->inc();
+        // Exponential backoff with per-stream deterministic jitter, so a
+        // thundering herd of stalled streams de-synchronises the same
+        // way on every replay.
+        const std::uint64_t shift =
+            std::min<std::uint64_t>(s.backoff_attempts, 6);
+        const std::uint64_t base = std::min(
+            s.config.backoff_base_ticks << shift, s.config.backoff_max_ticks);
+        const std::uint64_t jitter = static_cast<std::uint64_t>(
+            s.rng.uniform_int(0, static_cast<int>(std::min<std::uint64_t>(
+                                     base, 1u << 16))));
+        s.next_reconnect_tick = tick_ + base + jitter;
+        ++s.backoff_attempts;
+        trace_line("{\"ev\":\"ingest.reconnect\",\"stream\":" +
+                   std::to_string(s.id) + ",\"tick\":" +
+                   std::to_string(tick_) + ",\"backoff\":" +
+                   std::to_string(base + jitter) + "}");
+    }
+}
+
+void IngestFrontend::set_level(ShedLevel to, double load) {
+    const ShedLevel from = level_;
+    level_ = to;
+    shed_events_.push_back({tick_, from, to, load});
+    if (m_) {
+        m_->shed_transitions->inc();
+        m_->shed_level->set(static_cast<double>(to));
+    }
+    trace_line("{\"ev\":\"ingest.shed\",\"tick\":" + std::to_string(tick_) +
+               ",\"from\":" + std::to_string(static_cast<int>(from)) +
+               ",\"to\":" + std::to_string(static_cast<int>(to)) + "}");
+
+    // Step side effects. The ladder moves one level at a time, so each
+    // transition crosses exactly one boundary.
+    latency_stride_ = to >= ShedLevel::kWidenSampling
+                          ? config_.governor.latency_stride_shed
+                          : config_.governor.latency_stride_normal;
+    if (to == ShedLevel::kEvictIdle && from < ShedLevel::kEvictIdle) {
+        saved_residency_ = engine_.residency_policy();
+        engine_.set_residency_policy(config_.governor.overload_residency);
+    }
+    if (from == ShedLevel::kEvictIdle && to < ShedLevel::kEvictIdle) {
+        engine_.set_residency_policy(saved_residency_);
+    }
+    if (from == ShedLevel::kForceDropOldest &&
+        to < ShedLevel::kForceDropOldest) {
+        for (auto& [id, sp] : streams_)
+            if (sp->policy_forced) {
+                sp->queue.set_policy(sp->configured_policy);
+                sp->policy_forced = false;
+            }
+    }
+}
+
+void IngestFrontend::run_governor(std::size_t backlog,
+                                  std::uint64_t pump_ns,
+                                  PumpReport& report) {
+    const GovernorConfig& g = config_.governor;
+    const double load =
+        g.wall_clock_shedding
+            ? static_cast<double>(pump_ns) / static_cast<double>(g.slo_ns)
+            : static_cast<double>(backlog) /
+                  static_cast<double>(g.budget_frames_per_tick);
+
+    ShedLevel target = ShedLevel::kNormal;
+    if (load >= g.refuse_at) target = ShedLevel::kRefuseAdmissions;
+    else if (load >= g.evict_at) target = ShedLevel::kEvictIdle;
+    else if (load >= g.force_drop_at) target = ShedLevel::kForceDropOldest;
+    else if (load >= g.widen_at) target = ShedLevel::kWidenSampling;
+
+    // Hysteresis, one rung per decision: engage after engage_ticks
+    // consecutive ticks wanting a higher level, release after
+    // release_ticks wanting a lower one.
+    if (target > level_) {
+        below_ticks_ = 0;
+        if (++above_ticks_ >= g.engage_ticks) {
+            above_ticks_ = 0;
+            set_level(static_cast<ShedLevel>(
+                          static_cast<std::uint8_t>(level_) + 1),
+                      load);
+        }
+    } else if (target < level_) {
+        above_ticks_ = 0;
+        if (++below_ticks_ >= g.release_ticks) {
+            below_ticks_ = 0;
+            set_level(static_cast<ShedLevel>(
+                          static_cast<std::uint8_t>(level_) - 1),
+                      load);
+        }
+    } else {
+        above_ticks_ = 0;
+        below_ticks_ = 0;
+    }
+
+    // While at (or above) the force-drop rung, laggards — streams whose
+    // queue is more than half full — are switched to drop_oldest. New
+    // laggards are caught on every tick the rung stays engaged.
+    if (level_ >= ShedLevel::kForceDropOldest) {
+        for (auto& [id, sp] : streams_) {
+            Stream& s = *sp;
+            if (!s.policy_forced &&
+                s.queue.policy() != BackpressurePolicy::kDropOldest &&
+                s.queue.size() > s.queue.capacity() / 2) {
+                s.queue.set_policy(BackpressurePolicy::kDropOldest);
+                s.policy_forced = true;
+                trace_line(
+                    "{\"ev\":\"ingest.force_drop\",\"stream\":" +
+                    std::to_string(s.id) + ",\"tick\":" +
+                    std::to_string(tick_) + "}");
+            }
+        }
+    }
+
+    report.load = load;
+    report.level = level_;
+}
+
+PumpReport IngestFrontend::pump() {
+    ++tick_;
+    PumpReport report;
+    report.tick = tick_;
+
+    for (auto& [id, sp] : streams_) poll_stream(*sp);
+
+    report.frames_delivered = deliver();
+
+    const auto t0 = std::chrono::steady_clock::now();
+    report.frames_processed = engine_.pump();
+    const auto t1 = std::chrono::steady_clock::now();
+    report.pump_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count());
+
+    run_watchdogs();
+
+    std::size_t backlog = 0;
+    for (const auto& [id, sp] : streams_)
+        backlog += sp->queue.size() + (sp->holding ? 1 : 0);
+    report.backlog = backlog;
+
+    run_governor(backlog, report.pump_ns, report);
+
+    tokens_ = std::min(config_.admission.capacity,
+                       tokens_ + config_.admission.refill_per_tick);
+
+    if (m_ != nullptr) {
+        if (tick_ % latency_stride_ == 0)
+            m_->pump_ns->record(report.pump_ns);
+        m_->load->set(report.load);
+        m_->backlog->set(static_cast<double>(backlog));
+        m_->tokens->set(tokens_);
+        // Aggregate decoder accounting, refreshed once per tick (the
+        // decoders keep the authoritative counters).
+        std::uint64_t bytes_in = 0, frames = 0, errors = 0, quarantined = 0;
+        for (const auto& [id, sp] : streams_) {
+            const DecodeStats& d = sp->decoder.stats();
+            bytes_in += d.bytes_in;
+            frames += d.frames_decoded;
+            errors += d.total_errors();
+            quarantined += d.quarantined_bytes;
+        }
+        m_->bytes_in->set(static_cast<double>(bytes_in));
+        m_->frames_decoded->set(static_cast<double>(frames));
+        m_->decode_errors->set(static_cast<double>(errors));
+        m_->quarantined_bytes->set(static_cast<double>(quarantined));
+    }
+    return report;
+}
+
+fleet::SessionStats IngestFrontend::close_stream(StreamId id) {
+    Stream& s = stream_ref(id);
+    fleet::SessionStats final_stats{};
+    if (s.session) {
+        // Drain-then-release, end to end: everything this stream still
+        // holds goes to the session, and FleetEngine::close processes
+        // the session's whole inbox before destroying it.
+        if (s.holding) {
+            engine_.feed(*s.session, std::move(*s.holding));
+            s.holding.reset();
+        }
+        deliver_frames_.clear();
+        deliver_ages_.clear();
+        s.queue.pop_into(SIZE_MAX, tick_, deliver_frames_, deliver_ages_);
+        for (auto& frame : deliver_frames_)
+            engine_.feed(*s.session, std::move(frame));
+        s.delivered += deliver_frames_.size();
+        final_stats = engine_.close(*s.session);
+    }
+    trace_line("{\"ev\":\"ingest.close\",\"stream\":" + std::to_string(id) +
+               ",\"tick\":" + std::to_string(tick_) + "}");
+    streams_.erase(id);
+    if (m_) m_->closed->inc();
+    return final_stats;
+}
+
+std::size_t IngestFrontend::stream_count() const noexcept {
+    return streams_.size();
+}
+
+std::vector<StreamId> IngestFrontend::stream_ids() const {
+    std::vector<StreamId> ids;
+    ids.reserve(streams_.size());
+    for (const auto& [id, sp] : streams_) ids.push_back(id);
+    return ids;
+}
+
+std::optional<fleet::SessionId> IngestFrontend::session_of(
+    StreamId id) const {
+    return stream_ref(id).session;
+}
+
+StreamStats IngestFrontend::stream_stats(StreamId id) const {
+    const Stream& s = stream_ref(id);
+    const FrameQueueStats q = s.queue.stats();
+    StreamStats out;
+    out.frames_decoded = s.decoder.stats().frames_decoded;
+    out.frames_delivered = s.delivered;
+    out.frames_dropped = q.dropped();
+    out.queued = s.queue.size();
+    out.holding = s.holding.has_value();
+    out.bytes_read = s.bytes_read;
+    out.stall_run = s.stall_run;
+    out.reconnects = s.reconnects;
+    out.saw_bye = s.decoder.saw_bye();
+    out.exhausted = s.source->exhausted();
+    out.policy = s.queue.policy();
+    out.policy_forced = s.policy_forced;
+    return out;
+}
+
+const DecodeStats& IngestFrontend::decode_stats(StreamId id) const {
+    return stream_ref(id).decoder.stats();
+}
+
+FrameQueueStats IngestFrontend::queue_stats(StreamId id) const {
+    return stream_ref(id).queue.stats();
+}
+
+bool IngestFrontend::stream_done(StreamId id) const {
+    const Stream& s = stream_ref(id);
+    return (s.decoder.saw_bye() || s.source->exhausted()) &&
+           s.queue.size() == 0 && !s.holding.has_value();
+}
+
+bool IngestFrontend::drained() const {
+    for (const auto& [id, sp] : streams_)
+        if (!stream_done(id)) return false;
+    return true;
+}
+
+}  // namespace blinkradar::ingest

@@ -1,0 +1,313 @@
+// Streaming ingest front-end: N concurrent byte streams in, one
+// fleet::FleetEngine out, with every overload behaviour made explicit.
+//
+// The engine multiplexes sessions it is *given*; this module decides
+// what the engine is given when producers outrun it. The pieces, bottom
+// to top:
+//
+//   ByteSource / BytePipe   - where bytes come from (file replay, or an
+//                             in-process socket-like pipe).
+//   WireDecoder             - corruption-tolerant "BRWF" framing; bad
+//                             input is quarantined, never thrown.
+//   BoundedFrameQueue       - per-stream backpressure policy
+//                             (block | drop_oldest | drop_newest).
+//   Admission token bucket  - caps the *rate* of new streams.
+//   Load governor           - watches the backlog against the tick
+//                             budget and walks the shed ladder.
+//
+// One call to pump() is one tick, in a fixed phase order:
+//
+//   poll       - per stream: retry the block-policy holding slot, read
+//                up to the byte budget (skipped while blocked — that is
+//                how pressure reaches the pipe), decode records, queue
+//                frames; hello records create fleet sessions.
+//   deliver    - pop frames oldest-first (ascending stream id) into the
+//                engine, up to the governor's per-tick frame budget.
+//   engine     - FleetEngine::pump(), wall latency recorded to metrics.
+//   watchdogs  - stalled sources get reconnect() with deterministic
+//                per-stream jittered exponential backoff.
+//   governor   - recompute load, walk the shed ladder one step with
+//                hysteresis, apply the step's side effects.
+//   admission  - refill the token bucket.
+//
+// Shed ladder (ordered, one step per transition, hysteresis on both
+// edges):
+//
+//   0 normal
+//   1 widen latency sampling  - the front-end's own pump-latency
+//                               metrics sampling stride widens
+//                               (observability pays first).
+//   2 force drop_oldest       - streams with queues more than half full
+//                               are switched to drop_oldest (stale
+//                               frames die before fresh ones wait).
+//   3 evict idle              - the engine's residency policy tightens
+//                               (overload_residency) so idle sessions
+//                               spill and working memory shrinks.
+//   4 refuse admissions       - open_stream() refuses new streams.
+//
+// Determinism: every load-shedding decision — queue drops, ladder
+// transitions, forced policies, residency tightening, admission refusal
+// — derives from deterministic accounting (queue occupancy, tick
+// counts, the forked per-stream RNGs), never from wall-clock time. Runs
+// are bit-identical at any shard/thread count. Wall time is only
+// *recorded* (metrics). The one exception is opt-in: governor
+// wall_clock_shedding drives the load signal from measured pump latency
+// instead, which reacts to the real machine but is explicitly not
+// reproducible.
+//
+// No silent loss: per stream,
+//   frames_decoded == delivered + queue drops + still queued + holding
+// — an identity the ingest tests assert. Dropped frames leave timestamp
+// gaps the pipeline's FrameGuard sees and bridges/quarantines like any
+// other sensor gap.
+//
+// Threading: the front-end is driven by ONE thread (pump/open/close/
+// accessors). Producers on other threads talk to it only through
+// BytePipe, which is internally synchronised; the engine takes its own
+// lock. The TSan suite drives exactly this arrangement.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/random.hpp"
+#include "fleet/fleet_engine.hpp"
+#include "ingest/byte_source.hpp"
+#include "ingest/frame_queue.hpp"
+#include "ingest/wire_format.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace blinkradar::ingest {
+
+using StreamId = std::uint64_t;
+
+/// Overload response ladder, walked one step at a time.
+enum class ShedLevel : std::uint8_t {
+    kNormal = 0,
+    kWidenSampling = 1,
+    kForceDropOldest = 2,
+    kEvictIdle = 3,
+    kRefuseAdmissions = 4,
+};
+const char* to_string(ShedLevel level) noexcept;
+
+/// One ladder transition (deterministic; the overload drill asserts the
+/// engagement order against this history).
+struct ShedEvent {
+    std::uint64_t tick = 0;
+    ShedLevel from = ShedLevel::kNormal;
+    ShedLevel to = ShedLevel::kNormal;
+    double load = 0.0;
+};
+
+/// Per-stream knobs; IngestConfig::stream supplies the defaults and an
+/// open_stream overload can override per stream.
+struct StreamConfig {
+    std::size_t queue_capacity = 64;
+    BackpressurePolicy policy = BackpressurePolicy::kBlock;
+    /// Max bytes pulled from the source per tick.
+    std::size_t read_budget_bytes = 64 * 1024;
+    /// Max frames this stream hands the engine per tick (fairness cap
+    /// under the governor's global budget).
+    std::size_t max_deliver_per_tick = 32;
+    /// Decoder ceiling for a single record payload.
+    std::size_t max_payload_bytes = 1u << 20;
+    /// Consecutive silent ticks (source not exhausted, zero bytes, zero
+    /// records) before the stall watchdog fires.
+    std::uint64_t stall_ticks = 50;
+    /// Reconnect backoff: base << attempts, capped, plus a jitter drawn
+    /// from the stream's forked RNG (deterministic per seed).
+    std::uint64_t backoff_base_ticks = 4;
+    std::uint64_t backoff_max_ticks = 256;
+};
+
+/// Token-bucket admission gate for open_stream().
+struct AdmissionConfig {
+    double capacity = 8.0;         ///< burst allowance, in streams
+    double refill_per_tick = 0.25; ///< sustained streams per tick
+};
+
+/// Load governor: the shed ladder's thresholds and side-effect knobs.
+struct GovernorConfig {
+    /// Frames per tick the deployment is provisioned to sustain — the
+    /// denominator of the load signal AND the global deliver budget.
+    std::size_t budget_frames_per_tick = 256;
+
+    /// Ladder engage thresholds on load = backlog / budget. Must be
+    /// ascending. A level engages after `engage_ticks` consecutive
+    /// ticks above its threshold and releases after `release_ticks`
+    /// consecutive ticks below it (hysteresis, one step per change).
+    double widen_at = 0.5;
+    double force_drop_at = 1.0;
+    double evict_at = 2.0;
+    double refuse_at = 3.0;
+    std::size_t engage_ticks = 3;
+    std::size_t release_ticks = 6;
+
+    /// Pump-latency metrics sampling stride, normal vs shed (>= level 1).
+    std::size_t latency_stride_normal = 1;
+    std::size_t latency_stride_shed = 8;
+
+    /// Residency policy pushed onto the engine at level >= 3 (the
+    /// previous policy is saved and restored on release).
+    fleet::ResidencyPolicy overload_residency{
+        .max_resident = 0, .evict_idle_after_pumps = 1};
+
+    /// Opt-in: drive the load signal from measured engine-pump wall
+    /// latency against slo_ns instead of backlog accounting. Reactive to
+    /// the actual machine — and therefore NOT reproducible run to run.
+    bool wall_clock_shedding = false;
+    std::uint64_t slo_ns = 40'000'000;  ///< the fleet 40 ms pump SLO
+};
+
+struct IngestConfig {
+    StreamConfig stream{};
+    AdmissionConfig admission{};
+    GovernorConfig governor{};
+    /// Master seed; each stream's watchdog-jitter RNG is forked from it
+    /// in open order.
+    std::uint64_t seed = 0xB11Fu;
+    std::string metrics_prefix = "ingest.";
+};
+
+enum class AdmissionOutcome : std::uint8_t {
+    kAdmitted = 0,
+    kRefusedTokens = 1,  ///< bucket empty — arrival rate too high
+    kRefusedShed = 2,    ///< ladder at kRefuseAdmissions
+};
+
+struct Admission {
+    AdmissionOutcome outcome = AdmissionOutcome::kRefusedTokens;
+    StreamId id = 0;  ///< valid only when admitted
+
+    bool admitted() const noexcept {
+        return outcome == AdmissionOutcome::kAdmitted;
+    }
+};
+
+/// Everything one pump() tick did (deterministic except pump_ns).
+struct PumpReport {
+    std::uint64_t tick = 0;
+    std::size_t frames_delivered = 0;  ///< handed to the engine this tick
+    std::size_t frames_processed = 0;  ///< FleetEngine::pump() return
+    std::size_t backlog = 0;           ///< queued + holding, after deliver
+    double load = 0.0;
+    ShedLevel level = ShedLevel::kNormal;
+    std::uint64_t pump_ns = 0;  ///< engine pump wall latency (NOT determ.)
+};
+
+/// Point-in-time view of one stream (deterministic).
+struct StreamStats {
+    std::uint64_t frames_decoded = 0;
+    std::uint64_t frames_delivered = 0;
+    std::uint64_t frames_dropped = 0;  ///< by the queue policy
+    std::uint64_t queued = 0;
+    bool holding = false;  ///< block-policy holding slot occupied
+    std::uint64_t bytes_read = 0;
+    std::uint64_t stall_run = 0;  ///< current consecutive silent ticks
+    std::uint64_t reconnects = 0;
+    bool saw_bye = false;
+    bool exhausted = false;
+    BackpressurePolicy policy = BackpressurePolicy::kBlock;
+    bool policy_forced = false;  ///< shed ladder overrode the policy
+};
+
+class IngestFrontend {
+public:
+    /// `engine` must outlive the front-end. `metrics` / `trace` are
+    /// optional and not owned; pass nullptr to disable.
+    IngestFrontend(IngestConfig config, fleet::FleetEngine& engine,
+                   obs::MetricsRegistry* metrics = nullptr,
+                   obs::TraceSink* trace = nullptr);
+    ~IngestFrontend();
+
+    IngestFrontend(const IngestFrontend&) = delete;
+    IngestFrontend& operator=(const IngestFrontend&) = delete;
+
+    /// Admit a stream through the token bucket (and the shed ladder's
+    /// refusal step). The fleet session is created later, when the
+    /// stream's hello record decodes.
+    Admission open_stream(std::unique_ptr<ByteSource> source);
+    Admission open_stream(std::unique_ptr<ByteSource> source,
+                          StreamConfig config);
+
+    /// One tick: poll -> deliver -> engine.pump -> watchdogs ->
+    /// governor -> token refill.
+    PumpReport pump();
+
+    /// Drain-then-release: remaining queued/held frames are fed to the
+    /// session and processed (FleetEngine::close drains), then the
+    /// stream is released. Returns the session's final stats (all zeros
+    /// when the stream never produced a hello).
+    fleet::SessionStats close_stream(StreamId id);
+
+    std::size_t stream_count() const noexcept;
+    std::vector<StreamId> stream_ids() const;
+
+    /// The stream's fleet session, once its hello has decoded.
+    std::optional<fleet::SessionId> session_of(StreamId id) const;
+
+    StreamStats stream_stats(StreamId id) const;
+    const DecodeStats& decode_stats(StreamId id) const;
+    FrameQueueStats queue_stats(StreamId id) const;
+
+    /// True when the stream can produce nothing more: a bye decoded or
+    /// the source exhausted, and nothing queued or held. (A mid-frame
+    /// EOF leaves its amputated tail counted in quarantined_bytes.)
+    bool stream_done(StreamId id) const;
+    /// All streams done.
+    bool drained() const;
+
+    ShedLevel shed_level() const noexcept { return level_; }
+    const std::vector<ShedEvent>& shed_events() const noexcept {
+        return shed_events_;
+    }
+    std::uint64_t tick() const noexcept { return tick_; }
+    double tokens() const noexcept { return tokens_; }
+
+    fleet::FleetEngine& engine() noexcept { return engine_; }
+    const IngestConfig& config() const noexcept { return config_; }
+
+private:
+    struct Stream;
+    struct Metrics;
+
+    Stream& stream_ref(StreamId id);
+    const Stream& stream_ref(StreamId id) const;
+    void poll_stream(Stream& s);
+    std::size_t deliver();
+    void run_watchdogs();
+    void run_governor(std::size_t backlog, std::uint64_t pump_ns,
+                      PumpReport& report);
+    void set_level(ShedLevel to, double load);
+    void trace_line(const std::string& line);
+
+    IngestConfig config_;
+    fleet::FleetEngine& engine_;
+    obs::MetricsRegistry* metrics_;
+    obs::TraceSink* trace_;
+    std::unique_ptr<Metrics> m_;  ///< registered metric handles
+
+    std::map<StreamId, std::unique_ptr<Stream>> streams_;
+    StreamId next_stream_id_ = 0;
+    Rng master_rng_;
+
+    std::uint64_t tick_ = 0;
+    double tokens_;
+    ShedLevel level_ = ShedLevel::kNormal;
+    std::size_t above_ticks_ = 0;
+    std::size_t below_ticks_ = 0;
+    std::size_t latency_stride_;
+    fleet::ResidencyPolicy saved_residency_{};
+    std::vector<ShedEvent> shed_events_;
+
+    std::vector<radar::RadarFrame> deliver_frames_;  ///< scratch
+    std::vector<std::uint64_t> deliver_ages_;        ///< scratch
+};
+
+}  // namespace blinkradar::ingest

@@ -1,0 +1,481 @@
+#include "ingest/wire_format.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+#include "common/contracts.hpp"
+
+namespace blinkradar::ingest {
+
+namespace {
+
+constexpr std::size_t kStreamHeaderBytes = 8;   // magic + version + flags
+constexpr std::size_t kRecordHeaderBytes = 20;  // sync..seq
+constexpr std::size_t kRecordTrailerBytes = 4;  // crc32
+constexpr std::uint16_t kHelloVersion = 1;
+constexpr std::uint16_t kFrameVersion = 1;
+constexpr std::uint16_t kByeVersion = 1;
+constexpr std::size_t kHelloPayloadBytes = 10 * 8 + 8;
+// A frame payload is timestamp + bin count + interleaved I/Q doubles.
+constexpr std::size_t frame_payload_bytes(std::size_t n_bins) {
+    return 8 + 4 + 16 * n_bins;
+}
+
+void put_u16(std::vector<std::uint8_t>& buf, std::uint16_t v) {
+    buf.push_back(static_cast<std::uint8_t>(v));
+    buf.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& buf, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i)
+        buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& buf, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i)
+        buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_f64(std::vector<std::uint8_t>& buf, double v) {
+    put_u64(buf, std::bit_cast<std::uint64_t>(v));
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) {
+    return static_cast<std::uint16_t>(p[0] |
+                                      static_cast<std::uint16_t>(p[1]) << 8);
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+    return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+    return v;
+}
+
+double get_f64(const std::uint8_t* p) {
+    return std::bit_cast<double>(get_u64(p));
+}
+
+}  // namespace
+
+const char* to_string(RecordType type) noexcept {
+    switch (type) {
+        case RecordType::kHello: return "hello";
+        case RecordType::kFrame: return "frame";
+        case RecordType::kBye: return "bye";
+    }
+    return "?";
+}
+
+const char* to_string(DecodeError error) noexcept {
+    switch (error) {
+        case DecodeError::kBadStreamMagic: return "bad_stream_magic";
+        case DecodeError::kBadStreamVersion: return "bad_stream_version";
+        case DecodeError::kBadSync: return "bad_sync";
+        case DecodeError::kBadRecordVersion: return "bad_record_version";
+        case DecodeError::kBadRecordType: return "bad_record_type";
+        case DecodeError::kOversizedRecord: return "oversized_record";
+        case DecodeError::kCrcMismatch: return "crc_mismatch";
+        case DecodeError::kBadPayload: return "bad_payload";
+        case DecodeError::kFrameBeforeHello: return "frame_before_hello";
+        case DecodeError::kDuplicateHello: return "duplicate_hello";
+        case DecodeError::kCount_: break;
+    }
+    return "?";
+}
+
+std::uint64_t DecodeStats::total_errors() const noexcept {
+    std::uint64_t n = 0;
+    for (const std::uint64_t e : errors) n += e;
+    return n;
+}
+
+// ---------------------------------------------------------------- encoder
+
+WireEncoder::WireEncoder(const WireHello& hello) {
+    hello.radar.validate();
+    buf_.reserve(8 + kRecordHeaderBytes + kHelloPayloadBytes +
+                 kRecordTrailerBytes);
+    buf_.insert(buf_.end(), kStreamMagic.begin(), kStreamMagic.end());
+    put_u16(buf_, kWireVersion);
+    put_u16(buf_, 0);  // flags (reserved)
+
+    begin_record(RecordType::kHello, kHelloVersion, kHelloPayloadBytes);
+    const std::size_t crc_from = buf_.size() - kRecordHeaderBytes + 4;
+    put_f64(buf_, hello.radar.carrier_hz);
+    put_f64(buf_, hello.radar.bandwidth_hz);
+    put_f64(buf_, hello.radar.frame_period_s);
+    put_f64(buf_, hello.radar.tx_amplitude);
+    put_f64(buf_, hello.radar.max_range_m);
+    put_f64(buf_, hello.radar.bin_spacing_m);
+    put_f64(buf_, hello.radar.reference_range_m);
+    put_f64(buf_, hello.radar.min_rolloff_range_m);
+    put_f64(buf_, hello.radar.noise_sigma);
+    put_f64(buf_, hello.radar.phase_noise_rad);
+    put_u64(buf_, hello.stream_tag);
+    end_record(crc_from);
+}
+
+void WireEncoder::begin_record(RecordType type, std::uint16_t version,
+                               std::uint32_t payload_len) {
+    put_u32(buf_, kRecordSync);
+    put_u16(buf_, static_cast<std::uint16_t>(type));
+    put_u16(buf_, version);
+    put_u32(buf_, payload_len);
+    put_u64(buf_, next_seq_++);
+}
+
+void WireEncoder::end_record(std::size_t crc_from) {
+    const std::uint32_t crc = state::crc32(
+        std::span<const std::uint8_t>(buf_.data() + crc_from,
+                                      buf_.size() - crc_from));
+    put_u32(buf_, crc);
+}
+
+void WireEncoder::encode_frame(const radar::RadarFrame& frame) {
+    BR_EXPECTS(!frame.bins.empty());
+    const std::size_t payload = frame_payload_bytes(frame.bins.size());
+    BR_EXPECTS(payload <= UINT32_MAX);
+    begin_record(RecordType::kFrame, kFrameVersion,
+                 static_cast<std::uint32_t>(payload));
+    const std::size_t crc_from =
+        buf_.size() - kRecordHeaderBytes + 4;
+    put_f64(buf_, frame.timestamp_s);
+    put_u32(buf_, static_cast<std::uint32_t>(frame.bins.size()));
+    for (const dsp::Complex& c : frame.bins) {
+        put_f64(buf_, c.real());
+        put_f64(buf_, c.imag());
+    }
+    end_record(crc_from);
+    ++frames_;
+}
+
+void WireEncoder::encode_bye() {
+    begin_record(RecordType::kBye, kByeVersion, 8);
+    const std::size_t crc_from = buf_.size() - kRecordHeaderBytes + 4;
+    put_u64(buf_, frames_);
+    end_record(crc_from);
+}
+
+std::vector<std::uint8_t> WireEncoder::encode_session(
+    const WireHello& hello, const radar::FrameSeries& frames) {
+    WireEncoder enc(hello);
+    for (const radar::RadarFrame& f : frames) enc.encode_frame(f);
+    enc.encode_bye();
+    return enc.take();
+}
+
+// ---------------------------------------------------------------- decoder
+
+WireDecoder::WireDecoder(std::size_t max_payload_bytes)
+    : max_payload_(max_payload_bytes) {
+    BR_EXPECTS(max_payload_ >= kHelloPayloadBytes);
+}
+
+const WireHello& WireDecoder::hello() const {
+    BR_EXPECTS(hello_.has_value());
+    return *hello_;
+}
+
+void WireDecoder::push(std::span<const std::uint8_t> bytes) {
+    stats_.bytes_in += bytes.size();
+    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+void WireDecoder::note_error(DecodeError e) noexcept {
+    ++stats_.errors[static_cast<std::size_t>(e)];
+}
+
+void WireDecoder::compact() {
+    // Reclaim consumed prefix once it dominates the buffer, so a
+    // long-lived stream does not grow its buffer without bound while
+    // keeping the amortized cost of erase() constant per byte.
+    if (cursor_ > 4096 && cursor_ * 2 > buf_.size()) {
+        buf_.erase(buf_.begin(),
+                   buf_.begin() + static_cast<std::ptrdiff_t>(cursor_));
+        cursor_ = 0;
+    }
+}
+
+void WireDecoder::resync(std::size_t skip_at_least) {
+    // Quarantine at least `skip_at_least` bytes, then scan for the next
+    // plausible record start. While the stream header has not been seen
+    // yet, the stream magic is also a valid landing point (garbage
+    // preambles before "BRWF"). Bytes that cannot begin a sync word are
+    // quarantined; a partial match at the buffer tail is kept for the
+    // next push.
+    ++stats_.resyncs;
+    std::size_t pos = cursor_ + skip_at_least;
+    const std::uint8_t sync0 = static_cast<std::uint8_t>(kRecordSync);
+    while (pos < buf_.size()) {
+        // memchr for the first byte of either marker keeps the scan
+        // linear even through megabytes of garbage.
+        const void* hit_sync = std::memchr(buf_.data() + pos, sync0,
+                                           buf_.size() - pos);
+        std::size_t cand_sync =
+            hit_sync ? static_cast<std::size_t>(
+                           static_cast<const std::uint8_t*>(hit_sync) -
+                           buf_.data())
+                     : buf_.size();
+        std::size_t cand = cand_sync;
+        if (phase_ == Phase::kStreamHeader) {
+            const void* hit_magic = std::memchr(
+                buf_.data() + pos, kStreamMagic[0], buf_.size() - pos);
+            if (hit_magic != nullptr)
+                cand = std::min(cand,
+                                static_cast<std::size_t>(
+                                    static_cast<const std::uint8_t*>(
+                                        hit_magic) -
+                                    buf_.data()));
+        }
+        if (cand >= buf_.size()) {
+            pos = buf_.size();
+            break;
+        }
+        // Verify the full marker; an incomplete tail match is kept
+        // buffered (it may complete with the next push).
+        const std::size_t remaining = buf_.size() - cand;
+        bool full_match = false;
+        bool partial_match = false;
+        auto check = [&](const std::uint8_t* marker, std::size_t len) {
+            const std::size_t n = std::min(len, remaining);
+            if (std::memcmp(buf_.data() + cand, marker, n) != 0) return;
+            if (n == len)
+                full_match = true;
+            else
+                partial_match = true;
+        };
+        const std::uint8_t sync_bytes[4] = {
+            static_cast<std::uint8_t>(kRecordSync),
+            static_cast<std::uint8_t>(kRecordSync >> 8),
+            static_cast<std::uint8_t>(kRecordSync >> 16),
+            static_cast<std::uint8_t>(kRecordSync >> 24)};
+        if (cand == cand_sync) check(sync_bytes, 4);
+        if (!full_match && phase_ == Phase::kStreamHeader)
+            check(kStreamMagic.data(), 4);
+        if (full_match || partial_match) {
+            pos = cand;
+            break;
+        }
+        pos = cand + 1;
+    }
+    stats_.quarantined_bytes += pos - cursor_;
+    cursor_ = pos;
+    compact();
+}
+
+std::optional<DecodedRecord> WireDecoder::next() {
+    for (;;) {
+        if (phase_ == Phase::kStreamHeader) {
+            if (available() < kStreamHeaderBytes) return std::nullopt;
+            const std::uint8_t* p = buf_.data() + cursor_;
+            if (std::memcmp(p, kStreamMagic.data(), 4) != 0) {
+                note_error(DecodeError::kBadStreamMagic);
+                resync(1);
+                continue;
+            }
+            const std::uint16_t version = get_u16(p + 4);
+            if (version > kWireVersion) {
+                note_error(DecodeError::kBadStreamVersion);
+                resync(1);
+                continue;
+            }
+            cursor_ += kStreamHeaderBytes;
+            phase_ = Phase::kRecords;
+            continue;
+        }
+        std::optional<DecodedRecord> rec = parse_record();
+        if (!rec.has_value()) return std::nullopt;
+        if (rec->type == RecordType::kHello && hello_.has_value()) {
+            // A duplicate hello is how a reconnecting producer restarts
+            // its stream; counted, config re-adopted only if identical
+            // is not checked here — the front-end owns that policy.
+            note_error(DecodeError::kDuplicateHello);
+            continue;
+        }
+        if (rec->type == RecordType::kFrame && !hello_.has_value()) {
+            note_error(DecodeError::kFrameBeforeHello);
+            continue;
+        }
+        if (rec->type == RecordType::kHello) hello_ = rec->hello;
+        if (rec->type == RecordType::kBye) saw_bye_ = true;
+        return rec;
+    }
+}
+
+std::optional<DecodedRecord> WireDecoder::parse_record() {
+    for (;;) {
+        if (available() < kRecordHeaderBytes) return std::nullopt;
+        const std::uint8_t* p = buf_.data() + cursor_;
+        if (get_u32(p) != kRecordSync) {
+            note_error(DecodeError::kBadSync);
+            resync(1);
+            if (phase_ == Phase::kStreamHeader) return std::nullopt;
+            continue;
+        }
+        const auto type_raw = get_u16(p + 4);
+        const std::uint16_t version = get_u16(p + 6);
+        const std::uint32_t payload_len = get_u32(p + 8);
+        const std::uint64_t seq = get_u64(p + 12);
+
+        if (payload_len > max_payload_) {
+            // The length field is untrustworthy; skip only the sync word
+            // and rescan rather than jumping a bogus distance.
+            note_error(DecodeError::kOversizedRecord);
+            resync(4);
+            continue;
+        }
+        const std::size_t total =
+            kRecordHeaderBytes + payload_len + kRecordTrailerBytes;
+        if (available() < total) return std::nullopt;  // need more bytes
+
+        const std::uint32_t want_crc =
+            get_u32(p + kRecordHeaderBytes + payload_len);
+        const std::uint32_t got_crc = state::crc32(
+            std::span<const std::uint8_t>(p + 4,
+                                          kRecordHeaderBytes - 4 +
+                                              payload_len));
+        if (want_crc != got_crc) {
+            note_error(DecodeError::kCrcMismatch);
+            resync(4);
+            continue;
+        }
+
+        // The record frame is intact from here on: whatever happens to
+        // the payload, consume the whole record.
+        const std::span<const std::uint8_t> payload(p + kRecordHeaderBytes,
+                                                    payload_len);
+        DecodedRecord rec;
+        rec.seq = seq;
+        bool ok = true;
+        switch (static_cast<RecordType>(type_raw)) {
+            case RecordType::kHello:
+                rec.type = RecordType::kHello;
+                if (version > kHelloVersion) {
+                    note_error(DecodeError::kBadRecordVersion);
+                    ok = false;
+                } else {
+                    ok = parse_hello(payload, rec.hello);
+                }
+                break;
+            case RecordType::kFrame:
+                rec.type = RecordType::kFrame;
+                if (version > kFrameVersion) {
+                    note_error(DecodeError::kBadRecordVersion);
+                    ok = false;
+                } else {
+                    ok = parse_frame(payload, rec.frame);
+                }
+                break;
+            case RecordType::kBye:
+                rec.type = RecordType::kBye;
+                if (version > kByeVersion) {
+                    note_error(DecodeError::kBadRecordVersion);
+                    ok = false;
+                } else if (payload.size() != 8) {
+                    note_error(DecodeError::kBadPayload);
+                    ok = false;
+                } else {
+                    rec.producer_frames = get_u64(payload.data());
+                }
+                break;
+            default:
+                note_error(DecodeError::kBadRecordType);
+                ok = false;
+                break;
+        }
+        cursor_ += total;
+        compact();
+        if (!ok) {
+            stats_.quarantined_bytes += total;
+            continue;
+        }
+        ++stats_.records_decoded;
+        if (rec.type == RecordType::kFrame) ++stats_.frames_decoded;
+        if (rec.type == RecordType::kBye) ++stats_.byes_decoded;
+        // Transport-order accounting: a regression means a duplicated or
+        // reordered chunk re-delivered an old record (FrameGuard will
+        // quarantine its stale timestamp); a gap means records vanished.
+        if (have_seq_) {
+            if (seq <= last_seq_)
+                ++stats_.seq_regressions;
+            else if (seq != last_seq_ + 1)
+                ++stats_.seq_gaps;
+        }
+        if (!have_seq_ || seq > last_seq_) last_seq_ = seq;
+        have_seq_ = true;
+        return rec;
+    }
+}
+
+bool WireDecoder::parse_hello(std::span<const std::uint8_t> payload,
+                              WireHello& out) {
+    if (payload.size() != kHelloPayloadBytes) {
+        note_error(DecodeError::kBadPayload);
+        return false;
+    }
+    const std::uint8_t* p = payload.data();
+    out.radar.carrier_hz = get_f64(p + 0);
+    out.radar.bandwidth_hz = get_f64(p + 8);
+    out.radar.frame_period_s = get_f64(p + 16);
+    out.radar.tx_amplitude = get_f64(p + 24);
+    out.radar.max_range_m = get_f64(p + 32);
+    out.radar.bin_spacing_m = get_f64(p + 40);
+    out.radar.reference_range_m = get_f64(p + 48);
+    out.radar.min_rolloff_range_m = get_f64(p + 56);
+    out.radar.noise_sigma = get_f64(p + 64);
+    out.radar.phase_noise_rad = get_f64(p + 72);
+    out.stream_tag = get_u64(p + 80);
+    // A CRC-valid hello can still carry nonsense (a buggy producer, or a
+    // collision-surviving corruption): validate() throws ContractViolation
+    // on the trusted path, here it is a counted decode error instead.
+    try {
+        out.radar.validate();
+    } catch (const std::exception&) {
+        note_error(DecodeError::kBadPayload);
+        return false;
+    }
+    for (const double v :
+         {out.radar.carrier_hz, out.radar.bandwidth_hz,
+          out.radar.frame_period_s, out.radar.max_range_m,
+          out.radar.bin_spacing_m}) {
+        if (!std::isfinite(v)) {
+            note_error(DecodeError::kBadPayload);
+            return false;
+        }
+    }
+    return true;
+}
+
+bool WireDecoder::parse_frame(std::span<const std::uint8_t> payload,
+                              radar::RadarFrame& out) {
+    if (payload.size() < 12) {
+        note_error(DecodeError::kBadPayload);
+        return false;
+    }
+    const std::uint8_t* p = payload.data();
+    const double timestamp = get_f64(p);
+    const std::uint32_t n_bins = get_u32(p + 8);
+    if (payload.size() != frame_payload_bytes(n_bins)) {
+        note_error(DecodeError::kBadPayload);
+        return false;
+    }
+    out.timestamp_s = timestamp;
+    out.bins.resize(n_bins);
+    for (std::uint32_t b = 0; b < n_bins; ++b)
+        out.bins[b] = dsp::Complex(get_f64(p + 12 + 16 * b),
+                                   get_f64(p + 12 + 16 * b + 8));
+    // Non-finite timestamps or samples are deliberately passed through:
+    // structurally the frame is sound, and semantic repair/quarantine is
+    // the FrameGuard's job (it has the stream history to decide).
+    return true;
+}
+
+}  // namespace blinkradar::ingest

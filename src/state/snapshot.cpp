@@ -452,7 +452,9 @@ void StateReader::read_f64_into(std::vector<double>& out) {
     need(n * 8 < n ? SIZE_MAX : n * 8);  // overflow-safe bound check
     if constexpr (std::endian::native == std::endian::little) {
         out.resize(n);
-        std::memcpy(out.data(), bytes_.data() + cursor_, n * sizeof(double));
+        if (n != 0)  // empty vector: data() may be null, memcpy UB
+            std::memcpy(out.data(), bytes_.data() + cursor_,
+                        n * sizeof(double));
         cursor_ += n * sizeof(double);
         return;
     }
@@ -466,8 +468,9 @@ void StateReader::read_complex_into(dsp::ComplexSignal& out) {
     need(n * 16 < n ? SIZE_MAX : n * 16);
     if constexpr (std::endian::native == std::endian::little) {
         out.resize(n);
-        std::memcpy(out.data(), bytes_.data() + cursor_,
-                    n * sizeof(dsp::Complex));
+        if (n != 0)  // empty vector: data() may be null, memcpy UB
+            std::memcpy(out.data(), bytes_.data() + cursor_,
+                        n * sizeof(dsp::Complex));
         cursor_ += n * sizeof(dsp::Complex);
         return;
     }

@@ -181,10 +181,11 @@ TEST(Fleet, EvictRehydrateMidRunIsBitIdentical) {
             EXPECT_FALSE(engine.is_resident(id));
         }
         EXPECT_EQ(engine.resident_count(), 0u);
-        if (spill)
+        if (spill) {
             for (const auto id : ids)
                 EXPECT_TRUE(fs::exists(dir + "/session-" +
                                        std::to_string(id) + ".snap"));
+        }
 
         for (std::size_t s = 0; s < sims.size(); ++s) {
             const std::size_t half = sims[s].frames.size() / 2;
@@ -356,6 +357,114 @@ TEST(Fleet, ConstructionSweepsOrphanSpillTemps) {
     fleet::FleetEngine engine(cfg, &pool);
     EXPECT_FALSE(fs::exists(orphan));
     fs::remove_all(dir);
+}
+
+TEST(Fleet, CloseDrainsQueuedFramesBeforeRelease) {
+    // close() on a session with a non-empty inbox must process those
+    // frames, not abandon them — the stats it returns are final.
+    const auto sims = make_sessions(1, 4.0);
+    core::BlinkRadarPipeline ref_pipe(sims[0].radar);
+    for (const radar::RadarFrame& f : sims[0].frames) ref_pipe.process(f);
+
+    ThreadPool pool(2);
+    fleet::FleetEngine engine(fleet::FleetConfig{}, &pool);
+    const fleet::SessionId id = engine.create_session(sims[0].radar);
+    for (const radar::RadarFrame& f : sims[0].frames) engine.feed(id, f);
+
+    // No pump: everything is still queued when close arrives.
+    const fleet::SessionStats st = engine.close(id);
+    EXPECT_EQ(st.frames_processed, sims[0].frames.size());
+    EXPECT_EQ(st.blinks, ref_pipe.blinks().size());
+    EXPECT_EQ(engine.session_count(), 0u);
+}
+
+TEST(Fleet, CloseDuringConcurrentPumpLosesNothing) {
+    // The close-during-pump regression: whichever of pump() and close()
+    // wins the lock, the final stats must account for every fed frame.
+    const auto sims = make_sessions(1, 6.0);
+    for (int round = 0; round < 4; ++round) {
+        ThreadPool pool(2);
+        fleet::FleetConfig cfg;
+        cfg.n_shards = 2;
+        cfg.record_results = false;
+        fleet::FleetEngine engine(cfg, &pool);
+        const fleet::SessionId id = engine.create_session(sims[0].radar);
+        for (const radar::RadarFrame& f : sims[0].frames)
+            engine.feed(id, f);
+
+        fleet::SessionStats st;
+        std::thread pumper([&] { engine.pump(); });
+        std::thread closer([&] { st = engine.close(id); });
+        pumper.join();
+        closer.join();
+        EXPECT_EQ(st.frames_processed, sims[0].frames.size())
+            << "round " << round;
+        EXPECT_EQ(engine.session_count(), 0u);
+    }
+}
+
+TEST(Fleet, ResidencyCapEvictsLeastRecentlyActiveFirst) {
+    const auto sims = make_sessions(4, 4.0);
+    ThreadPool pool(2);
+    fleet::FleetConfig cfg;
+    cfg.residency.max_resident = 2;
+    fleet::FleetEngine engine(cfg, &pool);
+
+    std::vector<fleet::SessionId> ids;
+    for (const auto& sim : sims)
+        ids.push_back(engine.create_session(sim.radar));
+
+    // Pump 1 touches sessions 0 and 1; 2 and 3 sit at their creation
+    // stamp and are the LRU pair the cap evicts.
+    engine.feed(ids[0], sims[0].frames[0]);
+    engine.feed(ids[1], sims[1].frames[0]);
+    engine.pump();
+    EXPECT_TRUE(engine.is_resident(ids[0]));
+    EXPECT_TRUE(engine.is_resident(ids[1]));
+    EXPECT_FALSE(engine.is_resident(ids[2]));
+    EXPECT_FALSE(engine.is_resident(ids[3]));
+    EXPECT_EQ(engine.engine_stats().budget_evictions, 2u);
+
+    // Pump 2 touches 2 and 3 (rehydrating them); the roles swap.
+    engine.feed(ids[2], sims[2].frames[0]);
+    engine.feed(ids[3], sims[3].frames[0]);
+    engine.pump();
+    EXPECT_FALSE(engine.is_resident(ids[0]));
+    EXPECT_FALSE(engine.is_resident(ids[1]));
+    EXPECT_TRUE(engine.is_resident(ids[2]));
+    EXPECT_TRUE(engine.is_resident(ids[3]));
+    EXPECT_EQ(engine.engine_stats().budget_evictions, 4u);
+    EXPECT_EQ(engine.resident_count(), 2u);
+}
+
+TEST(Fleet, IdleTimerEvictsSessionsThatStopFeeding) {
+    const auto sims = make_sessions(2, 4.0);
+    ThreadPool pool(1);
+    fleet::FleetConfig cfg;
+    cfg.residency.evict_idle_after_pumps = 2;
+    fleet::FleetEngine engine(cfg, &pool);
+
+    const fleet::SessionId busy = engine.create_session(sims[0].radar);
+    const fleet::SessionId idle = engine.create_session(sims[1].radar);
+
+    // `idle` feeds once, then goes quiet; `busy` feeds every pump.
+    engine.feed(idle, sims[1].frames[0]);
+    for (std::size_t p = 0; p < 4; ++p) {
+        engine.feed(busy, sims[0].frames[p]);
+        engine.pump();
+    }
+    EXPECT_TRUE(engine.is_resident(busy));
+    EXPECT_FALSE(engine.is_resident(idle));
+    EXPECT_EQ(engine.engine_stats().idle_evictions, 1u);
+    EXPECT_EQ(engine.stats(idle).evictions, 1u);
+
+    // An evicted-idle session rehydrates transparently when it speaks
+    // again, bit-identically (same frame stream, same pipeline state).
+    engine.feed(idle, sims[1].frames[1]);
+    engine.pump();
+    EXPECT_TRUE(engine.is_resident(idle));
+    EXPECT_EQ(engine.stats(idle).frames_processed, 2u);
+    EXPECT_EQ(engine.stats(idle).rehydrations, 1u);
 }
 
 TEST(Fleet, UnknownSessionIdIsAContractViolation) {
