@@ -12,12 +12,16 @@
 #include <string_view>
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "core/bin_selection.hpp"
 #include "core/pipeline.hpp"
 #include "core/preprocess.hpp"
 #include "dsp/circle_fit.hpp"
 #include "dsp/fft.hpp"
 #include "eval/experiment.hpp"
+#include "fleet/fleet_engine.hpp"
+#include "obs/telemetry/aggregator.hpp"
+#include "obs/telemetry/export.hpp"
 #include "physio/driver_profile.hpp"
 #include "sim/scenario.hpp"
 
@@ -155,6 +159,75 @@ void BM_PipelinePerFrameRecorder(benchmark::State& state) {
     state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_PipelinePerFrameRecorder);
+
+// Fleet-path telemetry overhead trio: one iteration feeds 256
+// concurrent sessions one frame each (one 25 fps fleet tick at the
+// capacity point bench_fleet gates on) and pumps the shard executor.
+// Base runs bare; Metrics adds the per-session registries; Telemetry
+// adds the rest of the telemetry plane — the hierarchical aggregation
+// cycle plus both snapshot serialisations every 25 ticks (the ~1 Hz
+// live-export cadence). check_metrics_overhead.sh pairs the paired
+// per-repetition deltas Metrics-Base and Telemetry-Metrics, each
+// against the same <2 % budget as pipeline metrics: the first is the
+// collection cost on the fleet hot path, the second is what the
+// aggregation/export plane adds on top. The cycle cost is bounded by
+// snapshot cardinality, not fleet size, so the second delta only
+// shrinks as the fleet grows past this point.
+// Process CPU time, because the frames burn on pool workers. The
+// iteration count is pinned so every repetition of all variants runs
+// the identical 200-tick schedule from a fresh engine — per-frame cost
+// varies along the session timeline (periodic bin re-selection scans),
+// and a pinned schedule makes the paired per-repetition differences
+// measure instrumentation, not timeline phase.
+enum class FleetBench { kBase, kMetrics, kTelemetry };
+
+void fleet_per_frame(benchmark::State& state, FleetBench variant) {
+    const auto& s = session();
+    constexpr std::size_t kSessions = 256;
+    fleet::FleetConfig cfg;
+    cfg.record_results = false;
+    cfg.collect_metrics = variant != FleetBench::kBase;
+    fleet::FleetEngine engine(cfg, &ThreadPool::shared());
+    std::vector<fleet::SessionId> ids;
+    std::vector<FrameReplayer> replays;
+    for (std::size_t k = 0; k < kSessions; ++k) {
+        ids.push_back(engine.create_session(s.radar));
+        replays.emplace_back(s);
+    }
+    obs::telemetry::Aggregator agg;
+    obs::telemetry::SnapshotPublisher pub;  // in-memory buffers only
+    std::uint64_t tick = 0;
+    for (auto _ : state) {
+        for (std::size_t k = 0; k < kSessions; ++k)
+            engine.feed(ids[k], replays[k].next());
+        benchmark::DoNotOptimize(engine.pump());
+        if (variant == FleetBench::kTelemetry && ++tick % 25 == 0) {
+            engine.aggregate_into(agg);
+            pub.publish(agg.output());
+        }
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * kSessions));
+}
+
+void BM_FleetPerFrameBase(benchmark::State& state) {
+    fleet_per_frame(state, FleetBench::kBase);
+}
+BENCHMARK(BM_FleetPerFrameBase)->MeasureProcessCPUTime()->Iterations(200);
+
+void BM_FleetPerFrameMetrics(benchmark::State& state) {
+    fleet_per_frame(state, FleetBench::kMetrics);
+}
+BENCHMARK(BM_FleetPerFrameMetrics)
+    ->MeasureProcessCPUTime()
+    ->Iterations(200);
+
+void BM_FleetPerFrameTelemetry(benchmark::State& state) {
+    fleet_per_frame(state, FleetBench::kTelemetry);
+}
+BENCHMARK(BM_FleetPerFrameTelemetry)
+    ->MeasureProcessCPUTime()
+    ->Iterations(200);
 
 void BM_PreprocessFrame(benchmark::State& state) {
     const auto& s = session();

@@ -1,0 +1,176 @@
+// Telemetry-plane cost bench: what one hierarchical aggregation cycle
+// and one double-format snapshot serialisation cost as the fleet grows,
+// and that the snapshot's cardinality stays bounded while they do.
+// Prints a fleet-size scaling table and writes BENCH_telemetry.json
+// (to argv[1], default the working directory) with the gated
+// lower-is-better numbers CI compares against the committed baseline
+// (scripts/compare_bench.py, schema "blinkradar-telemetry-v1").
+//
+// The aggregation cycle runs under the engine lock on the export
+// cadence (~1 Hz), never per frame, so the claim gated here is "a
+// cycle stays cheap enough to hide inside one pump tick" — the
+// per-frame overhead of the whole plane is gated separately by
+// scripts/check_metrics_overhead.sh on the paired
+// BM_FleetPerFrame{Base,Telemetry} microbenches.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/thread_pool.hpp"
+#include "eval/report.hpp"
+#include "fleet/fleet_engine.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry/aggregator.hpp"
+#include "obs/telemetry/export.hpp"
+
+using namespace blinkradar;
+
+namespace {
+
+struct TelemetryPoint {
+    std::size_t sessions = 0;
+    double aggregate_ns = 0.0;  ///< median full-cycle roll-up cost
+    double publish_ns = 0.0;    ///< median JSON+Prometheus build cost
+    std::size_t snapshot_nodes = 0;
+    std::size_t json_bytes = 0;
+};
+
+double median_ns(std::vector<double>& v) {
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+}
+
+TelemetryPoint run_point(const std::vector<sim::SimulatedSession>& sims,
+                         std::size_t n_sessions, ThreadPool& pool) {
+    fleet::FleetConfig cfg;
+    cfg.n_shards = std::max<std::size_t>(4, pool.size() * 2);
+    cfg.record_results = false;
+    cfg.collect_metrics = true;
+    fleet::FleetEngine engine(cfg, &pool);
+
+    std::vector<fleet::SessionId> ids;
+    ids.reserve(n_sessions);
+    for (std::size_t s = 0; s < n_sessions; ++s)
+        ids.push_back(engine.create_session(sims[s % sims.size()].radar));
+
+    // Populate every per-session registry with real stage histograms.
+    const std::size_t frames_per_session = sims.front().frames.size();
+    for (std::size_t off = 0; off < frames_per_session; off += 25) {
+        const std::size_t end = std::min(off + 25, frames_per_session);
+        for (std::size_t s = 0; s < n_sessions; ++s) {
+            const auto& frames = sims[s % sims.size()].frames;
+            for (std::size_t i = off; i < end; ++i)
+                engine.feed(ids[s], frames[i]);
+        }
+        engine.pump();
+    }
+
+    obs::telemetry::Aggregator agg;
+    obs::telemetry::SnapshotPublisher pub;  // in-memory buffers only
+    constexpr std::size_t kReps = 100;
+    std::vector<double> agg_ns, pub_ns;
+    agg_ns.reserve(kReps);
+    pub_ns.reserve(kReps);
+    for (std::size_t r = 0; r < kReps; ++r) {
+        const auto t0 = std::chrono::steady_clock::now();
+        engine.aggregate_into(agg);
+        const auto t1 = std::chrono::steady_clock::now();
+        pub.publish(agg.output());
+        const auto t2 = std::chrono::steady_clock::now();
+        agg_ns.push_back(
+            std::chrono::duration<double, std::nano>(t1 - t0).count());
+        pub_ns.push_back(
+            std::chrono::duration<double, std::nano>(t2 - t1).count());
+    }
+
+    TelemetryPoint p;
+    p.sessions = n_sessions;
+    p.aggregate_ns = median_ns(agg_ns);
+    p.publish_ns = median_ns(pub_ns);
+    const obs::MetricsRegistry& out = agg.output();
+    p.snapshot_nodes = out.counters().size() + out.gauges().size() +
+                       out.histograms().size();
+    p.json_bytes = pub.last_json().size();
+    return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const std::string out_path =
+        argc > 1 ? argv[1] : "BENCH_telemetry.json";
+
+    // Four distinct simulated drivers round-robined across the fleet;
+    // short sessions — aggregation cost depends on registry shape, not
+    // stream length.
+    const auto drivers = benchutil::participants(4);
+    std::vector<sim::SimulatedSession> sims;
+    for (std::size_t i = 0; i < drivers.size(); ++i) {
+        sim::ScenarioConfig sc =
+            benchutil::reference_scenario(drivers[i], 8800 + 13 * i);
+        sc.duration_s = 10.0;
+        sims.push_back(sim::simulate_session(sc));
+    }
+
+    ThreadPool& pool = ThreadPool::shared();
+    eval::banner(std::cout,
+                 "Telemetry plane: aggregation + export cost vs fleet size");
+    std::printf("pool threads: %zu\n", pool.size());
+
+    const std::size_t sweep[] = {16, 64, 256};
+    std::vector<TelemetryPoint> points;
+    for (const std::size_t n : sweep)
+        points.push_back(run_point(sims, n, pool));
+
+    eval::AsciiTable table({"sessions", "aggregate (us)", "publish (us)",
+                            "snapshot nodes", "json (KiB)"});
+    for (const TelemetryPoint& p : points)
+        table.add_row({std::to_string(p.sessions),
+                       eval::fmt(p.aggregate_ns / 1e3, 1),
+                       eval::fmt(p.publish_ns / 1e3, 1),
+                       std::to_string(p.snapshot_nodes),
+                       eval::fmt(static_cast<double>(p.json_bytes) / 1024.0,
+                                 1)});
+    table.print(std::cout);
+
+    // The bounded-cardinality claim, stated as a number: snapshot nodes
+    // at 256 sessions vs 16 (base roll-up + top-K laggard detail only,
+    // so the ratio should be ~1, not 16).
+    std::printf("cardinality: %zu nodes at %zu sessions vs %zu at %zu "
+                "(bounded: %s)\n",
+                points.back().snapshot_nodes, points.back().sessions,
+                points.front().snapshot_nodes, points.front().sessions,
+                points.back().snapshot_nodes <=
+                        2 * points.front().snapshot_nodes
+                    ? "yes"
+                    : "NO");
+
+    // Gate the largest fleet: that is the scaling claim.
+    const TelemetryPoint& peak = points.back();
+    std::ofstream out(out_path);
+    out << "{\n  \"schema\": \"blinkradar-telemetry-v1\",\n"
+        << "  \"threads\": " << pool.size() << ",\n"
+        << "  \"gated\": {\n"
+        << "    \"telemetry.aggregate_ns\": " << peak.aggregate_ns << ",\n"
+        << "    \"telemetry.publish_ns\": " << peak.publish_ns << "\n"
+        << "  },\n  \"points\": [\n";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const TelemetryPoint& p = points[i];
+        out << "    {\"sessions\": " << p.sessions
+            << ", \"aggregate_ns\": " << p.aggregate_ns
+            << ", \"publish_ns\": " << p.publish_ns
+            << ", \"snapshot_nodes\": " << p.snapshot_nodes
+            << ", \"json_bytes\": " << p.json_bytes << "}"
+            << (i + 1 < points.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    out.close();
+    std::printf("wrote %s (%zu fleet sizes)\n", out_path.c_str(),
+                points.size());
+    return 0;
+}

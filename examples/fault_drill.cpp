@@ -23,6 +23,9 @@
 //                   period (default 0.25)
 //   --dump PATH     flight-recorder dump written after the drill
 //                   (default /tmp/fault_drill.brfr)
+//   --metrics-out PATH
+//                   write the final metrics registry as an obs-v1 JSON
+//                   snapshot on exit (default: metrics off)
 //
 // The whole drill runs with the flight recorder attached, so the dump is
 // a complete black box of the storm: inspect or bit-exactly replay it
@@ -36,6 +39,8 @@
 #include "core/postmortem.hpp"
 #include "eval/metrics.hpp"
 #include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry/export.hpp"
 #include "physio/driver_profile.hpp"
 #include "radar/impairments.hpp"
 #include "sim/scenario.hpp"
@@ -52,13 +57,14 @@ struct DrillOptions {
     double nan_rate = 0.05;
     double jitter_periods = 0.25;
     std::string dump_path = "/tmp/fault_drill.brfr";
+    std::string metrics_out;  ///< final registry JSON; empty = off
 };
 
 [[noreturn]] void usage_and_exit(const char* argv0) {
     std::fprintf(stderr,
                  "usage: %s [--seed N] [--fault-seed N] [--duration S]\n"
                  "          [--drop-rate R] [--nan-rate R] [--jitter F]\n"
-                 "          [--dump PATH]\n",
+                 "          [--dump PATH] [--metrics-out PATH]\n",
                  argv0);
     std::exit(2);
 }
@@ -85,6 +91,8 @@ DrillOptions parse_options(int argc, char** argv) {
                 opt.jitter_periods = std::stod(value);
             else if (flag == "--dump")
                 opt.dump_path = value;
+            else if (flag == "--metrics-out")
+                opt.metrics_out = value;
             else
                 usage_and_exit(argv[0]);
         } catch (const std::exception&) {
@@ -152,8 +160,10 @@ int main(int argc, char** argv) {
     rec_cfg.raw_ring_frames = 1024;
     rec_cfg.checkpoint_interval_frames = 512;
     obs::FlightRecorder recorder(rec_cfg);
-    core::BlinkRadarPipeline pipeline(session.radar, {}, nullptr, nullptr,
-                                      &recorder);
+    obs::MetricsRegistry metrics;
+    core::BlinkRadarPipeline pipeline(
+        session.radar, {}, opt.metrics_out.empty() ? nullptr : &metrics,
+        nullptr, &recorder);
     core::HealthState last = core::HealthState::kOk;
     for (const radar::RadarFrame& f : stream) {
         const core::FrameResult r = pipeline.process(f);
@@ -179,6 +189,18 @@ int main(int argc, char** argv) {
                 "(final health: %s)\n",
                 match.matched, match.true_blinks,
                 core::to_string(pipeline.health()));
+
+    if (!opt.metrics_out.empty()) {
+        // Reuse the telemetry exporter: atomic replace, obs-v1 schema.
+        obs::telemetry::SnapshotPublisherConfig pc;
+        pc.json_path = opt.metrics_out;
+        obs::telemetry::SnapshotPublisher pub(pc);
+        if (pub.publish(metrics))
+            std::printf("metrics snapshot: %s\n", opt.metrics_out.c_str());
+        else
+            std::fprintf(stderr, "fault_drill: failed to write %s\n",
+                         opt.metrics_out.c_str());
+    }
 
     core::write_flight_dump_file(opt.dump_path, recorder, session.radar, {},
                                  "fault_drill");

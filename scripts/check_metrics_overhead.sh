@@ -5,6 +5,13 @@
 # must each run within MAX_OVERHEAD_PCT (default 2%) of the
 # uninstrumented baseline (BM_PipelinePerFrameSimd — all three run the
 # production SIMD frame path, so the deltas isolate the instrumentation).
+# The fleet path is gated the same way, in two layers on the same
+# 256-session fleet-tick workload (process CPU time, because the frames
+# burn on pool workers): BM_FleetPerFrameMetrics (per-session
+# registries) pairs against BM_FleetPerFrameBase for the collection
+# cost, and BM_FleetPerFrameTelemetry (aggregation cycle + both
+# snapshot serialisations at the ~1 Hz export cadence) pairs against
+# BM_FleetPerFrameMetrics for what the telemetry plane adds on top.
 #
 # Builds the Release preset and measures the overhead with two layers of
 # noise rejection, one per noise source:
@@ -49,7 +56,7 @@ if setarch "$(uname -m)" -R true 2>/dev/null; then
 fi
 for ((run = 0; run < runs; ++run)); do
     "${launcher[@]}" "${build_dir}/bench/bench_perf_pipeline" \
-        --benchmark_filter='^BM_PipelinePerFrame(Simd|Metrics|Recorder)$' \
+        --benchmark_filter='^BM_(PipelinePerFrame(Simd|Metrics|Recorder)|FleetPerFrame(Base|Metrics|Telemetry)/iterations:200/process_time)$' \
         --benchmark_repetitions="${reps}" \
         --benchmark_min_time=0.1 \
         --benchmark_enable_random_interleaving=true \
@@ -76,12 +83,24 @@ for path in sorted(glob.glob(sys.argv[1] + "/run*.json")):
     runs.append(times)
 
 failed = False
-for variant in ("Metrics", "Recorder"):
-    name = "BM_PipelinePerFrame" + variant
+# (label, instrumented run_name, uninstrumented baseline run_name);
+# the fleet pair carries google-benchmark's /process_time and pinned
+# /iterations suffixes.
+gates = (
+    ("metrics", "BM_PipelinePerFrameMetrics", "BM_PipelinePerFrameSimd"),
+    ("recorder", "BM_PipelinePerFrameRecorder", "BM_PipelinePerFrameSimd"),
+    ("fleet-metrics",
+     "BM_FleetPerFrameMetrics/iterations:200/process_time",
+     "BM_FleetPerFrameBase/iterations:200/process_time"),
+    ("fleet-telemetry",
+     "BM_FleetPerFrameTelemetry/iterations:200/process_time",
+     "BM_FleetPerFrameMetrics/iterations:200/process_time"),
+)
+for label, name, base_name in gates:
     run_deltas = []
     run_scales = []
     for path_index, times in enumerate(runs):
-        base = times.get("BM_PipelinePerFrameSimd", {})
+        base = times.get(base_name, {})
         instrumented = times.get(name, {})
         pairs = sorted(set(base) & set(instrumented))
         if not pairs:
@@ -94,17 +113,18 @@ for variant in ("Metrics", "Recorder"):
     scale = run_scales[run_deltas.index(delta)]
     overhead_pct = 100.0 * delta / scale
 
-    print(f"[{variant.lower()}] per-run overhead deltas: "
+    print(f"[{label}] per-run overhead deltas: "
           + ", ".join(f"{d:+.1f}" for d in run_deltas) + " ns")
-    print(f"[{variant.lower()}] per-frame: {scale:10.1f} ns, overhead "
+    print(f"[{label}] per-iteration: {scale:10.1f} ns, overhead "
           f"{delta:+8.1f} ns = {overhead_pct:+6.2f} % "
           f"(budget {max_pct:.1f} %)")
     if overhead_pct > max_pct:
-        print(f"FAIL: {variant.lower()} overhead {overhead_pct:.2f}% "
+        print(f"FAIL: {label} overhead {overhead_pct:.2f}% "
               f"exceeds {max_pct:.1f}% budget")
         failed = True
 
 if failed:
     sys.exit(1)
-print("OK: metrics and flight-recorder overhead within budget")
+print("OK: metrics, flight-recorder and fleet-telemetry overhead "
+      "within budget")
 EOF

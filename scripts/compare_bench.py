@@ -20,7 +20,10 @@ tolerance. Two report schemas are understood, auto-detected per file:
   - the blinkradar-ingest-v1 capacity report (BENCH_ingest.json): same
     "gated"-block shape, carrying the ingest path's per-frame core-ns
     cost at the largest stream sweep and the p99 enqueue-to-result
-    latency at the paced 25 fps operating point.
+    latency at the paced 25 fps operating point;
+  - the blinkradar-telemetry-v1 report (BENCH_telemetry.json): same
+    "gated"-block shape, carrying the hierarchical-aggregation cycle
+    and snapshot-serialisation costs at the largest fleet sweep.
 
 Only slowdowns fail the gate; speedups are reported but pass (refresh
 the baseline to bank them). Benchmarks present on one side only are
@@ -90,7 +93,8 @@ def extract(report, path):
     if report.get("schema") == "blinkradar-obs-v1":
         return stage_stats(report)
     if report.get("schema") in ("blinkradar-fleet-v1",
-                                "blinkradar-ingest-v1"):
+                                "blinkradar-ingest-v1",
+                                "blinkradar-telemetry-v1"):
         return fleet_stats(report)
     sys.exit(f"{path}: unrecognized report schema")
 

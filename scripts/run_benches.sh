@@ -11,6 +11,9 @@
 #   BENCH_ingest.json      streaming-ingest capacity (streams/core at
 #                          25 fps), p99 enqueue->result latency, and
 #                          the shed-ladder activation point
+#   BENCH_telemetry.json   telemetry-plane cost (aggregation cycle and
+#                          snapshot serialisation vs fleet size, with
+#                          the bounded-cardinality check)
 #
 # Figure-reproduction harnesses are not run here — they print paper
 # tables and take minutes; run them from build/bench/ directly.
@@ -25,7 +28,7 @@ build_dir="${repo_root}/build-release"
 cmake --preset release -S "${repo_root}"
 cmake --build "${build_dir}" \
     --target bench_perf_pipeline bench_robustness_faults bench_recovery \
-    bench_fleet bench_ingest \
+    bench_fleet bench_ingest bench_telemetry \
     -j "$(nproc)"
 
 # A user-supplied --benchmark_out in "$@" comes later and wins.
@@ -53,3 +56,6 @@ echo "wrote ${repo_root}/BENCH_fleet.json"
 
 "${build_dir}/bench/bench_ingest" "${repo_root}/BENCH_ingest.json"
 echo "wrote ${repo_root}/BENCH_ingest.json"
+
+"${build_dir}/bench/bench_telemetry" "${repo_root}/BENCH_telemetry.json"
+echo "wrote ${repo_root}/BENCH_telemetry.json"

@@ -149,7 +149,8 @@ BlinkRadarPipeline::BlinkRadarPipeline(const radar::RadarConfig& radar,
                                        PipelineConfig config,
                                        obs::MetricsRegistry* metrics,
                                        obs::TraceSink* trace,
-                                       obs::FlightRecorder* recorder)
+                                       obs::FlightRecorder* recorder,
+                                       obs::telemetry::SpanCollector* spans)
     : radar_(radar),
       config_(config),
       preprocessor_(config),
@@ -203,6 +204,7 @@ BlinkRadarPipeline::BlinkRadarPipeline(const radar::RadarConfig& radar,
         instr_ = std::make_unique<Instrumentation>(metrics, trace,
                                                    config_.metrics_prefix);
     recorder_ = recorder;
+    spans_ = spans;
 }
 
 void BlinkRadarPipeline::reset_detection_state() {
@@ -375,10 +377,15 @@ FrameResult BlinkRadarPipeline::process(const radar::RadarFrame& frame) {
         if (selected_bin_)
             bin_before = static_cast<std::int64_t>(*selected_bin_);
     }
+    const bool span_frame = spans_ != nullptr && frame.span_id != 0;
     if (instr_) {
         instr_->detailed_frame =
-            instr_->trace != nullptr ||
+            span_frame || instr_->trace != nullptr ||
             (instr_->frame_index & (kStageSampleFrames - 1)) == 0;
+        // A span frame's record reads last_ns as this frame's stage
+        // durations, so stale values from earlier detailed frames must
+        // not leak in (the trace path wipes after each record instead).
+        if (span_frame) instr_->last_ns.fill(0);
     }
     FrameResult result;
     {
@@ -388,6 +395,13 @@ FrameResult BlinkRadarPipeline::process(const radar::RadarFrame& frame) {
     }
     if (recorder_ != nullptr)
         record_frame(seq, frame, result, health_before, bin_before);
+    // Close the span before observe_frame: the trace path zeroes
+    // last_ns after emitting its own record. stage[0..7] only —
+    // frame_total is the whole call, not a hop.
+    if (span_frame)
+        spans_->complete(frame.span_id,
+                         instr_ ? instr_->last_ns.data() : nullptr,
+                         kNumPipelineStages - 1);
     if (instr_) observe_frame(frame, result, health_before);
     return result;
 }

@@ -28,6 +28,7 @@
 #include "obs/flight_recorder.hpp"
 #include "obs/kernel_timers.hpp"
 #include "obs/metrics.hpp"
+#include "obs/telemetry/span.hpp"
 #include "obs/trace.hpp"
 #include "radar/config.hpp"
 #include "radar/frame.hpp"
@@ -112,14 +113,18 @@ public:
     /// the recorder's cadence so dumps replay (see core/postmortem.hpp).
     /// The recorder outlives crashed pipelines, so it is owned by the
     /// caller (typically core::Supervisor) — never by the pipeline.
+    /// `spans` (optional) closes end-to-end trace spans: a frame whose
+    /// span_id is non-zero is timed in full (detailed) and its measured
+    /// stage durations complete the span after processing.
     /// All pointers must outlive the pipeline. Instrumentation only
     /// observes: output is bit-identical with metrics on, off, or absent,
-    /// and likewise with or without a recorder.
+    /// and likewise with or without a recorder or span collector.
     BlinkRadarPipeline(const radar::RadarConfig& radar,
                        PipelineConfig config = {},
                        obs::MetricsRegistry* metrics = nullptr,
                        obs::TraceSink* trace = nullptr,
-                       obs::FlightRecorder* recorder = nullptr);
+                       obs::FlightRecorder* recorder = nullptr,
+                       obs::telemetry::SpanCollector* spans = nullptr);
 
     /// Process the next frame. With the frame guard enabled (the
     /// default) any sensor output is accepted: corrupt frames are
@@ -367,6 +372,7 @@ private:
 
     std::unique_ptr<Instrumentation> instr_;  ///< null when uninstrumented
     obs::FlightRecorder* recorder_ = nullptr;  ///< null when unrecorded
+    obs::telemetry::SpanCollector* spans_ = nullptr;  ///< null = no tracing
 };
 
 /// Batch result of running the pipeline over a recorded series.

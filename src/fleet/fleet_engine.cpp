@@ -85,7 +85,8 @@ void FleetEngine::build_pipeline(Session& s) const {
     // names into it, which is idempotent for the handles it takes.
     obs::MetricsRegistry* registry = s.metrics.get();
     s.pipeline = std::make_unique<core::BlinkRadarPipeline>(
-        s.radar, s.pipeline_config, registry);
+        s.radar, s.pipeline_config, registry, nullptr, nullptr,
+        config_.span_collector);
 }
 
 SessionId FleetEngine::create_session(const radar::RadarConfig& radar) {
@@ -235,6 +236,7 @@ SessionStats FleetEngine::close(SessionId id) {
     if (!s.inbox.empty()) {
         ShardStats scratch;
         drain(s, scratch);
+        engine_stats_.frames_processed += scratch.frames_processed;
     }
     const SessionStats final_stats = s.stats;
     if (!config_.spill_dir.empty()) {
@@ -361,6 +363,9 @@ void FleetEngine::drain(Session& s, ShardStats& worker) const {
     while (!s.inbox.empty()) {
         const radar::RadarFrame frame = std::move(s.inbox.front());
         s.inbox.pop_front();
+        if (config_.span_collector != nullptr && frame.span_id != 0)
+            config_.span_collector->hop(frame.span_id,
+                                        obs::telemetry::SpanHop::kPump);
         process_with_recovery(s, frame);
         ++worker.frames_processed;
         if (config_.snapshot_interval_frames > 0 &&
@@ -426,8 +431,66 @@ std::size_t FleetEngine::pump() {
     enforce_residency_locked();
 
     std::size_t total = 0;
-    for (const ShardStats& st : stats) total += st.frames_processed;
+    for (const ShardStats& st : stats) {
+        total += st.frames_processed;
+        engine_stats_.sessions_stolen += st.sessions_stolen;
+    }
+    engine_stats_.frames_processed += total;
     return total;
+}
+
+void FleetEngine::aggregate_into(obs::telemetry::Aggregator& agg) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    agg.begin_cycle();
+    // Pass 1: roll every session up (ascending id — deterministic gauge
+    // last-writer and merge order). Pass 2: the top-K laggards keep
+    // their per-session series.
+    for (const auto& [id, s] : sessions_)
+        if (s->metrics) agg.add_session(id, *s->metrics);
+    for (const std::uint64_t id : agg.select_laggards()) {
+        const auto it = sessions_.find(id);
+        if (it != sessions_.end() && it->second->metrics)
+            agg.add_laggard_detail(id, *it->second->metrics);
+    }
+
+    // Engine + per-shard roll-ups: bounded (one set + n_shards sets),
+    // independent of fleet size. Monotone stats go in as counters (the
+    // output was just reset, so inc(absolute) lands the exact value);
+    // instantaneous ones as gauges.
+    obs::MetricsRegistry& out = agg.output();
+    const std::string& p = config_.metrics_prefix;
+    std::size_t resident = 0;
+    std::vector<std::uint64_t> shard_resident(config_.n_shards, 0);
+    std::vector<std::uint64_t> shard_queued(config_.n_shards, 0);
+    for (const auto& [id, s] : sessions_) {
+        const std::size_t k = static_cast<std::size_t>(id % config_.n_shards);
+        if (!s->evicted) {
+            ++resident;
+            ++shard_resident[k];
+        }
+        shard_queued[k] += s->inbox.size();
+    }
+    out.gauge(p + "engine.sessions")
+        .set(static_cast<double>(sessions_.size()));
+    out.gauge(p + "engine.resident").set(static_cast<double>(resident));
+    out.gauge(p + "engine.evicted")
+        .set(static_cast<double>(sessions_.size() - resident));
+    out.counter(p + "engine.pumps").inc(engine_stats_.pumps);
+    out.counter(p + "engine.budget_evictions")
+        .inc(engine_stats_.budget_evictions);
+    out.counter(p + "engine.idle_evictions")
+        .inc(engine_stats_.idle_evictions);
+    out.counter(p + "engine.frames_processed")
+        .inc(engine_stats_.frames_processed);
+    out.counter(p + "engine.sessions_stolen")
+        .inc(engine_stats_.sessions_stolen);
+    for (std::size_t k = 0; k < config_.n_shards; ++k) {
+        const std::string shard = p + "shard" + std::to_string(k) + ".";
+        out.gauge(shard + "resident")
+            .set(static_cast<double>(shard_resident[k]));
+        out.gauge(shard + "queued")
+            .set(static_cast<double>(shard_queued[k]));
+    }
 }
 
 }  // namespace blinkradar::fleet

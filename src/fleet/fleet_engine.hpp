@@ -50,6 +50,8 @@
 #include "core/pipeline.hpp"
 #include "core/pipeline_config.hpp"
 #include "obs/metrics.hpp"
+#include "obs/telemetry/aggregator.hpp"
+#include "obs/telemetry/span.hpp"
 #include "radar/config.hpp"
 #include "radar/frame.hpp"
 
@@ -127,6 +129,12 @@ struct FleetConfig {
     /// at runtime via set_residency_policy — the ingest front-end's shed
     /// ladder tightens it under overload.
     ResidencyPolicy residency{};
+
+    /// End-to-end trace span collector (not owned, must outlive the
+    /// engine). Every session pipeline completes spans into it, and the
+    /// pump stamps the kPump hop on frames carrying a span id. Null
+    /// disables tracing; results are bit-identical either way.
+    obs::telemetry::SpanCollector* span_collector = nullptr;
 };
 
 /// Per-session lifecycle/recovery counters (deterministic — part of the
@@ -152,11 +160,16 @@ struct ShardStats {
     std::uint64_t sessions_stolen = 0;  ///< drained from a foreign shard
 };
 
-/// Engine-wide lifecycle counters (deterministic).
+/// Engine-wide lifecycle counters (deterministic except where noted).
 struct EngineStats {
     std::uint64_t pumps = 0;
     std::uint64_t budget_evictions = 0;  ///< max_resident LRU evictions
     std::uint64_t idle_evictions = 0;    ///< idle-timer evictions
+    std::uint64_t frames_processed = 0;  ///< cumulative over all pumps
+    /// Cumulative cross-shard steals. NOT deterministic: which worker
+    /// steals depends on timing (only the union of drained sessions is
+    /// fixed) — excluded from bit-identity comparisons.
+    std::uint64_t sessions_stolen = 0;
 };
 
 /// Multiplexes N independent BlinkRadarPipeline sessions over the
@@ -228,6 +241,14 @@ public:
     /// Merge every session's registry into `out`, ascending id order
     /// (deterministic). No-op unless collect_metrics.
     void merge_metrics(obs::MetricsRegistry& out) const;
+
+    /// Run one full aggregation cycle into `agg` under the engine lock:
+    /// every session's registry rolls up (bounded cardinality, top-K
+    /// laggard detail — see obs/telemetry/aggregator.hpp), then the
+    /// engine's own lifecycle stats and per-shard roll-ups are written
+    /// as "<metrics_prefix>engine.*" / "<metrics_prefix>shard<k>.*".
+    /// Deterministic except engine.sessions_stolen.
+    void aggregate_into(obs::telemetry::Aggregator& agg) const;
 
     /// Replace the residency policy (takes effect at the next pump).
     void set_residency_policy(ResidencyPolicy policy);

@@ -83,11 +83,13 @@ struct IngestFrontend::Metrics {
 IngestFrontend::IngestFrontend(IngestConfig config,
                                fleet::FleetEngine& engine,
                                obs::MetricsRegistry* metrics,
-                               obs::TraceSink* trace)
+                               obs::TraceSink* trace,
+                               obs::telemetry::SpanCollector* spans)
     : config_(std::move(config)),
       engine_(engine),
       metrics_(metrics),
       trace_(trace),
+      spans_(spans),
       master_rng_(config_.seed),
       tokens_(config_.admission.capacity),
       latency_stride_(config_.governor.latency_stride_normal) {
@@ -120,6 +122,19 @@ IngestFrontend::IngestFrontend(IngestConfig config,
         m_->pump_ns = &metrics_->histogram(p + "pump_ns");
         m_->queue_age_ticks = &metrics_->histogram(p + "queue_age_ticks");
     }
+    if (metrics_ != nullptr && config_.telemetry.track_slo) {
+        obs::telemetry::SloConfig sc = config_.telemetry.slo;
+        sc.metric_prefix = config_.metrics_prefix + "slo.";
+        slo_ = std::make_unique<obs::telemetry::SloTracker>(sc, metrics_);
+    }
+    obs::telemetry::AggregatorConfig ac;
+    ac.fleet_prefix = engine_.config().metrics_prefix;
+    ac.top_k_laggards = config_.telemetry.top_k_laggards;
+    aggregator_ = std::make_unique<obs::telemetry::Aggregator>(ac);
+    obs::telemetry::SnapshotPublisherConfig pc;
+    pc.json_path = config_.telemetry.json_path;
+    pc.prom_path = config_.telemetry.prom_path;
+    publisher_ = std::make_unique<obs::telemetry::SnapshotPublisher>(pc);
 }
 
 IngestFrontend::~IngestFrontend() = default;
@@ -179,12 +194,16 @@ void IngestFrontend::poll_stream(Stream& s) {
 
     // Retry the holding slot first — it is the oldest undecoded frame.
     if (s.holding) {
+        const std::uint64_t held_span = s.holding->span_id;
         const PushOutcome out = s.queue.push(std::move(*s.holding), tick_);
         if (out != PushOutcome::kWouldBlock) {
             // (push only moves from its argument when it enqueues, so
             // the held frame is intact on kWouldBlock.)
             s.holding.reset();
             progress = true;
+            if (spans_ != nullptr && held_span != 0 &&
+                out != PushOutcome::kDroppedNewest)
+                spans_->hop(held_span, obs::telemetry::SpanHop::kEnqueue);
         }
     }
 
@@ -221,6 +240,19 @@ void IngestFrontend::poll_stream(Stream& s) {
                            std::to_string(rec->hello.stream_tag) + "}");
                 break;
             case RecordType::kFrame: {
+                // Span sampling: one span per span_stride x latency-
+                // stride decoded frames. latency_stride_ is the shed
+                // ladder's widening knob, so tracing sheds in lockstep
+                // with latency sampling. The counter advances on every
+                // decoded frame, sampled or not, so which frames carry
+                // spans replays exactly.
+                const std::size_t stride =
+                    config_.telemetry.span_stride * latency_stride_;
+                if (spans_ != nullptr && stride != 0 &&
+                    decode_count_ % stride == 0)
+                    rec->frame.span_id = spans_->mint(s.id, rec->seq);
+                ++decode_count_;
+                const std::uint64_t span = rec->frame.span_id;
                 const PushOutcome out =
                     s.queue.push(std::move(rec->frame), tick_);
                 if (out == PushOutcome::kWouldBlock)
@@ -228,6 +260,10 @@ void IngestFrontend::poll_stream(Stream& s) {
                 else if (out == PushOutcome::kDroppedOldest ||
                          out == PushOutcome::kDroppedNewest)
                     if (m_) m_->dropped->inc();
+                if (spans_ != nullptr && span != 0 &&
+                    out != PushOutcome::kWouldBlock &&
+                    out != PushOutcome::kDroppedNewest)
+                    spans_->hop(span, obs::telemetry::SpanHop::kEnqueue);
                 break;
             }
             case RecordType::kBye:
@@ -261,11 +297,18 @@ std::size_t IngestFrontend::deliver() {
             std::min(budget, s.config.max_deliver_per_tick);
         const std::size_t n =
             s.queue.pop_into(want, tick_, deliver_frames_, deliver_ages_);
-        for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t i = 0; i < n; ++i) {
+            if (spans_ != nullptr && deliver_frames_[i].span_id != 0)
+                spans_->hop(deliver_frames_[i].span_id,
+                            obs::telemetry::SpanHop::kAdmit);
             engine_.feed(*s.session, std::move(deliver_frames_[i]));
+        }
         if (m_ != nullptr)
             for (std::size_t i = 0; i < n; ++i)
                 m_->queue_age_ticks->record(deliver_ages_[i]);
+        if (slo_ != nullptr)
+            for (std::size_t i = 0; i < n; ++i)
+                slo_->record_frame(deliver_ages_[i]);
         s.delivered += n;
         budget -= n;
         total += n;
@@ -447,7 +490,58 @@ PumpReport IngestFrontend::pump() {
         m_->decode_errors->set(static_cast<double>(errors));
         m_->quarantined_bytes->set(static_cast<double>(quarantined));
     }
+
+    if (slo_ != nullptr) slo_->tick();
+    if (config_.telemetry.export_every_ticks != 0 &&
+        tick_ % config_.telemetry.export_every_ticks == 0)
+        publish_telemetry();
     return report;
+}
+
+const obs::telemetry::SnapshotPublisher& IngestFrontend::publish_telemetry() {
+    // Engine roll-up first (begin_cycle + both aggregation passes run
+    // under the engine lock), then the front-end's own flat registry.
+    engine_.aggregate_into(*aggregator_);
+    obs::MetricsRegistry& out = aggregator_->output();
+    if (metrics_ != nullptr) aggregator_->add_flat(*metrics_);
+
+    // Per-stream roll-ups, cardinality bounded by admission control.
+    // Gauge nodes of streams closed since the previous cycle are retired
+    // by their exact per-id prefix (a shared-prefix erase would take
+    // sibling names — "ingest.s" covers "ingest.shed.*").
+    std::string key;
+    for (const StreamId id : telemetry_streams_) {
+        if (streams_.find(id) != streams_.end()) continue;
+        key.assign(config_.metrics_prefix);
+        key += 's';
+        key += std::to_string(id);
+        key += '.';
+        out.erase_prefix(key);
+    }
+    telemetry_streams_.clear();
+    for (const auto& [id, sp] : streams_) {
+        telemetry_streams_.push_back(id);
+        const Stream& s = *sp;
+        key.assign(config_.metrics_prefix);
+        key += 's';
+        key += std::to_string(id);
+        key += '.';
+        const std::size_t base = key.size();
+        const auto set = [&](const char* leaf, double v) {
+            key.resize(base);
+            key += leaf;
+            out.gauge(key).set(v);
+        };
+        set("decoded",
+            static_cast<double>(s.decoder.stats().frames_decoded));
+        set("delivered", static_cast<double>(s.delivered));
+        set("dropped", static_cast<double>(s.queue.stats().dropped()));
+        set("queued",
+            static_cast<double>(s.queue.size() + (s.holding ? 1 : 0)));
+    }
+
+    publisher_->publish(out);
+    return *publisher_;
 }
 
 fleet::SessionStats IngestFrontend::close_stream(StreamId id) {

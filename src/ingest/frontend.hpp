@@ -80,6 +80,10 @@
 #include "ingest/frame_queue.hpp"
 #include "ingest/wire_format.hpp"
 #include "obs/metrics.hpp"
+#include "obs/telemetry/aggregator.hpp"
+#include "obs/telemetry/export.hpp"
+#include "obs/telemetry/slo.hpp"
+#include "obs/telemetry/span.hpp"
 #include "obs/trace.hpp"
 
 namespace blinkradar::ingest {
@@ -165,10 +169,37 @@ struct GovernorConfig {
     std::uint64_t slo_ns = 40'000'000;  ///< the fleet 40 ms pump SLO
 };
 
+/// The live telemetry plane (see src/obs/telemetry and DESIGN.md §16):
+/// hierarchical aggregation + snapshot export cadence, SLO burn-rate
+/// tracking, and end-to-end span sampling. Every piece is optional and
+/// observation-only — results are bit-identical with it on or off.
+struct TelemetryConfig {
+    /// Run one aggregation + publish cycle every N ticks; 0 disables
+    /// the automatic cadence (publish_telemetry() still works).
+    std::size_t export_every_ticks = 0;
+    /// Snapshot files, replaced atomically each cycle; empty = keep the
+    /// rendering in memory only (SnapshotPublisher::last_*).
+    std::string json_path;
+    std::string prom_path;
+    /// Sessions whose per-session metric detail survives aggregation.
+    std::size_t top_k_laggards = 4;
+    /// Track the enqueue->result SLO (requires a metrics registry; the
+    /// tracker's metric prefix is forced to "<metrics_prefix>slo.").
+    bool track_slo = true;
+    obs::telemetry::SloConfig slo{};
+    /// Span sampling: one span per span_stride x latency-stride decoded
+    /// frames, so the effective stride widens with the shed ladder
+    /// exactly as pump-latency sampling does (observability pays
+    /// first). 0 disables minting. Default shares the pipeline's 1-in-16
+    /// stage-timing duty cycle.
+    std::size_t span_stride = 16;
+};
+
 struct IngestConfig {
     StreamConfig stream{};
     AdmissionConfig admission{};
     GovernorConfig governor{};
+    TelemetryConfig telemetry{};
     /// Master seed; each stream's watchdog-jitter RNG is forked from it
     /// in open order.
     std::uint64_t seed = 0xB11Fu;
@@ -219,11 +250,15 @@ struct StreamStats {
 
 class IngestFrontend {
 public:
-    /// `engine` must outlive the front-end. `metrics` / `trace` are
-    /// optional and not owned; pass nullptr to disable.
+    /// `engine` must outlive the front-end. `metrics` / `trace` /
+    /// `spans` are optional and not owned; pass nullptr to disable.
+    /// `spans` should be the same collector installed as the engine's
+    /// FleetConfig::span_collector, so the spans this layer mints at
+    /// decode are completed by the session pipelines.
     IngestFrontend(IngestConfig config, fleet::FleetEngine& engine,
                    obs::MetricsRegistry* metrics = nullptr,
-                   obs::TraceSink* trace = nullptr);
+                   obs::TraceSink* trace = nullptr,
+                   obs::telemetry::SpanCollector* spans = nullptr);
     ~IngestFrontend();
 
     IngestFrontend(const IngestFrontend&) = delete;
@@ -273,6 +308,22 @@ public:
     fleet::FleetEngine& engine() noexcept { return engine_; }
     const IngestConfig& config() const noexcept { return config_; }
 
+    /// Run one aggregation + publish cycle now: the engine rolls up
+    /// (FleetEngine::aggregate_into), the front-end's own registry and
+    /// bounded per-stream roll-ups ("<metrics_prefix>s<id>.*") fold in,
+    /// and the combined registry is rendered/written by the publisher.
+    /// Also runs automatically every telemetry.export_every_ticks ticks.
+    const obs::telemetry::SnapshotPublisher& publish_telemetry();
+
+    /// The roll-up of the most recent publish_telemetry() cycle.
+    const obs::telemetry::Aggregator& aggregator() const noexcept {
+        return *aggregator_;
+    }
+    /// Null unless telemetry.track_slo and a metrics registry attached.
+    const obs::telemetry::SloTracker* slo() const noexcept {
+        return slo_.get();
+    }
+
 private:
     struct Stream;
     struct Metrics;
@@ -291,7 +342,15 @@ private:
     fleet::FleetEngine& engine_;
     obs::MetricsRegistry* metrics_;
     obs::TraceSink* trace_;
+    obs::telemetry::SpanCollector* spans_;
     std::unique_ptr<Metrics> m_;  ///< registered metric handles
+    std::unique_ptr<obs::telemetry::SloTracker> slo_;
+    std::unique_ptr<obs::telemetry::Aggregator> aggregator_;
+    std::unique_ptr<obs::telemetry::SnapshotPublisher> publisher_;
+    std::uint64_t decode_count_ = 0;  ///< span-sampling clock
+    /// Streams whose per-stream roll-up was written last cycle (their
+    /// exact "<metrics_prefix>s<id>." keys are retired next cycle).
+    std::vector<StreamId> telemetry_streams_;
 
     std::map<StreamId, std::unique_ptr<Stream>> streams_;
     StreamId next_stream_id_ = 0;

@@ -87,6 +87,30 @@ void MetricsRegistry::merge_from(const MetricsRegistry& other) {
         histograms_[name].merge_from(h);
 }
 
+void MetricsRegistry::reset_values() noexcept {
+    for (auto& [name, c] : counters_) c.reset();
+    for (auto& [name, g] : gauges_) g.reset();
+    for (auto& [name, h] : histograms_) h.reset();
+}
+
+namespace {
+
+template <typename Map>
+void erase_prefix_from(Map& map, const std::string& prefix) {
+    auto it = map.lower_bound(prefix);
+    while (it != map.end() && it->first.compare(0, prefix.size(), prefix) == 0)
+        it = map.erase(it);
+}
+
+}  // namespace
+
+void MetricsRegistry::erase_prefix(const std::string& prefix) {
+    if (prefix.empty()) return;
+    erase_prefix_from(counters_, prefix);
+    erase_prefix_from(gauges_, prefix);
+    erase_prefix_from(histograms_, prefix);
+}
+
 namespace {
 
 /// Shortest round-trip decimal for a double (locale-independent).
@@ -100,11 +124,16 @@ std::string format_double(double v) {
 }  // namespace
 
 std::string snapshot_to_json(const MetricsRegistry& registry) {
+    std::string out;
+    out.reserve(1024);
+    append_snapshot_json(registry, out);
+    return out;
+}
+
+void append_snapshot_json(const MetricsRegistry& registry, std::string& out) {
     // std::map iteration is name-sorted, and every numeric field is
     // formatted locale-independently, so equal registries serialise to
     // byte-identical snapshots.
-    std::string out;
-    out.reserve(1024);
     out += "{\n  \"schema\": \"blinkradar-obs-v1\",\n  \"counters\": {";
     bool first = true;
     for (const auto& [name, c] : registry.counters()) {
@@ -143,7 +172,6 @@ std::string snapshot_to_json(const MetricsRegistry& registry) {
         out += "]}";
     }
     out += first ? "}\n}\n" : "\n  }\n}\n";
-    return out;
 }
 
 void snapshot_to_csv(const MetricsRegistry& registry,

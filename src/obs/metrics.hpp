@@ -28,6 +28,7 @@ class Counter {
 public:
     void inc(std::uint64_t n = 1) noexcept { value_ += n; }
     std::uint64_t value() const noexcept { return value_; }
+    void reset() noexcept { value_ = 0; }
 
 private:
     std::uint64_t value_ = 0;
@@ -38,6 +39,7 @@ class Gauge {
 public:
     void set(double v) noexcept { value_ = v; }
     double value() const noexcept { return value_; }
+    void reset() noexcept { value_ = 0.0; }
 
 private:
     double value_ = 0.0;
@@ -96,6 +98,14 @@ public:
 
     void merge_from(const LatencyHistogram& other) noexcept;
 
+    void reset() noexcept {
+        counts_.fill(0);
+        count_ = 0;
+        sum_ns_ = 0;
+        min_ns_ = UINT64_MAX;
+        max_ns_ = 0;
+    }
+
 private:
     std::array<std::uint64_t, kBuckets + 1> counts_{};
     std::uint64_t count_ = 0;
@@ -122,6 +132,17 @@ public:
     /// index) for deterministic gauge results.
     void merge_from(const MetricsRegistry& other);
 
+    /// Zero every metric in place without touching the name set. Node
+    /// storage is untouched, so outstanding references stay valid and no
+    /// allocation happens — this is how a reused aggregation target stays
+    /// alloc-free across cycles.
+    void reset_values() noexcept;
+
+    /// Drop every metric whose name starts with `prefix`. Used by the
+    /// aggregator between cycles to retire last cycle's per-laggard
+    /// detail keys, keeping instantaneous cardinality bounded.
+    void erase_prefix(const std::string& prefix);
+
     const std::map<std::string, Counter>& counters() const noexcept {
         return counters_;
     }
@@ -142,6 +163,10 @@ private:
 /// Deterministic JSON snapshot: metric names sorted, fixed field order,
 /// schema "blinkradar-obs-v1".
 std::string snapshot_to_json(const MetricsRegistry& registry);
+
+/// Same rendering appended into a caller-owned buffer, so a cyclic
+/// publisher can reuse capacity instead of allocating per snapshot.
+void append_snapshot_json(const MetricsRegistry& registry, std::string& out);
 
 /// Deterministic CSV snapshot: one row per metric
 /// (kind,name,count,sum_ns,min_ns,max_ns,p50_ns,p99_ns,value).

@@ -2,6 +2,7 @@
 // and the detection pipeline.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "common/units.hpp"
@@ -14,6 +15,11 @@ namespace blinkradar::radar {
 struct RadarFrame {
     Seconds timestamp_s = 0.0;
     dsp::ComplexSignal bins;
+    /// End-to-end trace span (obs::telemetry::SpanCollector); 0 = the
+    /// frame is not sampled for tracing. In-process metadata only: the
+    /// wire and snapshot formats do not carry it, so serialised
+    /// artifacts stay bit-identical with or without tracing.
+    std::uint64_t span_id = 0;
 };
 
 /// A slow-time sequence of frames with a common bin layout.

@@ -8,7 +8,10 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <thread>
@@ -22,6 +25,8 @@
 #include "ingest/frontend.hpp"
 #include "ingest/wire_fault.hpp"
 #include "ingest/wire_format.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry/span.hpp"
 #include "physio/driver_profile.hpp"
 #include "sim/scenario.hpp"
 
@@ -721,6 +726,99 @@ TEST(IngestBackpressure, EightStreamsThreePoliciesBitIdenticalAcrossSweep) {
 
 // ----------------------------------------------------- overload drill
 
+/// The deterministic slice of an aggregated telemetry snapshot — what
+/// the bit-identity sweep compares. Excluded: engine.sessions_stolen
+/// (scheduling-dependent), per-shard roll-ups (shape follows n_shards),
+/// per-laggard detail (ranked by wall-clock stage time), and pump_ns
+/// (wall time). Histograms whose *values* are wall durations (the stage
+/// timers) contribute their deterministic frame counts only; the SLO
+/// latency and queue-age histograms — tick-derived values — must match
+/// bucket for bucket.
+std::string telemetry_identity_subset(const obs::MetricsRegistry& out) {
+    const auto excluded = [](const std::string& name) {
+        if (name == "fleet.engine.sessions_stolen") return true;
+        if (name.rfind("fleet.shard", 0) == 0) return true;
+        if (name == "ingest.pump_ns") return true;
+        if (name.rfind("fleet.s", 0) == 0 && name.size() > 7 &&
+            name[7] >= '0' && name[7] <= '9')
+            return true;
+        return false;
+    };
+    const auto deterministic_values = [](const std::string& name) {
+        return name == "ingest.slo.enqueue_to_result_ns" ||
+               name == "ingest.queue_age_ticks";
+    };
+    std::string s;
+    for (const auto& [name, c] : out.counters()) {
+        if (excluded(name)) continue;
+        s += name;
+        s += '=';
+        s += std::to_string(c.value());
+        s += '\n';
+    }
+    for (const auto& [name, g] : out.gauges()) {
+        if (excluded(name)) continue;
+        char buf[40];
+        std::snprintf(buf, sizeof buf, "%.17g", g.value());
+        s += name;
+        s += '=';
+        s += buf;
+        s += '\n';
+    }
+    for (const auto& [name, h] : out.histograms()) {
+        if (excluded(name)) continue;
+        s += name;
+        s += " count=";
+        s += std::to_string(h.count());
+        if (deterministic_values(name)) {
+            s += " sum=";
+            s += std::to_string(h.sum_ns());
+            s += " min=";
+            s += std::to_string(h.min_ns());
+            s += " max=";
+            s += std::to_string(h.max_ns());
+            s += " buckets=";
+            for (const std::uint64_t b : h.counts()) {
+                s += std::to_string(b);
+                s += ',';
+            }
+        }
+        s += '\n';
+    }
+    return s;
+}
+
+/// Parse a span JSONL record and assert every hop is present with
+/// monotonically non-decreasing timestamps:
+/// decode -> enqueue -> admit -> pump -> stage[0..7] -> result.
+void expect_span_monotone(const std::string& rec) {
+    ASSERT_FALSE(rec.empty());
+    std::vector<std::uint64_t> ts;
+    for (const char* key : {"\"decode_ns\":", "\"enqueue_ns\":",
+                            "\"admit_ns\":", "\"pump_ns\":"}) {
+        const std::size_t pos = rec.find(key);
+        ASSERT_NE(pos, std::string::npos) << key << " missing in " << rec;
+        ts.push_back(
+            std::strtoull(rec.c_str() + pos + std::strlen(key), nullptr, 10));
+    }
+    const std::size_t spos = rec.find("\"stage_ns\":[");
+    ASSERT_NE(spos, std::string::npos) << rec;
+    const char* p = rec.c_str() + spos + std::strlen("\"stage_ns\":[");
+    for (int i = 0; i < 8; ++i) {
+        char* end = nullptr;
+        ts.push_back(std::strtoull(p, &end, 10));
+        ASSERT_NE(p, end) << "stage " << i << " missing in " << rec;
+        p = *end == ',' ? end + 1 : end;
+    }
+    const std::size_t rpos = rec.find("\"result_ns\":");
+    ASSERT_NE(rpos, std::string::npos) << rec;
+    ts.push_back(std::strtoull(
+        rec.c_str() + rpos + std::strlen("\"result_ns\":"), nullptr, 10));
+    EXPECT_GT(ts[0], 0u);
+    for (std::size_t i = 1; i < ts.size(); ++i)
+        EXPECT_GE(ts[i], ts[i - 1]) << "hop " << i << " in " << rec;
+}
+
 struct DrillOutcome {
     std::vector<SweepStream> streams;
     std::vector<std::array<std::uint64_t, 3>> shed;  // tick, from, to
@@ -729,6 +827,13 @@ struct DrillOutcome {
     bool residency_tightened = false;
     fleet::ResidencyPolicy final_residency{};
     ingest::ShedLevel final_level = ingest::ShedLevel::kNormal;
+    std::string telemetry;    ///< deterministic aggregated subset
+    std::string span_record;  ///< last completed span JSONL
+    std::uint64_t spans_completed = 0;
+    bool slo_burned_during_shed = false;
+    bool slo_burning_after = false;
+    std::uint64_t slo_good = 0;
+    std::uint64_t slo_bad = 0;
 };
 
 DrillOutcome run_overload(std::size_t n_shards, std::size_t n_threads,
@@ -736,10 +841,14 @@ DrillOutcome run_overload(std::size_t n_shards, std::size_t n_threads,
                           const std::vector<std::vector<std::uint8_t>>&
                               encoded) {
     ThreadPool pool(n_threads);
+    obs::telemetry::SpanCollector spans;
     fleet::FleetConfig fcfg;
     fcfg.n_shards = n_shards;
+    fcfg.collect_metrics = true;
+    fcfg.span_collector = &spans;
     fleet::FleetEngine engine(fcfg, &pool);
 
+    obs::MetricsRegistry reg;
     ingest::IngestConfig cfg;
     cfg.governor.budget_frames_per_tick = 24;
     cfg.governor.engage_ticks = 2;
@@ -747,7 +856,7 @@ DrillOutcome run_overload(std::size_t n_shards, std::size_t n_threads,
     cfg.stream.queue_capacity = 64;
     cfg.stream.policy = ingest::BackpressurePolicy::kBlock;
     cfg.admission.capacity = 16.0;
-    ingest::IngestFrontend fe(cfg, engine);
+    ingest::IngestFrontend fe(cfg, engine, &reg, nullptr, &spans);
 
     // Producers at 4x the sustainable rate: the budget sustains 4
     // frames/stream/tick across 6 streams; each source trickles 16.
@@ -777,6 +886,9 @@ DrillOutcome run_overload(std::size_t n_shards, std::size_t n_threads,
         if (fe.shed_level() >= ingest::ShedLevel::kEvictIdle &&
             engine.residency_policy().evict_idle_after_pumps == 1)
             out.residency_tightened = true;
+        if (fe.shed_level() >= ingest::ShedLevel::kWidenSampling &&
+            fe.slo() != nullptr && fe.slo()->burning())
+            out.slo_burned_during_shed = true;
     }
     EXPECT_TRUE(fe.drained());
     // Idle ticks after the sources dry up walk the ladder back down.
@@ -786,6 +898,15 @@ DrillOutcome run_overload(std::size_t n_shards, std::size_t n_threads,
     }
     out.final_level = fe.shed_level();
     out.final_residency = engine.residency_policy();
+
+    // Telemetry capture, before close_stream tears sessions down.
+    out.slo_burning_after = fe.slo()->burning();
+    out.slo_good = fe.slo()->good();
+    out.slo_bad = fe.slo()->bad();
+    fe.publish_telemetry();
+    out.telemetry = telemetry_identity_subset(fe.aggregator().output());
+    out.span_record = spans.last_record();
+    out.spans_completed = spans.completed();
 
     for (const ingest::ShedEvent& e : fe.shed_events())
         out.shed.push_back({e.tick, static_cast<std::uint64_t>(e.from),
@@ -853,6 +974,23 @@ TEST(IngestOverload, ShedLadderEngagesInOrderWithNoSilentLossAndBitIdentity) {
     const std::uint64_t p99 = lat[(lat.size() * 99) / 100];
     EXPECT_LT(p99, 40'000'000u);
 
+    // SLO burn-rate: the error budget burned while the shed ladder was
+    // engaged (queued frames aged past the 40 ms objective), and the
+    // burn recovered once the overload released.
+    EXPECT_TRUE(base.slo_burned_during_shed);
+    EXPECT_FALSE(base.slo_burning_after);
+    EXPECT_GT(base.slo_bad, 0u);
+    EXPECT_GT(base.slo_good, 0u);
+
+    // A sampled frame completed its span: every hop from decode to
+    // result present, timestamps monotonically non-decreasing.
+    EXPECT_GT(base.spans_completed, 0u);
+    expect_span_monotone(base.span_record);
+
+    // The aggregated snapshot's deterministic slice is non-trivial.
+    EXPECT_NE(base.telemetry.find("fleet.stage."), std::string::npos);
+    EXPECT_NE(base.telemetry.find("ingest.slo.good"), std::string::npos);
+
     // Bit-identical shed schedule and outputs at any shard/thread count.
     const std::size_t shard_counts[] = {3, 8};
     const std::size_t pool_sizes[] = {2, 7};
@@ -862,6 +1000,15 @@ TEST(IngestOverload, ShedLadderEngagesInOrderWithNoSilentLossAndBitIdentity) {
                 run_overload(n_shards, n_threads, sims, encoded);
             EXPECT_EQ(got.shed, base.shed)
                 << "shards=" << n_shards << " threads=" << n_threads;
+            // Aggregated fleet telemetry is bit-identical on its
+            // deterministic slice at any shard/thread count, and the
+            // SLO tallies replay exactly.
+            EXPECT_EQ(got.telemetry, base.telemetry)
+                << "shards=" << n_shards << " threads=" << n_threads;
+            EXPECT_EQ(got.slo_good, base.slo_good);
+            EXPECT_EQ(got.slo_bad, base.slo_bad);
+            EXPECT_EQ(got.slo_burned_during_shed,
+                      base.slo_burned_during_shed);
             ASSERT_EQ(got.streams.size(), base.streams.size());
             for (std::size_t s = 0; s < got.streams.size(); ++s) {
                 EXPECT_EQ(got.streams[s].decoded, base.streams[s].decoded);
@@ -909,6 +1056,7 @@ TEST(IngestConcurrency, PipeProducersAgainstThePumpDrill) {
 
     // Producer threads push whole sessions through the bounded pipes,
     // living with short writes (the reader applies backpressure).
+    std::atomic<std::size_t> producers_done{0};
     std::vector<std::thread> producers;
     for (std::size_t i = 0; i < kStreams; ++i) {
         producers.emplace_back([&, i] {
@@ -923,13 +1071,22 @@ TEST(IngestConcurrency, PipeProducersAgainstThePumpDrill) {
                 if (accepted == 0) std::this_thread::yield();
             }
             pipes[i]->close();
+            producers_done.fetch_add(1, std::memory_order_release);
         });
     }
 
+    // Keep pumping until every producer has finished, even past the
+    // drain budget: a producer blocked on a full pipe needs the pump to
+    // keep reading, so stopping early would deadlock the joins below
+    // (seen on heavily loaded CI where the pump thread outruns starved
+    // producers through the whole tick budget).
     std::size_t ticks = 0;
-    while (!fe.drained() && ticks++ < 20000) fe.pump();
+    while ((producers_done.load(std::memory_order_acquire) < kStreams ||
+            !fe.drained()) &&
+           ticks++ < 200000)
+        fe.pump();
+    ASSERT_EQ(producers_done.load(), kStreams);
     for (auto& p : producers) p.join();
-    while (!fe.drained() && ticks++ < 20000) fe.pump();
     ASSERT_TRUE(fe.drained());
 
     for (std::size_t i = 0; i < kStreams; ++i) {

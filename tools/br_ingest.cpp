@@ -5,11 +5,13 @@
 //   br_ingest inspect <in.brwf> [--max-payload N]
 //       decode a capture and print record/error accounting
 //   br_ingest replay <in.brwf>... [--policy P] [--queue N] [--budget N]
-//                                 [--corrupt SEED]
+//                                 [--corrupt SEED] [--metrics-out PATH]
 //       feed the file(s) through the streaming front-end into a
 //       FleetEngine and print per-stream + per-session accounting;
 //       --corrupt runs each stream through the wire fault injector
-//       first (the overload/corruption drill in CLI form)
+//       first (the overload/corruption drill in CLI form);
+//       --metrics-out writes the final aggregated telemetry registry
+//       as obs-v1 JSON on exit (readable with tools/br_top)
 //
 // Exit status: 0 on success, 1 when a replay failed to drain or an
 // inspected capture held no decodable frames, 2 on usage errors.
@@ -25,6 +27,7 @@
 #include "ingest/frontend.hpp"
 #include "ingest/wire_fault.hpp"
 #include "ingest/wire_format.hpp"
+#include "obs/metrics.hpp"
 #include "physio/driver_profile.hpp"
 #include "sim/scenario.hpp"
 
@@ -40,7 +43,8 @@ int usage() {
         "       br_ingest inspect <in.brwf> [--max-payload N]\n"
         "       br_ingest replay <in.brwf>... [--policy block|drop_oldest|"
         "drop_newest]\n"
-        "                 [--queue N] [--budget N] [--corrupt SEED]\n");
+        "                 [--queue N] [--budget N] [--corrupt SEED] "
+        "[--metrics-out PATH]\n");
     return 2;
 }
 
@@ -200,6 +204,7 @@ int cmd_replay(const std::vector<std::string>& args) {
     ingest::IngestConfig cfg;
     bool corrupt = false;
     std::uint64_t corrupt_seed = 0;
+    std::string metrics_out;
     for (std::size_t i = 0; i < args.size(); ++i) {
         if (args[i] == "--policy") {
             if (++i >= args.size()) return usage();
@@ -226,6 +231,9 @@ int cmd_replay(const std::vector<std::string>& args) {
             if (++i >= args.size()) return usage();
             corrupt = true;
             if (!parse_u64(args[i], corrupt_seed)) return usage();
+        } else if (args[i] == "--metrics-out") {
+            if (++i >= args.size()) return usage();
+            metrics_out = args[i];
         } else {
             paths.push_back(args[i]);
         }
@@ -235,8 +243,15 @@ int cmd_replay(const std::vector<std::string>& args) {
         std::max<double>(cfg.admission.capacity, paths.size());
 
     ThreadPool pool(2);
-    fleet::FleetEngine engine(fleet::FleetConfig{}, &pool);
-    ingest::IngestFrontend fe(cfg, engine);
+    fleet::FleetConfig fcfg;
+    obs::MetricsRegistry reg;
+    if (!metrics_out.empty()) {
+        fcfg.collect_metrics = true;
+        cfg.telemetry.json_path = metrics_out;
+    }
+    fleet::FleetEngine engine(fcfg, &pool);
+    ingest::IngestFrontend fe(cfg, engine,
+                              metrics_out.empty() ? nullptr : &reg);
 
     std::vector<ingest::StreamId> ids;
     for (std::size_t i = 0; i < paths.size(); ++i) {
@@ -270,6 +285,13 @@ int cmd_replay(const std::vector<std::string>& args) {
     std::size_t ticks = 0;
     while (!fe.drained() && ticks++ < 1'000'000) fe.pump();
     const bool drained = fe.drained();
+
+    if (!metrics_out.empty()) {
+        // Final aggregated registry (fleet roll-up + ingest series),
+        // written atomically in the obs-v1 JSON schema.
+        fe.publish_telemetry();
+        std::printf("metrics snapshot: %s\n", metrics_out.c_str());
+    }
 
     std::printf("replayed %zu stream(s) in %zu ticks, peak shed level %d\n",
                 paths.size(), ticks,

@@ -1,0 +1,218 @@
+// br_top: live fleet telemetry viewer.
+//
+// Tails the "blinkradar-obs-v1" JSON snapshot that the ingest
+// front-end's SnapshotPublisher replaces atomically on its export
+// cadence, and renders a terminal dashboard: session residency, shed
+// rung, backlog, per-stage latency quantiles, and SLO burn status.
+// No sockets — the snapshot file IS the wire protocol, and the atomic
+// rename on the writer side means a read never observes a torn
+// snapshot.
+//
+// Usage:
+//   br_top SNAPSHOT.json            one-shot render
+//   br_top SNAPSHOT.json --follow   re-render every --interval-ms (1000)
+//
+// The parser is deliberately bespoke and pinned to the obs-v1 layout
+// (one metric per 4-space-indented line, fixed field order inside
+// histogram objects) — tests/test_telemetry.cpp pins that layout byte
+// for byte, so this stays in lockstep with the serialiser.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+struct HistRow {
+    std::uint64_t count = 0;
+    double p50_ns = 0.0;
+    double p99_ns = 0.0;
+};
+
+struct Snapshot {
+    std::map<std::string, double> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, HistRow> histograms;
+    bool ok = false;
+};
+
+double field_f64(const std::string& line, const char* key) {
+    const std::size_t pos = line.find(key);
+    if (pos == std::string::npos) return 0.0;
+    return std::strtod(line.c_str() + pos + std::strlen(key), nullptr);
+}
+
+Snapshot parse_snapshot(const std::string& path) {
+    Snapshot snap;
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return snap;
+    std::string line;
+    enum class Section { kNone, kCounters, kGauges, kHistograms };
+    Section section = Section::kNone;
+    while (std::getline(in, line)) {
+        if (line.find("\"counters\": {") != std::string::npos) {
+            section = Section::kCounters;
+            continue;
+        }
+        if (line.find("\"gauges\": {") != std::string::npos) {
+            section = Section::kGauges;
+            continue;
+        }
+        if (line.find("\"histograms\": {") != std::string::npos) {
+            section = Section::kHistograms;
+            continue;
+        }
+        // Metric lines are 4-space indented and start with the quoted
+        // name.
+        if (line.rfind("    \"", 0) != 0) continue;
+        const std::size_t name_end = line.find('"', 5);
+        if (name_end == std::string::npos) continue;
+        const std::string name = line.substr(5, name_end - 5);
+        switch (section) {
+            case Section::kCounters:
+                snap.counters[name] =
+                    std::strtod(line.c_str() + name_end + 2, nullptr);
+                break;
+            case Section::kGauges:
+                snap.gauges[name] =
+                    std::strtod(line.c_str() + name_end + 2, nullptr);
+                break;
+            case Section::kHistograms: {
+                HistRow row;
+                row.count = static_cast<std::uint64_t>(
+                    field_f64(line, "\"count\": "));
+                row.p50_ns = field_f64(line, "\"p50_ns\": ");
+                row.p99_ns = field_f64(line, "\"p99_ns\": ");
+                snap.histograms[name] = row;
+                break;
+            }
+            case Section::kNone:
+                break;
+        }
+    }
+    snap.ok = true;
+    return snap;
+}
+
+double metric(const std::map<std::string, double>& m,
+              const std::string& name) {
+    const auto it = m.find(name);
+    return it == m.end() ? 0.0 : it->second;
+}
+
+const char* shed_name(int level) {
+    switch (level) {
+        case 0: return "normal";
+        case 1: return "widen_sampling";
+        case 2: return "force_drop_oldest";
+        case 3: return "evict_idle";
+        case 4: return "refuse_admissions";
+    }
+    return "?";
+}
+
+void render(const Snapshot& snap, const std::string& path) {
+    const double sessions = metric(snap.gauges, "fleet.engine.sessions");
+    const double resident = metric(snap.gauges, "fleet.engine.resident");
+    const double evicted = metric(snap.gauges, "fleet.engine.evicted");
+    const int shed =
+        static_cast<int>(metric(snap.gauges, "ingest.shed.level"));
+    const double backlog = metric(snap.gauges, "ingest.backlog");
+    const double load = metric(snap.gauges, "ingest.load");
+    const double burn_s = metric(snap.gauges, "ingest.slo.burn_short");
+    const double burn_l = metric(snap.gauges, "ingest.slo.burn_long");
+    const bool burning = metric(snap.gauges, "ingest.slo.burning") != 0.0;
+    const double slo_good = metric(snap.counters, "ingest.slo.good");
+    const double slo_bad = metric(snap.counters, "ingest.slo.bad");
+
+    std::printf("blinkradar fleet telemetry — %s\n", path.c_str());
+    std::printf(
+        "sessions  %.0f resident / %.0f evicted (%.0f known)    "
+        "shed %d:%s    backlog %.0f    load %.2f\n",
+        resident, evicted, sessions, shed, shed_name(shed), backlog, load);
+    std::printf(
+        "SLO 40ms  %s    burn_short %.2f  burn_long %.2f    "
+        "good %.0f  bad %.0f\n",
+        burning ? "BURNING" : "ok", burn_s, burn_l, slo_good, slo_bad);
+
+    std::printf("%-34s %10s %12s %12s\n", "stage", "count", "p50_us",
+                "p99_us");
+    for (const auto& [name, h] : snap.histograms) {
+        // Per-stage roll-ups plus the ingest latency series; skip the
+        // per-laggard detail rows (they repeat the same stage names).
+        const bool stage = name.rfind("fleet.stage.", 0) == 0;
+        const bool ingest_lat = name == "ingest.pump_ns" ||
+                                name == "ingest.slo.enqueue_to_result_ns";
+        if (!stage && !ingest_lat) continue;
+        std::printf("%-34s %10llu %12.1f %12.1f\n", name.c_str(),
+                    static_cast<unsigned long long>(h.count),
+                    h.p50_ns / 1000.0, h.p99_ns / 1000.0);
+    }
+
+    // Laggard sessions carried in full detail this cycle.
+    std::string laggards;
+    std::string prev;
+    for (const auto& [name, h] : snap.histograms) {
+        if (name.rfind("fleet.s", 0) != 0 || name.size() < 8 ||
+            name[7] < '0' || name[7] > '9')
+            continue;
+        const std::string id = name.substr(7, name.find('.', 7) - 7);
+        if (id == prev) continue;
+        prev = id;
+        laggards += laggards.empty() ? "s" : " s";
+        laggards += id;
+    }
+    if (!laggards.empty())
+        std::printf("laggards  %s\n", laggards.c_str());
+}
+
+int usage() {
+    std::fprintf(stderr,
+                 "usage: br_top SNAPSHOT.json [--follow] "
+                 "[--interval-ms N]\n");
+    return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string path;
+    bool follow = false;
+    long interval_ms = 1000;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--follow") {
+            follow = true;
+        } else if (arg == "--interval-ms" && i + 1 < argc) {
+            interval_ms = std::strtol(argv[++i], nullptr, 10);
+            if (interval_ms < 1) interval_ms = 1;
+        } else if (!arg.empty() && arg[0] != '-' && path.empty()) {
+            path = arg;
+        } else {
+            return usage();
+        }
+    }
+    if (path.empty()) return usage();
+
+    for (;;) {
+        const Snapshot snap = parse_snapshot(path);
+        if (!snap.ok) {
+            std::fprintf(stderr, "br_top: cannot read %s\n", path.c_str());
+            return 1;
+        }
+        if (follow) std::printf("\033[2J\033[H");
+        render(snap, path);
+        if (!follow) break;
+        std::fflush(stdout);
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(interval_ms));
+    }
+    return 0;
+}
